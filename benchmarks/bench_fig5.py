@@ -1,0 +1,71 @@
+"""Figure 5 — sweeping the delta meta-parameter (post-processing cost vs fidelity).
+
+Reproduces the delta study of Section 6.4: as delta grows the solver prioritises the
+cut count (#cuts shrinks and stabilises) while the largest subcircuit's two-qubit
+gate count (#MS) grows.  The harness reports both metrics normalised exactly as in
+the figure: #cuts normalised to the delta=1 solution, #MS normalised to the two-qubit
+gate count of the original circuit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+import pytest
+
+from repro.core import CutConfig, cut_circuit
+from repro.workloads import make_workload
+
+from harness import SOLVER_TIME_LIMIT, is_paper_scale, publish, run_once
+
+DELTAS = [0.2, 0.4, 0.6, 0.8, 1.0]
+
+if is_paper_scale():
+    WORKLOADS = [("REG", 40, 27, {}), ("IS", 36, 27, {}), ("BAR", 40, 27, {})]
+else:
+    WORKLOADS = [("REG", 9, 6, {"degree": 4}), ("IS", 9, 6, {})]
+
+
+def generate_fig5_rows() -> List[Dict[str, object]]:
+    per_delta_cuts: Dict[float, List[float]] = {delta: [] for delta in DELTAS}
+    per_delta_ms: Dict[float, List[float]] = {delta: [] for delta in DELTAS}
+    for acronym, num_qubits, device, kwargs in WORKLOADS:
+        workload = make_workload(acronym, num_qubits, **kwargs)
+        total_two_qubit = workload.circuit.num_two_qubit_gates
+        reference_cuts = None
+        for delta in sorted(DELTAS, reverse=True):
+            config = CutConfig(
+                device_size=device,
+                max_subcircuits=2,
+                enable_gate_cuts=True,
+                delta=delta,
+                time_limit=SOLVER_TIME_LIMIT,
+            )
+            plan = cut_circuit(workload.circuit, config)
+            if delta == 1.0:
+                reference_cuts = max(plan.effective_cuts, 1e-9)
+            per_delta_cuts[delta].append(plan.effective_cuts / reference_cuts)
+            per_delta_ms[delta].append(plan.max_two_qubit_gates / max(total_two_qubit, 1))
+    rows = []
+    for delta in DELTAS:
+        rows.append(
+            {
+                "delta": delta,
+                "normalized_cuts": round(float(np.mean(per_delta_cuts[delta])), 3),
+                "normalized_MS": round(float(np.mean(per_delta_ms[delta])), 3),
+            }
+        )
+    return rows
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_delta_sweep(benchmark):
+    rows = run_once(benchmark, generate_fig5_rows)
+    publish("fig5", "Figure 5: delta sweep — normalised #cuts and #MS", rows)
+    by_delta = {row["delta"]: row for row in rows}
+    # delta = 1 is the normalisation point for the cut count.
+    assert np.isclose(by_delta[1.0]["normalized_cuts"], 1.0)
+    # Larger delta never increases the cut count and never decreases #MS.
+    assert by_delta[0.2]["normalized_cuts"] >= by_delta[1.0]["normalized_cuts"] - 1e-9
+    assert by_delta[0.2]["normalized_MS"] <= by_delta[1.0]["normalized_MS"] + 1e-9

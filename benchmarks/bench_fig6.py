@@ -1,0 +1,50 @@
+"""Figure 6 — post-processing overhead (#FP operations) vs number of cuts.
+
+Regenerates the six curves of Figure 6 from the analytic overhead models: FRP_32,
+FRP_48 (hybrid full-state reconstruction), ARP_2, ARP_4 (approximate reconstruction
+over 2 / 4 subcircuits), FRE (expectation-value reconstruction) and the FSS
+full-state-simulation threshold.  The assertions encode the crossover claims the
+paper makes in Section 6.6.1.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import postprocessing_speedup, reconstruction_overhead_curves
+
+from harness import publish, run_once
+
+CUT_COUNTS = list(range(1, 50, 4))
+
+
+def generate_fig6_rows() -> List[Dict[str, object]]:
+    curves = reconstruction_overhead_curves(CUT_COUNTS)
+    rows = []
+    for position, cuts in enumerate(CUT_COUNTS):
+        row: Dict[str, object] = {"cuts": cuts}
+        for name, values in curves.items():
+            row[f"log2FP_{name}"] = round(values[position], 1)
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_reconstruction_overhead(benchmark):
+    rows = run_once(benchmark, generate_fig6_rows)
+    publish("fig6", "Figure 6: post-processing #FP (log2) vs number of cuts", rows)
+
+    threshold = rows[0]["log2FP_FSS"]
+
+    def tolerated(column: str) -> int:
+        passing = [row["cuts"] for row in rows if row[column] <= threshold]
+        return max(passing) if passing else 0
+
+    # Section 6.6.1: at N=48 FRE tolerates ~40 cuts where FRP only tolerates ~16.
+    assert tolerated("log2FP_FRE") >= 2 * tolerated("log2FP_FRP_48")
+    assert tolerated("log2FP_ARP_4") >= tolerated("log2FP_ARP_2") >= tolerated("log2FP_FRP_48")
+    # The REG(40, 27) example: 21 -> 16.29 effective cuts is a ~685x speedup.
+    assert 600 < postprocessing_speedup(21, 16.29) < 800

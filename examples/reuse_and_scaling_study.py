@@ -1,0 +1,64 @@
+"""Qubit reuse in isolation, and how cut counts scale with the N/D ratio.
+
+Two smaller studies bundled into one script:
+
+1. **Qubit reuse without cutting** (the CaQR-style pass of Section 2.4): circuits
+   whose qubits start sequentially can be squeezed onto far fewer wires, while
+   all-to-all circuits such as the QFT admit no reuse at all — the paper's motivation
+   for integrating reuse *with* cutting.
+2. **Scalability** (Figure 7 flavour): the number of cuts QRCC needs grows with the
+   N/D ratio, and faster for denser interaction graphs.
+
+Run with:  python examples/reuse_and_scaling_study.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import nd_ratio_sweep
+from repro.circuits import Circuit
+from repro.reuse import apply_qubit_reuse
+from repro.workloads import qft_circuit, two_local_ansatz
+
+
+def ghz_chain(num_qubits: int) -> Circuit:
+    circuit = Circuit(num_qubits, f"ghz_chain_{num_qubits}")
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+def reuse_study() -> None:
+    print("=== qubit reuse without cutting ===")
+    for circuit in (ghz_chain(8), two_local_ansatz(8, layers=1), qft_circuit(8)):
+        result = apply_qubit_reuse(circuit)
+        print(
+            f"{circuit.name:<22} width {circuit.num_qubits} -> {result.width:>2} "
+            f"({result.num_reuses} reuse(s))"
+        )
+    print()
+
+
+def scaling_study() -> None:
+    print("=== cuts vs N/D ratio (REG m=3 QAOA, greedy cutter) ===")
+    header = f"{'N':>4} {'D':>4} {'N/D':>5} {'wire cuts':>10} {'gate cuts':>10}"
+    print(header)
+    for num_qubits in (16, 24, 32):
+        for point in nd_ratio_sweep(
+            "REG", num_qubits, ratios=(1.2, 1.5, 1.8),
+            workload_kwargs={"degree": 3}, force_greedy=True,
+        ):
+            print(
+                f"{point.num_qubits:>4} {point.device_size:>4} {point.nd_ratio:>5.2f} "
+                f"{str(point.num_wire_cuts):>10} {str(point.num_gate_cuts):>10}"
+            )
+        print()
+
+
+def main() -> None:
+    reuse_study()
+    scaling_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""QRCC reproduction: integrated qubit reuse and circuit cutting.
+
+This package reproduces *QRCC: Evaluating Large Quantum Circuits on Small Quantum
+Computers through Integrated Qubit Reuse and Circuit Cutting* (ASPLOS 2024) as a
+pure-Python library.  The high-level entry points are:
+
+>>> from repro import CutConfig, cut_circuit, evaluate_workload
+>>> from repro.workloads import make_workload
+>>> workload = make_workload("REG", 8)
+>>> config = CutConfig(device_size=5, enable_gate_cuts=True)
+>>> result = evaluate_workload(workload, config)
+>>> result.plan.num_cuts, round(result.expectation_error, 9)
+
+Subpackages:
+
+* :mod:`repro.circuits` — circuit IR (gates, circuits, DAG, transforms),
+* :mod:`repro.simulator` — exact statevector / dynamic simulation, shots, noise,
+* :mod:`repro.ilp` — ILP modelling DSL + HiGHS backend,
+* :mod:`repro.workloads` — the paper's benchmark circuit generators,
+* :mod:`repro.reuse` — CaQR-style qubit-reuse analysis and scheduling,
+* :mod:`repro.cutting` — wire/gate cutting, subcircuit extraction, reconstruction,
+* :mod:`repro.core` — the QRCC ILP formulation, pipeline and baselines,
+* :mod:`repro.analysis` — overhead models and scalability studies.
+"""
+
+from .core import (
+    CutConfig,
+    CutPlan,
+    EvaluationResult,
+    QRCC_B,
+    QRCC_C,
+    cut_circuit,
+    cut_circuit_cutqc,
+    evaluate_workload,
+)
+from .exceptions import (
+    CircuitError,
+    CuttingError,
+    InfeasibleError,
+    ModelError,
+    ReconstructionError,
+    ReproError,
+    SearchTimeoutError,
+    SimulationError,
+    SolverError,
+    WorkloadError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CircuitError",
+    "CutConfig",
+    "CutPlan",
+    "CuttingError",
+    "EvaluationResult",
+    "InfeasibleError",
+    "ModelError",
+    "QRCC_B",
+    "QRCC_C",
+    "ReconstructionError",
+    "ReproError",
+    "SearchTimeoutError",
+    "SimulationError",
+    "SolverError",
+    "WorkloadError",
+    "__version__",
+    "cut_circuit",
+    "cut_circuit_cutqc",
+    "evaluate_workload",
+]

@@ -1,0 +1,33 @@
+"""Evaluation analysis: overhead models, scalability sweeps, accuracy metrics."""
+
+from ..cutting.overhead import (
+    arp_operations,
+    fre_operations,
+    frp_operations,
+    full_state_simulation_threshold,
+    postprocessing_speedup,
+    reconstruction_overhead_curves,
+)
+from .metrics import (
+    ComparisonRow,
+    cut_reduction,
+    expectation_accuracy,
+    summarize_reductions,
+)
+from .scaling import ScalingPoint, connectivity_sweep, nd_ratio_sweep
+
+__all__ = [
+    "ComparisonRow",
+    "ScalingPoint",
+    "arp_operations",
+    "connectivity_sweep",
+    "cut_reduction",
+    "expectation_accuracy",
+    "fre_operations",
+    "frp_operations",
+    "full_state_simulation_threshold",
+    "nd_ratio_sweep",
+    "postprocessing_speedup",
+    "reconstruction_overhead_curves",
+    "summarize_reductions",
+]

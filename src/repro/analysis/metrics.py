@@ -1,0 +1,65 @@
+"""Accuracy and comparison metrics used across the evaluation (Tables 1-3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ReproError
+from ..utils.linalg import fidelity_of_distributions, total_variation_distance
+
+__all__ = [
+    "expectation_accuracy",
+    "cut_reduction",
+    "ComparisonRow",
+    "summarize_reductions",
+]
+
+
+def expectation_accuracy(value: float, reference: float) -> float:
+    """The Table 3 accuracy metric: ``1 - |value - reference| / |reference|`` (clipped at 0)."""
+    if abs(reference) < 1e-12:
+        return 1.0 if abs(value - reference) < 1e-12 else 0.0
+    return max(0.0, 1.0 - abs(value - reference) / abs(reference))
+
+
+def cut_reduction(baseline_cuts: float, qrcc_cuts: float) -> Optional[float]:
+    """Fractional reduction in cuts of QRCC over the baseline (None when baseline failed)."""
+    if baseline_cuts is None or baseline_cuts <= 0:
+        return None
+    return (baseline_cuts - qrcc_cuts) / baseline_cuts
+
+
+@dataclass
+class ComparisonRow:
+    """One benchmark row comparing the baseline against QRCC variants."""
+
+    benchmark: str
+    num_qubits: int
+    device_size: int
+    baseline_cuts: Optional[float]
+    qrcc_cuts: Optional[float]
+
+    @property
+    def reduction(self) -> Optional[float]:
+        if self.baseline_cuts is None or self.qrcc_cuts is None:
+            return None
+        return cut_reduction(self.baseline_cuts, self.qrcc_cuts)
+
+
+def summarize_reductions(rows: Sequence[ComparisonRow]) -> Dict[str, float]:
+    """Average cut reduction over the rows where both schemes found a solution.
+
+    This is how the paper computes its headline "29% fewer cuts on average" number:
+    rows where the baseline reports *no solution* are excluded from the average.
+    """
+    reductions = [row.reduction for row in rows if row.reduction is not None]
+    solved_baseline = sum(1 for row in rows if row.baseline_cuts is not None)
+    return {
+        "rows": float(len(rows)),
+        "rows_with_baseline_solution": float(solved_baseline),
+        "average_reduction": float(np.mean(reductions)) if reductions else float("nan"),
+        "median_reduction": float(np.median(reductions)) if reductions else float("nan"),
+    }

@@ -1,0 +1,121 @@
+"""Scalability studies (Section 6.6.2/6.6.3: Figure 7 and Table 5).
+
+These helpers sweep the N/D ratio and the circuit connectivity for the graph-based
+expectation workloads and report the number of cuts the cutter needs, using the exact
+ILP when the model is small enough and the greedy heuristic beyond that (the same
+switch the pipeline itself makes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import CutConfig, cut_circuit
+from ..exceptions import InfeasibleError
+from ..workloads import Workload, make_workload
+
+__all__ = ["ScalingPoint", "nd_ratio_sweep", "connectivity_sweep"]
+
+
+@dataclass
+class ScalingPoint:
+    """One (workload, N, D) measurement of the cut count."""
+
+    benchmark: str
+    num_qubits: int
+    device_size: int
+    num_wire_cuts: Optional[int]
+    num_gate_cuts: Optional[int]
+    method: str = "ilp"
+
+    @property
+    def nd_ratio(self) -> float:
+        return self.num_qubits / self.device_size
+
+    @property
+    def total_cuts(self) -> Optional[int]:
+        if self.num_wire_cuts is None:
+            return None
+        return self.num_wire_cuts + (self.num_gate_cuts or 0)
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "benchmark": self.benchmark,
+            "N": self.num_qubits,
+            "D": self.device_size,
+            "N/D": round(self.nd_ratio, 2),
+            "wire_cuts": self.num_wire_cuts,
+            "gate_cuts": self.num_gate_cuts,
+            "method": self.method,
+        }
+
+
+def _measure(
+    benchmark: str,
+    num_qubits: int,
+    device_size: int,
+    workload_kwargs: Optional[Dict] = None,
+    force_greedy: bool = False,
+    max_subcircuits: int = 3,
+    time_limit: Optional[float] = 60.0,
+) -> ScalingPoint:
+    workload = make_workload(benchmark, num_qubits, **(workload_kwargs or {}))
+    config = CutConfig(
+        device_size=device_size,
+        max_subcircuits=max_subcircuits,
+        enable_gate_cuts=workload.allows_gate_cutting,
+        time_limit=time_limit,
+    )
+    try:
+        plan = cut_circuit(workload.circuit, config, force_greedy=force_greedy)
+    except InfeasibleError:
+        return ScalingPoint(benchmark, num_qubits, device_size, None, None, "infeasible")
+    return ScalingPoint(
+        benchmark,
+        num_qubits,
+        device_size,
+        plan.num_wire_cuts,
+        plan.num_gate_cuts,
+        plan.method,
+    )
+
+
+def nd_ratio_sweep(
+    benchmark: str,
+    num_qubits: int,
+    ratios: Sequence[float] = (1.2, 1.4, 1.6, 1.8),
+    workload_kwargs: Optional[Dict] = None,
+    force_greedy: bool = False,
+) -> List[ScalingPoint]:
+    """Figure 7: cut counts as the N/D ratio grows for one circuit size."""
+    points = []
+    for ratio in ratios:
+        device_size = max(2, int(round(num_qubits / ratio)))
+        points.append(
+            _measure(
+                benchmark,
+                num_qubits,
+                device_size,
+                workload_kwargs,
+                force_greedy=force_greedy,
+            )
+        )
+    return points
+
+
+def connectivity_sweep(
+    configurations: Sequence[Tuple[str, int, int, Dict]],
+    force_greedy: bool = True,
+) -> List[ScalingPoint]:
+    """Table 5: cut counts as the circuit connectivity (graph density) grows.
+
+    ``configurations`` is a list of ``(benchmark, N, D, workload kwargs)`` tuples,
+    e.g. ``("REG", 60, 40, {"degree": 3})`` then ``{"degree": 4}``.
+    """
+    return [
+        _measure(benchmark, num_qubits, device_size, kwargs, force_greedy=force_greedy)
+        for benchmark, num_qubits, device_size, kwargs in configurations
+    ]

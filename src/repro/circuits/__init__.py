@@ -1,0 +1,48 @@
+"""Quantum-circuit intermediate representation (gates, circuits, DAG, transforms)."""
+
+from .circuit import Circuit
+from .dag import CircuitDag, DagNode, WireSegment
+from .gates import (
+    GATE_SPECS,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Operation,
+    gate_matrix,
+    identity,
+    measure,
+    operation,
+    reset,
+)
+from .text import from_text, to_text
+from .transforms import (
+    DEFAULT_BASIS,
+    count_basis_two_qubit_gates,
+    decompose_to_basis,
+    insert_identity_padding,
+    remove_adjacent_inverse_pairs,
+    route_to_coupling_map,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitDag",
+    "DagNode",
+    "WireSegment",
+    "GATE_SPECS",
+    "SINGLE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "DEFAULT_BASIS",
+    "Operation",
+    "count_basis_two_qubit_gates",
+    "decompose_to_basis",
+    "from_text",
+    "gate_matrix",
+    "identity",
+    "insert_identity_padding",
+    "measure",
+    "operation",
+    "remove_adjacent_inverse_pairs",
+    "reset",
+    "route_to_coupling_map",
+    "to_text",
+]

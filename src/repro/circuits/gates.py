@@ -1,0 +1,318 @@
+"""Gate library for the circuit IR.
+
+The IR distinguishes three kinds of operations:
+
+* **unitary gates** — single- and two-qubit unitaries with an explicit matrix,
+* **non-unitary operations** — ``measure`` and ``reset`` (used by dynamic circuits,
+  qubit reuse, wire-cut variants and gate-cut instances),
+* **structural operations** — ``identity`` padding gates and ``cut-markers`` used by
+  the QR-aware DAG (Section 4.1 of the paper).
+
+Gates are light-weight frozen dataclasses; the matrix of a parameterised gate is
+computed on demand from its parameters so circuits stay cheap to copy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import CircuitError
+
+__all__ = [
+    "GateSpec",
+    "Operation",
+    "GATE_SPECS",
+    "SINGLE_QUBIT_GATES",
+    "TWO_QUBIT_GATES",
+    "gate_matrix",
+    "operation",
+    "measure",
+    "reset",
+    "identity",
+]
+
+_SQRT2 = 1.0 / math.sqrt(2.0)
+
+
+def _no_param(matrix: np.ndarray) -> Callable[[Tuple[float, ...]], np.ndarray]:
+    def build(params: Tuple[float, ...]) -> np.ndarray:
+        if params:
+            raise CircuitError("gate takes no parameters")
+        return matrix
+
+    return build
+
+
+def _rx(params: Tuple[float, ...]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -1.0j * s], [-1.0j * s, c]], dtype=complex)
+
+
+def _ry(params: Tuple[float, ...]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array([[c, -s], [s, c]], dtype=complex)
+
+
+def _rz(params: Tuple[float, ...]) -> np.ndarray:
+    (theta,) = params
+    return np.array(
+        [[np.exp(-0.5j * theta), 0.0], [0.0, np.exp(0.5j * theta)]], dtype=complex
+    )
+
+
+def _phase(params: Tuple[float, ...]) -> np.ndarray:
+    (lam,) = params
+    return np.array([[1.0, 0.0], [0.0, np.exp(1.0j * lam)]], dtype=complex)
+
+
+def _u3(params: Tuple[float, ...]) -> np.ndarray:
+    theta, phi, lam = params
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    return np.array(
+        [
+            [c, -np.exp(1.0j * lam) * s],
+            [np.exp(1.0j * phi) * s, np.exp(1.0j * (phi + lam)) * c],
+        ],
+        dtype=complex,
+    )
+
+
+def _rzz(params: Tuple[float, ...]) -> np.ndarray:
+    (theta,) = params
+    phase_same = np.exp(-0.5j * theta)
+    phase_diff = np.exp(0.5j * theta)
+    return np.diag([phase_same, phase_diff, phase_diff, phase_same]).astype(complex)
+
+
+def _rxx(params: Tuple[float, ...]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    matrix = np.eye(4, dtype=complex) * c
+    matrix[0, 3] = matrix[3, 0] = -1.0j * s
+    matrix[1, 2] = matrix[2, 1] = -1.0j * s
+    return matrix
+
+
+def _ryy(params: Tuple[float, ...]) -> np.ndarray:
+    (theta,) = params
+    c, s = math.cos(theta / 2.0), math.sin(theta / 2.0)
+    matrix = np.eye(4, dtype=complex) * c
+    matrix[0, 3] = matrix[3, 0] = 1.0j * s
+    matrix[1, 2] = matrix[2, 1] = -1.0j * s
+    return matrix
+
+
+def _cp(params: Tuple[float, ...]) -> np.ndarray:
+    (lam,) = params
+    return np.diag([1.0, 1.0, 1.0, np.exp(1.0j * lam)]).astype(complex)
+
+
+def _crz(params: Tuple[float, ...]) -> np.ndarray:
+    # First operand (least significant bit) is the control: rotate the target (second
+    # operand) only when the control bit is 1.
+    (theta,) = params
+    return np.diag(
+        [1.0, np.exp(-0.5j * theta), 1.0, np.exp(0.5j * theta)]
+    ).astype(complex)
+
+
+_H = np.array([[_SQRT2, _SQRT2], [_SQRT2, -_SQRT2]], dtype=complex)
+_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+_S = np.diag([1.0, 1.0j]).astype(complex)
+_SDG = np.diag([1.0, -1.0j]).astype(complex)
+_T = np.diag([1.0, np.exp(0.25j * math.pi)]).astype(complex)
+_TDG = np.diag([1.0, np.exp(-0.25j * math.pi)]).astype(complex)
+_SX = 0.5 * np.array([[1.0 + 1.0j, 1.0 - 1.0j], [1.0 - 1.0j, 1.0 + 1.0j]], dtype=complex)
+_ID = np.eye(2, dtype=complex)
+
+# Two-qubit basis ordering: the *first* operand qubit is the least-significant bit of
+# the basis index (matches the statevector simulator convention).
+_CX = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 0, 1],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+    ],
+    dtype=complex,
+)
+_CZ = np.diag([1.0, 1.0, 1.0, -1.0]).astype(complex)
+_SWAP = np.array(
+    [
+        [1, 0, 0, 0],
+        [0, 0, 1, 0],
+        [0, 1, 0, 0],
+        [0, 0, 0, 1],
+    ],
+    dtype=complex,
+)
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Static description of a gate type.
+
+    Attributes:
+        name: canonical lower-case gate name.
+        num_qubits: operand count (1 or 2).
+        num_params: number of float parameters.
+        builder: callable mapping the parameter tuple to the unitary matrix.
+        self_inverse: whether the gate squared is the identity (used by tests).
+    """
+
+    name: str
+    num_qubits: int
+    num_params: int
+    builder: Callable[[Tuple[float, ...]], np.ndarray]
+    self_inverse: bool = False
+
+
+GATE_SPECS: Dict[str, GateSpec] = {
+    "id": GateSpec("id", 1, 0, _no_param(_ID), self_inverse=True),
+    "x": GateSpec("x", 1, 0, _no_param(_X), self_inverse=True),
+    "y": GateSpec("y", 1, 0, _no_param(_Y), self_inverse=True),
+    "z": GateSpec("z", 1, 0, _no_param(_Z), self_inverse=True),
+    "h": GateSpec("h", 1, 0, _no_param(_H), self_inverse=True),
+    "s": GateSpec("s", 1, 0, _no_param(_S)),
+    "sdg": GateSpec("sdg", 1, 0, _no_param(_SDG)),
+    "t": GateSpec("t", 1, 0, _no_param(_T)),
+    "tdg": GateSpec("tdg", 1, 0, _no_param(_TDG)),
+    "sx": GateSpec("sx", 1, 0, _no_param(_SX)),
+    "rx": GateSpec("rx", 1, 1, _rx),
+    "ry": GateSpec("ry", 1, 1, _ry),
+    "rz": GateSpec("rz", 1, 1, _rz),
+    "p": GateSpec("p", 1, 1, _phase),
+    "u3": GateSpec("u3", 1, 3, _u3),
+    "cx": GateSpec("cx", 2, 0, _no_param(_CX), self_inverse=True),
+    "cz": GateSpec("cz", 2, 0, _no_param(_CZ), self_inverse=True),
+    "swap": GateSpec("swap", 2, 0, _no_param(_SWAP), self_inverse=True),
+    "cp": GateSpec("cp", 2, 1, _cp),
+    "crz": GateSpec("crz", 2, 1, _crz),
+    "rzz": GateSpec("rzz", 2, 1, _rzz),
+    "rxx": GateSpec("rxx", 2, 1, _rxx),
+    "ryy": GateSpec("ryy", 2, 1, _ryy),
+}
+
+SINGLE_QUBIT_GATES = frozenset(n for n, s in GATE_SPECS.items() if s.num_qubits == 1)
+TWO_QUBIT_GATES = frozenset(n for n, s in GATE_SPECS.items() if s.num_qubits == 2)
+
+#: Names of non-unitary operations recognised by the IR.
+NON_UNITARY_OPS = frozenset({"measure", "reset"})
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation applied to a tuple of qubits.
+
+    ``name`` is either a key of :data:`GATE_SPECS`, ``"measure"`` or ``"reset"``.
+    ``params`` holds gate angles.  ``tag`` is an optional free-form annotation used by
+    the cutting engine to track cut-related operations (e.g. ``"cut_measure:3"``).
+    """
+
+    name: str
+    qubits: Tuple[int, ...]
+    params: Tuple[float, ...] = field(default_factory=tuple)
+    tag: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.name in GATE_SPECS:
+            spec = GATE_SPECS[self.name]
+            if len(self.qubits) != spec.num_qubits:
+                raise CircuitError(
+                    f"gate {self.name!r} expects {spec.num_qubits} qubit(s), "
+                    f"got {len(self.qubits)}"
+                )
+            if len(self.params) != spec.num_params:
+                raise CircuitError(
+                    f"gate {self.name!r} expects {spec.num_params} parameter(s), "
+                    f"got {len(self.params)}"
+                )
+        elif self.name in NON_UNITARY_OPS:
+            if len(self.qubits) != 1:
+                raise CircuitError(f"{self.name} acts on exactly one qubit")
+        else:
+            raise CircuitError(f"unknown operation {self.name!r}")
+        if len(set(self.qubits)) != len(self.qubits):
+            raise CircuitError(f"duplicate qubits in operation {self.name!r}: {self.qubits}")
+
+    @property
+    def is_unitary(self) -> bool:
+        return self.name in GATE_SPECS
+
+    @property
+    def is_measurement(self) -> bool:
+        return self.name == "measure"
+
+    @property
+    def is_reset(self) -> bool:
+        return self.name == "reset"
+
+    @property
+    def is_identity(self) -> bool:
+        return self.name == "id"
+
+    @property
+    def is_two_qubit(self) -> bool:
+        return self.is_unitary and GATE_SPECS[self.name].num_qubits == 2
+
+    @property
+    def is_single_qubit_unitary(self) -> bool:
+        return self.is_unitary and GATE_SPECS[self.name].num_qubits == 1
+
+    def matrix(self) -> np.ndarray:
+        """Return the unitary matrix of this operation (raises for measure/reset)."""
+        if not self.is_unitary:
+            raise CircuitError(f"operation {self.name!r} has no unitary matrix")
+        return GATE_SPECS[self.name].builder(self.params)
+
+    def remapped(self, mapping: Dict[int, int]) -> "Operation":
+        """Return a copy acting on ``mapping[q]`` for each operand qubit ``q``."""
+        return Operation(self.name, tuple(mapping[q] for q in self.qubits), self.params, self.tag)
+
+    def with_tag(self, tag: Optional[str]) -> "Operation":
+        return Operation(self.name, self.qubits, self.params, tag)
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        params = ", ".join(f"{p:.4g}" for p in self.params)
+        body = f"{self.name}({params})" if params else self.name
+        return f"{body} {list(self.qubits)}"
+
+
+def gate_matrix(name: str, params: Sequence[float] = ()) -> np.ndarray:
+    """Return the unitary matrix for gate ``name`` with ``params``."""
+    if name not in GATE_SPECS:
+        raise CircuitError(f"unknown gate {name!r}")
+    spec = GATE_SPECS[name]
+    if len(params) != spec.num_params:
+        raise CircuitError(
+            f"gate {name!r} expects {spec.num_params} parameter(s), got {len(params)}"
+        )
+    return spec.builder(tuple(float(p) for p in params))
+
+
+def operation(name: str, qubits: Sequence[int], params: Sequence[float] = ()) -> Operation:
+    """Convenience constructor for :class:`Operation`."""
+    return Operation(name, tuple(int(q) for q in qubits), tuple(float(p) for p in params))
+
+
+def measure(qubit: int, tag: Optional[str] = None) -> Operation:
+    """A mid-circuit (or terminal) computational-basis measurement."""
+    return Operation("measure", (int(qubit),), (), tag)
+
+
+def reset(qubit: int, tag: Optional[str] = None) -> Operation:
+    """Reset a qubit to ``|0>`` (used by qubit reuse)."""
+    return Operation("reset", (int(qubit),), (), tag)
+
+
+def identity(qubit: int, tag: Optional[str] = None) -> Operation:
+    """An explicit identity gate (QR-aware DAG padding)."""
+    return Operation("id", (int(qubit),), (), tag)

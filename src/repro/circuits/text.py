@@ -1,0 +1,81 @@
+"""Plain-text serialisation of circuits.
+
+The format is intentionally simple (one operation per line) so cut solutions and
+subcircuits can be dumped next to benchmark results and diffed by humans:
+
+.. code-block:: text
+
+    qubits 3
+    h 0
+    cx 0 1
+    rzz(0.5) 1 2
+    measure 2
+
+It round-trips every operation the IR supports and is used by the benchmark
+harnesses to archive the subcircuits each experiment executed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+from ..exceptions import CircuitError
+from .circuit import Circuit
+
+__all__ = ["to_text", "from_text"]
+
+_LINE_RE = re.compile(
+    r"^(?P<name>[a-z_][a-z0-9_]*)"
+    r"(?:\((?P<params>[^)]*)\))?"
+    r"\s+(?P<qubits>[0-9 ]+)"
+    r"(?:\s*#\s*(?P<tag>.*))?$"
+)
+
+
+def to_text(circuit: Circuit) -> str:
+    """Serialise ``circuit`` to the plain-text format."""
+    lines: List[str] = [f"qubits {circuit.num_qubits}"]
+    for op in circuit:
+        if op.params:
+            params = ",".join(repr(float(p)) for p in op.params)
+            head = f"{op.name}({params})"
+        else:
+            head = op.name
+        qubits = " ".join(str(q) for q in op.qubits)
+        line = f"{head} {qubits}"
+        if op.tag:
+            line += f"  # {op.tag}"
+        lines.append(line)
+    return "\n".join(lines) + "\n"
+
+
+def from_text(text: str) -> Circuit:
+    """Parse a circuit from the plain-text format produced by :func:`to_text`."""
+    lines = [line.strip() for line in text.splitlines()]
+    lines = [line for line in lines if line and not line.startswith("//")]
+    if not lines or not lines[0].startswith("qubits "):
+        raise CircuitError("circuit text must start with a 'qubits N' line")
+    try:
+        num_qubits = int(lines[0].split()[1])
+    except (IndexError, ValueError) as exc:
+        raise CircuitError(f"malformed qubits line: {lines[0]!r}") from exc
+    circuit = Circuit(num_qubits)
+    for line in lines[1:]:
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise CircuitError(f"malformed circuit line: {line!r}")
+        name = match.group("name")
+        params_text = match.group("params")
+        params = []
+        if params_text:
+            params = [float(p) for p in params_text.split(",") if p.strip()]
+        qubits = [int(q) for q in match.group("qubits").split()]
+        tag = match.group("tag")
+        if name == "measure":
+            circuit.measure(qubits[0], tag=tag)
+        elif name == "reset":
+            circuit.reset(qubits[0], tag=tag)
+        else:
+            circuit.add(name, qubits, params)
+    return circuit

@@ -1,0 +1,34 @@
+"""QRCC core: QR-aware DAG, ILP formulation, pipeline, baselines."""
+
+from .config import QRCC_B, QRCC_C, CutConfig
+from .formulation import CuttingFormulation, FormulationStatistics
+from .greedy import GreedyCutter, partition_qubits
+from .pipeline import (
+    CutPlan,
+    EvaluationResult,
+    cut_circuit,
+    cut_circuit_cutqc,
+    evaluate_workload,
+)
+from .qr_dag import PaddedOperation, QRAwareDag
+from .sequential import SequentialResult, sequential_cutqc_then_reuse, sequential_sweep
+
+__all__ = [
+    "CutConfig",
+    "CutPlan",
+    "CuttingFormulation",
+    "EvaluationResult",
+    "FormulationStatistics",
+    "GreedyCutter",
+    "PaddedOperation",
+    "QRAwareDag",
+    "QRCC_B",
+    "QRCC_C",
+    "SequentialResult",
+    "cut_circuit",
+    "cut_circuit_cutqc",
+    "evaluate_workload",
+    "partition_qubits",
+    "sequential_cutqc_then_reuse",
+    "sequential_sweep",
+]

@@ -1,0 +1,230 @@
+"""End-to-end QRCC pipeline (Section 4): cut, execute, reconstruct, compare.
+
+This is the main public entry point of the library:
+
+* :func:`cut_circuit` — build the QR-aware DAG, formulate and solve the ILP (or the
+  greedy heuristic for very large circuits), and return a :class:`CutPlan` with the
+  paper's reporting metrics (#SC, #cuts, #MS, effective cuts, width, solve time),
+* :func:`evaluate_workload` — additionally execute every subcircuit variant and
+  reconstruct the original output (probability vector or expectation value),
+* :func:`cut_circuit_cutqc` — the CutQC baseline: wire cuts only, no qubit reuse,
+  one extra initialisation qubit per incoming cut.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..cutting import (
+    CutReconstructor,
+    CutSolution,
+    ExactExecutor,
+    SubcircuitSpec,
+    VariantExecutor,
+    effective_wire_cuts,
+    extract_subcircuits,
+    postprocessing_cost,
+)
+from ..exceptions import CuttingError, InfeasibleError
+from ..simulator import simulate_statevector
+from ..utils.pauli import PauliObservable
+from ..workloads import Workload, WorkloadKind
+from .config import CutConfig
+from .formulation import CuttingFormulation
+from .greedy import GreedyCutter
+
+__all__ = ["CutPlan", "EvaluationResult", "cut_circuit", "cut_circuit_cutqc", "evaluate_workload"]
+
+#: Above this padded-operation count the exact ILP is replaced by the greedy cutter
+#: unless the caller explicitly forces the ILP.
+DEFAULT_ILP_SIZE_LIMIT = 4000
+
+
+@dataclass
+class CutPlan:
+    """A cutting decision plus the metrics every table in the paper reports."""
+
+    circuit: Circuit
+    config: CutConfig
+    solution: CutSolution
+    subcircuits: List[SubcircuitSpec]
+    solve_time: float
+    method: str
+
+    @property
+    def num_subcircuits(self) -> int:
+        """#SC: subcircuits actually used by the solution."""
+        return self.solution.num_subcircuits
+
+    @property
+    def num_wire_cuts(self) -> int:
+        return self.solution.num_wire_cuts
+
+    @property
+    def num_gate_cuts(self) -> int:
+        return self.solution.num_gate_cuts
+
+    @property
+    def num_cuts(self) -> int:
+        return self.solution.num_cuts
+
+    @property
+    def effective_cuts(self) -> float:
+        """#EffCuts: wire-cut-equivalent cut count (Table 2)."""
+        return effective_wire_cuts(self.num_wire_cuts, self.num_gate_cuts)
+
+    @property
+    def max_two_qubit_gates(self) -> int:
+        """#MS: two-qubit gates in the largest subcircuit (fidelity proxy)."""
+        return self.solution.max_two_qubit_gates()
+
+    @property
+    def max_width(self) -> int:
+        """Largest subcircuit width (physical qubits after reuse)."""
+        return max((spec.num_wires for spec in self.subcircuits), default=0)
+
+    @property
+    def total_reuses(self) -> int:
+        return sum(spec.num_reuses for spec in self.subcircuits)
+
+    @property
+    def postprocessing_branches(self) -> float:
+        return postprocessing_cost(self.num_wire_cuts, self.num_gate_cuts)
+
+    def row(self) -> Dict[str, object]:
+        """A flat dictionary row for the benchmark tables."""
+        return {
+            "num_subcircuits": self.num_subcircuits,
+            "num_wire_cuts": self.num_wire_cuts,
+            "num_gate_cuts": self.num_gate_cuts,
+            "effective_cuts": round(self.effective_cuts, 2),
+            "max_two_qubit_gates": self.max_two_qubit_gates,
+            "max_width": self.max_width,
+            "reuses": self.total_reuses,
+            "solve_time": round(self.solve_time, 3),
+            "method": self.method,
+        }
+
+
+@dataclass
+class EvaluationResult:
+    """A cut plan together with the reconstructed output and its accuracy."""
+
+    plan: CutPlan
+    expectation_value: Optional[float] = None
+    probabilities: Optional[np.ndarray] = None
+    reference_expectation: Optional[float] = None
+    reference_probabilities: Optional[np.ndarray] = None
+    num_variant_evaluations: int = 0
+
+    @property
+    def expectation_error(self) -> Optional[float]:
+        if self.expectation_value is None or self.reference_expectation is None:
+            return None
+        return abs(self.expectation_value - self.reference_expectation)
+
+    @property
+    def accuracy(self) -> Optional[float]:
+        """The paper's Table 3 accuracy metric: 1 - |error| / |reference|."""
+        if self.expectation_error is None:
+            return None
+        reference = abs(self.reference_expectation)
+        if reference < 1e-12:
+            return 1.0 if self.expectation_error < 1e-12 else 0.0
+        return max(0.0, 1.0 - self.expectation_error / reference)
+
+
+def cut_circuit(
+    circuit: Circuit,
+    config: CutConfig,
+    force_ilp: bool = False,
+    force_greedy: bool = False,
+    enable_reuse_extraction: Optional[bool] = None,
+) -> CutPlan:
+    """Find a cutting solution for ``circuit`` under ``config`` and extract subcircuits.
+
+    The exact ILP is used by default; circuits whose padded representation exceeds
+    :data:`DEFAULT_ILP_SIZE_LIMIT` operations fall back to the greedy heuristic
+    unless ``force_ilp`` is set.  ``InfeasibleError`` propagates when the model is
+    proven infeasible (the paper's *no-solution* entries).
+    """
+    if force_ilp and force_greedy:
+        raise CuttingError("force_ilp and force_greedy are mutually exclusive")
+    start = time.perf_counter()
+    use_reuse = (
+        config.enable_qubit_reuse if enable_reuse_extraction is None else enable_reuse_extraction
+    )
+
+    formulation = CuttingFormulation(circuit, config)
+    padded_size = len(formulation.dag.padded_circuit)
+    use_greedy = force_greedy or (padded_size > DEFAULT_ILP_SIZE_LIMIT and not force_ilp)
+
+    if use_greedy:
+        solution = GreedyCutter(circuit, config).cut()
+        method = "greedy"
+    else:
+        solution = formulation.solve_and_decode()
+        method = "ilp"
+    solve_time = time.perf_counter() - start
+    specs = extract_subcircuits(solution, enable_reuse=use_reuse)
+    return CutPlan(
+        circuit=circuit,
+        config=config,
+        solution=solution,
+        subcircuits=specs,
+        solve_time=solve_time,
+        method=method,
+    )
+
+
+def cut_circuit_cutqc(circuit: Circuit, config: CutConfig, **kwargs) -> CutPlan:
+    """The CutQC baseline: wire cutting only, no qubit reuse, MIP-style width model."""
+    baseline = config.with_(enable_gate_cuts=False, enable_qubit_reuse=False, delta=1.0)
+    return cut_circuit(circuit, baseline, enable_reuse_extraction=False, **kwargs)
+
+
+def evaluate_workload(
+    workload: Workload,
+    config: CutConfig,
+    executor: Optional[VariantExecutor] = None,
+    compute_reference: bool = True,
+    force_ilp: bool = False,
+    force_greedy: bool = False,
+) -> EvaluationResult:
+    """Cut, execute and reconstruct a workload end-to-end.
+
+    Probability workloads reconstruct the full output distribution; expectation
+    workloads reconstruct the observable's expectation value.  ``compute_reference``
+    additionally simulates the uncut circuit (only feasible for small N) so accuracy
+    can be reported.
+    """
+    if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
+        raise CuttingError(
+            "gate cutting cannot be used for probability-vector workloads (Section 2.3.2)"
+        )
+    plan = cut_circuit(
+        workload.circuit, config, force_ilp=force_ilp, force_greedy=force_greedy
+    )
+    reconstructor = CutReconstructor(
+        plan.solution, specs=plan.subcircuits, executor=executor or ExactExecutor()
+    )
+    result = EvaluationResult(plan=plan)
+    if workload.kind == WorkloadKind.EXPECTATION:
+        result.expectation_value = reconstructor.reconstruct_expectation(workload.observable)
+        if compute_reference:
+            result.reference_expectation = simulate_statevector(workload.circuit).expectation(
+                workload.observable
+            )
+    else:
+        result.probabilities = reconstructor.reconstruct_probabilities()
+        if compute_reference:
+            result.reference_probabilities = simulate_statevector(
+                workload.circuit
+            ).probabilities()
+    result.num_variant_evaluations = reconstructor.num_variant_evaluations
+    return result

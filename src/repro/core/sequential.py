@@ -1,0 +1,136 @@
+"""The sequential CutQC-then-CaQR baseline (Section 6.7, Table 6).
+
+The paper asks whether naively composing the two existing tools matches QRCC:
+
+1. run CutQC targeting an intermediate device size ``X`` (``N > X > D``),
+2. apply the CaQR qubit-reuse pass to every resulting subcircuit,
+3. check whether every subcircuit now fits on the real ``D``-qubit device.
+
+QRCC integrates the two decisions inside one ILP and therefore finds solutions the
+sequential composition misses; this module reproduces the sequential composition so
+Table 6 can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..circuits import Circuit
+from ..cutting import extract_subcircuits
+from ..exceptions import InfeasibleError, SearchTimeoutError
+from ..reuse import apply_qubit_reuse
+from ..cutting.variants import VariantBuilder, VariantSettings
+from .config import CutConfig
+from .pipeline import CutPlan, cut_circuit_cutqc
+
+__all__ = ["SequentialResult", "sequential_cutqc_then_reuse", "sequential_sweep"]
+
+
+@dataclass
+class SequentialResult:
+    """Outcome of CutQC at device size ``intermediate_size`` followed by qubit reuse."""
+
+    intermediate_size: int
+    target_size: int
+    num_subcircuits: int
+    num_cuts: int
+    width_before_reuse: int
+    width_after_reuse: int
+    feasible: bool
+    plan: Optional[CutPlan] = None
+
+    def row(self) -> Dict[str, object]:
+        return {
+            "X": self.intermediate_size,
+            "num_subcircuits": self.num_subcircuits,
+            "num_cuts": self.num_cuts,
+            "width_before_reuse": self.width_before_reuse,
+            "width_after_reuse": self.width_after_reuse,
+            "fits_target_device": self.feasible,
+        }
+
+
+def sequential_cutqc_then_reuse(
+    circuit: Circuit,
+    intermediate_size: int,
+    target_size: int,
+    config: Optional[CutConfig] = None,
+) -> SequentialResult:
+    """Run CutQC for an ``intermediate_size``-qubit device, then reuse each subcircuit.
+
+    The reuse step rebuilds every subcircuit as a standalone circuit (with the cut
+    measurements / initialisations in place) and runs the greedy CaQR-style
+    scheduler on it; the reported post-reuse width is the largest over subcircuits.
+    Raises :class:`InfeasibleError` when CutQC itself has no solution at
+    ``intermediate_size``.
+    """
+    base = config or CutConfig(device_size=intermediate_size)
+    base = base.with_(device_size=intermediate_size)
+    plan = cut_circuit_cutqc(circuit, base)
+
+    width_before = 0
+    width_after = 0
+    for spec in plan.subcircuits:
+        width_before = max(width_before, spec.num_wires)
+        builder = VariantBuilder(plan.solution, spec)
+        settings = VariantSettings.build(
+            {cut.identifier(): "Z" for cut in spec.upstream_cuts},
+            {cut.identifier(): "zero" for cut in spec.downstream_cuts},
+            {},
+        )
+        concrete = builder.build(settings, "probability").circuit
+        unitary_only = _strip_dynamic(concrete)
+        reuse = apply_qubit_reuse(unitary_only)
+        width_after = max(width_after, reuse.width)
+
+    return SequentialResult(
+        intermediate_size=intermediate_size,
+        target_size=target_size,
+        num_subcircuits=plan.num_subcircuits,
+        num_cuts=plan.num_cuts,
+        width_before_reuse=width_before,
+        width_after_reuse=width_after,
+        feasible=width_after <= target_size,
+        plan=plan,
+    )
+
+
+def sequential_sweep(
+    circuit: Circuit,
+    target_size: int,
+    intermediate_sizes: Optional[List[int]] = None,
+    config: Optional[CutConfig] = None,
+) -> List[SequentialResult]:
+    """Try every intermediate device size ``X`` in ``(D, N)`` as the paper does in Table 6."""
+    if intermediate_sizes is None:
+        intermediate_sizes = list(range(target_size + 1, circuit.num_qubits))
+    results: List[SequentialResult] = []
+    for size in intermediate_sizes:
+        try:
+            results.append(
+                sequential_cutqc_then_reuse(circuit, size, target_size, config)
+            )
+        except (InfeasibleError, SearchTimeoutError):
+            results.append(
+                SequentialResult(
+                    intermediate_size=size,
+                    target_size=target_size,
+                    num_subcircuits=0,
+                    num_cuts=0,
+                    width_before_reuse=0,
+                    width_after_reuse=0,
+                    feasible=False,
+                    plan=None,
+                )
+            )
+    return results
+
+
+def _strip_dynamic(circuit: Circuit) -> Circuit:
+    """Remove measure/reset so the reuse scheduler sees a purely unitary circuit."""
+    stripped = Circuit(circuit.num_qubits, circuit.name)
+    for op in circuit:
+        if op.is_unitary:
+            stripped.append(op)
+    return stripped

@@ -1,0 +1,67 @@
+"""Circuit-cutting substrate: cut specs, fragments, variants, executors, reconstruction."""
+
+from .cuts import (
+    CutSolution,
+    GateCut,
+    WireCut,
+    effective_wire_cuts,
+    postprocessing_cost,
+)
+from .executors import ExactExecutor, NoisyExecutor, VariantExecutor
+from .fragments import Fragment, FragmentElement, SubcircuitSpec, extract_subcircuits
+from .gate_cut import (
+    CUTTABLE_GATES,
+    NUM_GATE_CUT_INSTANCES,
+    GateCutDecomposition,
+    GateCutInstance,
+    decompose_gate_cut,
+)
+from .overhead import (
+    arp_operations,
+    fre_operations,
+    frp_operations,
+    full_state_simulation_threshold,
+    postprocessing_speedup,
+    reconstruction_overhead_curves,
+)
+from .reconstruction import INIT_STATE_DECOMPOSITION, CutReconstructor
+from .variants import (
+    WIRE_CUT_INIT_LABELS,
+    WIRE_CUT_MEASUREMENT_BASES,
+    SubcircuitVariant,
+    VariantBuilder,
+    VariantSettings,
+)
+
+__all__ = [
+    "CUTTABLE_GATES",
+    "CutReconstructor",
+    "CutSolution",
+    "ExactExecutor",
+    "Fragment",
+    "FragmentElement",
+    "GateCut",
+    "GateCutDecomposition",
+    "GateCutInstance",
+    "INIT_STATE_DECOMPOSITION",
+    "NUM_GATE_CUT_INSTANCES",
+    "NoisyExecutor",
+    "SubcircuitSpec",
+    "SubcircuitVariant",
+    "VariantBuilder",
+    "VariantExecutor",
+    "VariantSettings",
+    "WIRE_CUT_INIT_LABELS",
+    "WIRE_CUT_MEASUREMENT_BASES",
+    "WireCut",
+    "arp_operations",
+    "decompose_gate_cut",
+    "effective_wire_cuts",
+    "extract_subcircuits",
+    "fre_operations",
+    "frp_operations",
+    "full_state_simulation_threshold",
+    "postprocessing_cost",
+    "postprocessing_speedup",
+    "reconstruction_overhead_curves",
+]

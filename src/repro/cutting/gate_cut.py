@@ -1,0 +1,192 @@
+"""Gate cutting: the Mitarai–Fujii virtual two-qubit gate decomposition.
+
+Gate cutting (Section 2.3.2) replaces a two-qubit gate of the form
+``exp(i theta A1 (x) A2)`` (with ``A1^2 = A2^2 = I``) by six *instances*, each of
+which applies only single-qubit operations on the two operand qubits; the original
+expectation value is the coefficient-weighted sum of the instances' expectation
+values (Eq. 4 of the paper):
+
+========  ======================  ======================  ================
+instance  top-qubit action        bottom-qubit action     coefficient
+========  ======================  ======================  ================
+1         nothing                 nothing                 cos^2(theta)
+2         A1                      A2                      sin^2(theta)
+3         signed A1 measurement   exp(+i pi A2 / 4)       +cos sin
+4         signed A1 measurement   exp(-i pi A2 / 4)       -cos sin
+5         exp(+i pi A1 / 4)       signed A2 measurement   +cos sin
+6         exp(-i pi A1 / 4)       signed A2 measurement   -cos sin
+========  ======================  ======================  ================
+
+A *signed measurement* measures the operand in the eigenbasis of ``A`` and
+multiplies the recorded outcome (+1/-1) into the final estimator; the qubit then
+continues (post-measurement state) in its subcircuit.
+
+All gates this repository gate-cuts (``cz``, ``cx``, ``rzz``) are reduced to the
+single primitive ``exp(i theta Z (x) Z)`` plus purely local cleanup gates, so
+``A1 = A2 = Z`` throughout:
+
+* ``rzz(phi) = exp(-i phi/2 Z(x)Z)``  ->  ``theta = -phi/2``, no local cleanup;
+* ``cz = e^{i pi/4} (rz(pi/2) (x) rz(pi/2)) exp(+i pi/4 Z(x)Z)`` -> ``theta = pi/4``
+  with an ``rz(pi/2)`` kept locally on each operand (global phase dropped);
+* ``cx(c, t) = (I (x) H) cz (I (x) H)`` -> the ``cz`` reduction sandwiched between
+  Hadamards on the target.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..circuits import Operation
+from ..exceptions import CuttingError
+
+__all__ = [
+    "GateCutInstanceSide",
+    "GateCutInstance",
+    "GateCutDecomposition",
+    "decompose_gate_cut",
+    "CUTTABLE_GATES",
+    "NUM_GATE_CUT_INSTANCES",
+]
+
+#: Gate names that can be gate-cut.
+CUTTABLE_GATES = frozenset({"cz", "cx", "rzz"})
+
+#: The Mitarai–Fujii decomposition always has six instances.
+NUM_GATE_CUT_INSTANCES = 6
+
+
+@dataclass(frozen=True)
+class GateCutInstanceSide:
+    """What one side (one operand qubit) of a gate-cut instance does.
+
+    Attributes:
+        gates: single-qubit gate names (with params) applied at the cut position.
+        measure: whether this side performs the signed Z-basis measurement.
+    """
+
+    gates: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    measure: bool = False
+
+
+@dataclass(frozen=True)
+class GateCutInstance:
+    """One of the six instances: a coefficient plus a top-side and bottom-side action."""
+
+    index: int
+    coefficient: float
+    top: GateCutInstanceSide
+    bottom: GateCutInstanceSide
+
+
+@dataclass(frozen=True)
+class GateCutDecomposition:
+    """Full decomposition of one two-qubit gate into local cleanup + six instances.
+
+    Attributes:
+        gate_name: the original gate.
+        theta: angle of the virtual ``exp(i theta Z(x)Z)`` factor.
+        top_pre / top_post: local gates applied on the first operand before/after the
+            virtual gate position (these appear in *every* instance).
+        bottom_pre / bottom_post: same for the second operand.
+        instances: the six Mitarai–Fujii instances.
+    """
+
+    gate_name: str
+    theta: float
+    top_pre: Tuple[Tuple[str, Tuple[float, ...]], ...]
+    top_post: Tuple[Tuple[str, Tuple[float, ...]], ...]
+    bottom_pre: Tuple[Tuple[str, Tuple[float, ...]], ...]
+    bottom_post: Tuple[Tuple[str, Tuple[float, ...]], ...]
+    instances: Tuple[GateCutInstance, ...]
+
+    def side_operations(
+        self, side: str, instance: GateCutInstance
+    ) -> Tuple[Tuple[Tuple[str, Tuple[float, ...]], ...], bool, Tuple[Tuple[str, Tuple[float, ...]], ...]]:
+        """Return ``(pre gates, measure?, post gates)`` for ``side`` in ``instance``.
+
+        ``pre gates`` = local cleanup-before + the instance's unitary action;
+        ``post gates`` = local cleanup-after.  When ``measure`` is True the signed
+        measurement happens between the pre and post gates.
+        """
+        if side == "top":
+            action = instance.top
+            return self.top_pre + action.gates, action.measure, self.top_post
+        if side == "bottom":
+            action = instance.bottom
+            return self.bottom_pre + action.gates, action.measure, self.bottom_post
+        raise CuttingError(f"unknown gate-cut side {side!r}")
+
+
+def _zz_instances(theta: float) -> Tuple[GateCutInstance, ...]:
+    """The six instances for the virtual ``exp(i theta Z(x)Z)`` gate."""
+    cos, sin = math.cos(theta), math.sin(theta)
+    plus_rotation = (("rz", (-math.pi / 2.0,)),)   # exp(+i pi Z / 4)
+    minus_rotation = (("rz", (math.pi / 2.0,)),)   # exp(-i pi Z / 4)
+    z_gate = (("z", ()),)
+    nothing = GateCutInstanceSide()
+    return (
+        GateCutInstance(1, cos * cos, nothing, nothing),
+        GateCutInstance(
+            2, sin * sin, GateCutInstanceSide(z_gate), GateCutInstanceSide(z_gate)
+        ),
+        GateCutInstance(
+            3,
+            cos * sin,
+            GateCutInstanceSide(measure=True),
+            GateCutInstanceSide(plus_rotation),
+        ),
+        GateCutInstance(
+            4,
+            -cos * sin,
+            GateCutInstanceSide(measure=True),
+            GateCutInstanceSide(minus_rotation),
+        ),
+        GateCutInstance(
+            5,
+            cos * sin,
+            GateCutInstanceSide(plus_rotation),
+            GateCutInstanceSide(measure=True),
+        ),
+        GateCutInstance(
+            6,
+            -cos * sin,
+            GateCutInstanceSide(minus_rotation),
+            GateCutInstanceSide(measure=True),
+        ),
+    )
+
+
+def decompose_gate_cut(operation: Operation) -> GateCutDecomposition:
+    """Build the gate-cut decomposition for a cuttable two-qubit operation."""
+    if operation.name not in CUTTABLE_GATES:
+        raise CuttingError(
+            f"gate {operation.name!r} cannot be gate-cut; supported: {sorted(CUTTABLE_GATES)}"
+        )
+    none: Tuple[Tuple[str, Tuple[float, ...]], ...] = ()
+    if operation.name == "rzz":
+        (phi,) = operation.params
+        theta = -phi / 2.0
+        return GateCutDecomposition(
+            "rzz", theta, none, none, none, none, _zz_instances(theta)
+        )
+    if operation.name == "cz":
+        theta = math.pi / 4.0
+        local_rz = (("rz", (math.pi / 2.0,)),)
+        return GateCutDecomposition(
+            "cz", theta, local_rz, none, local_rz, none, _zz_instances(theta)
+        )
+    # cx(control, target): H on the target before and after a cz cut.
+    theta = math.pi / 4.0
+    local_rz = (("rz", (math.pi / 2.0,)),)
+    hadamard = (("h", ()),)
+    return GateCutDecomposition(
+        "cx",
+        theta,
+        top_pre=local_rz,
+        top_post=none,
+        bottom_pre=hadamard + local_rz,
+        bottom_post=hadamard,
+        instances=_zz_instances(theta),
+    )

@@ -1,0 +1,112 @@
+"""Analytic post-processing overhead models (Section 6.6, Figure 6).
+
+The models count floating-point operations (#FP) required by different
+reconstruction strategies as a function of the number of cuts:
+
+* **FRP** — hybrid full-state reconstruction of the probability vector: every one of
+  the ``4^cuts`` assignments multiplies two half-size probability vectors into the
+  full ``2^N`` vector, so ``#FP = O(2^N * 4^cuts)``,
+* **FRE** — reconstruction of a single expectation value: each assignment costs a
+  constant number of scalar multiplications, ``#FP = O(4^cuts)``,
+* **ARP-x** — approximate reconstruction keeping only ``2^cap`` amplitudes (the
+  ScaleQC-style truncation) over ``x`` subcircuits combined pairwise, so the
+  exponent depends on the *largest* per-pair cut count rather than the total,
+* **FSS** — the full-state simulation threshold (a dense 34-qubit, 1000-gate
+  simulation, the paper's "too expensive" line).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "full_state_simulation_threshold",
+    "frp_operations",
+    "fre_operations",
+    "arp_operations",
+    "reconstruction_overhead_curves",
+    "postprocessing_speedup",
+]
+
+#: Number of quantum gates assumed for the FSS reference circuit.
+_FSS_GATES = 1000
+#: Number of qubits of the FSS reference circuit.
+_FSS_QUBITS = 34
+
+
+def full_state_simulation_threshold(num_qubits: int = _FSS_QUBITS, num_gates: int = _FSS_GATES) -> float:
+    """#FP of a dense full-state simulation (the paper's ~1e24 threshold at 34q/1000 gates).
+
+    A dense k-qubit gate application touches every amplitude a constant number of
+    times; we charge ``8`` flops per amplitude per gate (complex multiply-add on a
+    two-qubit tensor block), which lands within a factor of two of the paper's 1e24
+    figure for the 34-qubit, 1000-gate reference point.
+    """
+    if num_qubits <= 0 or num_gates <= 0:
+        raise ReproError("num_qubits and num_gates must be positive")
+    return float(num_gates * 8.0 * (4.0**num_qubits))
+
+
+def frp_operations(num_qubits: int, num_cuts: int) -> float:
+    """#FP of hybrid full-state probability reconstruction (FRP_N curves).
+
+    The original qubits are split evenly over two subcircuits; every one of the
+    ``4^cuts`` Kronecker terms costs one multiplication per entry of the full
+    ``2^N`` output vector.
+    """
+    if num_qubits <= 0 or num_cuts < 0:
+        raise ReproError("invalid FRP parameters")
+    return float((2.0**num_qubits) * (4.0**num_cuts))
+
+
+def fre_operations(num_cuts: int, scalars_per_term: int = 2) -> float:
+    """#FP of expectation-value reconstruction (FRE curve): scalar work per term only."""
+    if num_cuts < 0:
+        raise ReproError("num_cuts must be non-negative")
+    return float(scalars_per_term * (4.0**num_cuts))
+
+
+def arp_operations(num_qubits: int, num_cuts: int, num_subcircuits: int = 2, cap_qubits: int = 30) -> float:
+    """#FP of approximate reconstruction (ARP-2 / ARP-4 curves).
+
+    The output space is truncated to ``2^cap_qubits`` amplitudes whenever the circuit
+    is larger than the cap.  With more than two subcircuits the recombination is done
+    pairwise (divide and conquer), so only the largest per-pair cut count enters the
+    exponent.
+    """
+    if num_subcircuits < 2:
+        raise ReproError("ARP needs at least two subcircuits")
+    if num_cuts < 0:
+        raise ReproError("num_cuts must be non-negative")
+    effective_qubits = min(num_qubits, cap_qubits)
+    pairs = num_subcircuits - 1
+    cuts_per_pair = math.ceil(num_cuts / pairs) if num_cuts else 0
+    return float(pairs * (2.0**effective_qubits) * (4.0**cuts_per_pair))
+
+
+def reconstruction_overhead_curves(
+    cut_counts: Sequence[int],
+    frp_qubits: Sequence[int] = (32, 48),
+    arp_subcircuits: Sequence[int] = (2, 4),
+) -> Dict[str, List[float]]:
+    """All Figure 6 curves evaluated on ``cut_counts`` (log2 of #FP, as plotted)."""
+    curves: Dict[str, List[float]] = {}
+    for qubits in frp_qubits:
+        curves[f"FRP_{qubits}"] = [math.log2(frp_operations(qubits, k)) for k in cut_counts]
+    for subcircuits in arp_subcircuits:
+        curves[f"ARP_{subcircuits}"] = [
+            math.log2(arp_operations(48, k, subcircuits)) for k in cut_counts
+        ]
+    curves["FRE"] = [math.log2(fre_operations(k)) for k in cut_counts]
+    threshold = math.log2(full_state_simulation_threshold())
+    curves["FSS"] = [threshold for _ in cut_counts]
+    return curves
+
+
+def postprocessing_speedup(cuts_before: float, cuts_after: float) -> float:
+    """Speedup factor ``4^(cuts_before - cuts_after)`` quoted in Section 6.6.1."""
+    return float(4.0 ** (cuts_before - cuts_after))

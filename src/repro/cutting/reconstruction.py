@@ -1,0 +1,266 @@
+"""Classical post-processing: recombining subcircuit results into the original result.
+
+Two reconstruction modes mirror Section 4.3 of the paper:
+
+* **probability vectors** (wire cuts only): for every assignment of a Pauli basis to
+  every cut, the upstream subcircuit contributes a sign-weighted distribution and the
+  downstream subcircuit contributes an eigenstate-decomposition-weighted
+  distribution; the Kronecker product of the per-subcircuit vectors, summed over all
+  ``4^k`` assignments with a ``1/2`` factor per cut, is the original distribution
+  (Eq. 3),
+* **expectation values** (wire + gate cuts): the same contraction evaluated per
+  Pauli term of the observable, with every gate cut additionally summed over its six
+  Mitarai–Fujii instances weighted by the instance coefficients (Eq. 4 / 19).
+
+The contraction enumerates every subcircuit's *local* setting combinations once and
+caches them, then sums coefficient-weighted products over the global assignments, so
+the exponential cost is ``4^k * 6^m`` scalar work plus
+``prod_S 4^(cuts touching S) * 6^(gate cuts touching S)`` subcircuit evaluations.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ReconstructionError
+from ..utils.pauli import PauliObservable, PauliString
+from .cuts import CutSolution
+from .executors import ExactExecutor, VariantExecutor
+from .fragments import SubcircuitSpec, extract_subcircuits
+from .gate_cut import decompose_gate_cut
+from .variants import (
+    WIRE_CUT_MEASUREMENT_BASES,
+    VariantBuilder,
+    VariantSettings,
+)
+
+__all__ = ["INIT_STATE_DECOMPOSITION", "CutReconstructor"]
+
+#: Decomposition of each measurement-basis operator into initialisation eigenstates:
+#: ``P = sum_s coefficient(s) |s><s|`` (the downstream half of Eq. 3).
+INIT_STATE_DECOMPOSITION: Dict[str, Tuple[Tuple[str, float], ...]] = {
+    "I": (("zero", 1.0), ("one", 1.0)),
+    "Z": (("zero", 1.0), ("one", -1.0)),
+    "X": (("plus", 2.0), ("zero", -1.0), ("one", -1.0)),
+    "Y": (("plus_i", 2.0), ("zero", -1.0), ("one", -1.0)),
+}
+
+
+class CutReconstructor:
+    """Reconstructs the original circuit's output from a cut solution."""
+
+    def __init__(
+        self,
+        solution: CutSolution,
+        specs: Optional[Sequence[SubcircuitSpec]] = None,
+        executor: Optional[VariantExecutor] = None,
+        enable_reuse: bool = True,
+    ) -> None:
+        self.solution = solution
+        self.specs: List[SubcircuitSpec] = list(
+            specs if specs is not None else extract_subcircuits(solution, enable_reuse)
+        )
+        self.executor = executor or ExactExecutor()
+        self._builders: Dict[int, VariantBuilder] = {
+            spec.index: VariantBuilder(solution, spec) for spec in self.specs
+        }
+        self._gate_cut_instances: Dict[int, Tuple[float, ...]] = {}
+        for cut in solution.gate_cuts:
+            decomposition = decompose_gate_cut(solution.circuit.operations[cut.op_index])
+            self._gate_cut_instances[cut.op_index] = tuple(
+                instance.coefficient for instance in decomposition.instances
+            )
+        self._probability_cache: Dict[Tuple, np.ndarray] = {}
+        self._expectation_cache: Dict[Tuple, float] = {}
+
+    # ------------------------------------------------------------------ public API
+    @property
+    def num_variant_evaluations(self) -> int:
+        """Subcircuit circuit executions performed so far (for overhead reporting)."""
+        return self.executor.executions
+
+    def reconstruct_probabilities(self) -> np.ndarray:
+        """Full probability vector of the original circuit (wire cuts only)."""
+        if self.solution.gate_cuts:
+            raise ReconstructionError(
+                "probability vectors cannot be reconstructed after gate cutting; "
+                "gate cuts only support expectation values (Section 2.3.2)"
+            )
+        cuts = list(self.solution.wire_cuts)
+        num_qubits = self.solution.circuit.num_qubits
+        total = np.zeros(2**num_qubits)
+        coefficient_per_assignment = 0.5 ** len(cuts)
+        for bases in itertools.product(WIRE_CUT_MEASUREMENT_BASES, repeat=len(cuts)):
+            assignment = {cut.identifier(): basis for cut, basis in zip(cuts, bases)}
+            vectors, orders = [], []
+            for spec in self.specs:
+                vectors.append(self._effective_distribution(spec, assignment))
+                orders.append(list(spec.output_qubits))
+            combined, order_lsb = _combine_subcircuit_vectors(vectors, orders)
+            _scatter_into(total, combined, order_lsb, coefficient_per_assignment, num_qubits)
+        return total
+
+    def reconstruct_expectation(self, observable: PauliObservable) -> float:
+        """Expectation value of ``observable`` on the original circuit's output."""
+        return float(
+            sum(term.coefficient * self._term_value(term) for term in observable.terms)
+        )
+
+    # ------------------------------------------------------------------ internals
+    def _builder(self, spec: SubcircuitSpec) -> VariantBuilder:
+        return self._builders[spec.index]
+
+    def _restricted_assignment(
+        self, spec: SubcircuitSpec, assignment: Mapping[str, str]
+    ) -> Tuple[Dict[str, str], Dict[str, str]]:
+        upstream = {cut.identifier(): assignment[cut.identifier()] for cut in spec.upstream_cuts}
+        downstream_basis = {
+            cut.identifier(): assignment[cut.identifier()] for cut in spec.downstream_cuts
+        }
+        return upstream, downstream_basis
+
+    def _effective_distribution(
+        self, spec: SubcircuitSpec, assignment: Mapping[str, str]
+    ) -> np.ndarray:
+        """Downstream-decomposition-weighted quasi-distribution for one subcircuit."""
+        upstream, downstream_basis = self._restricted_assignment(spec, assignment)
+        cache_key = (
+            spec.index,
+            tuple(sorted(upstream.items())),
+            tuple(sorted(downstream_basis.items())),
+        )
+        cached = self._probability_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        builder = self._builder(spec)
+        identifiers = [cut.identifier() for cut in spec.downstream_cuts]
+        total = np.zeros(2 ** len(spec.output_qubits))
+        for choice in itertools.product(
+            *[INIT_STATE_DECOMPOSITION[downstream_basis[i]] for i in identifiers]
+        ) if identifiers else [()]:
+            labels = {i: label for i, (label, _) in zip(identifiers, choice)}
+            weight = 1.0
+            for _, coefficient in choice:
+                weight *= coefficient
+            settings = VariantSettings.build(upstream, labels, {})
+            variant = builder.build(settings, "probability")
+            total = total + weight * self.executor.quasi_distribution(variant)
+        self._probability_cache[cache_key] = total
+        return total
+
+    def _term_value(self, term: PauliString) -> float:
+        inactive_factor = self._inactive_qubit_factor(term)
+        if inactive_factor == 0.0:
+            return 0.0
+        wire_cuts = list(self.solution.wire_cuts)
+        gate_cuts = list(self.solution.gate_cuts)
+        value = 0.0
+        base_coefficient = 0.5 ** len(wire_cuts)
+        for bases in itertools.product(WIRE_CUT_MEASUREMENT_BASES, repeat=len(wire_cuts)):
+            assignment = {cut.identifier(): basis for cut, basis in zip(wire_cuts, bases)}
+            for instances in itertools.product(
+                range(1, 7), repeat=len(gate_cuts)
+            ) if gate_cuts else [()]:
+                instance_map = {
+                    cut.op_index: instance for cut, instance in zip(gate_cuts, instances)
+                }
+                coefficient = base_coefficient
+                for cut, instance in zip(gate_cuts, instances):
+                    coefficient *= self._gate_cut_instances[cut.op_index][instance - 1]
+                if coefficient == 0.0:
+                    continue
+                product = 1.0
+                for spec in self.specs:
+                    product *= self._effective_expectation(spec, term, assignment, instance_map)
+                    if product == 0.0:
+                        break
+                value += coefficient * product
+        return value * inactive_factor
+
+    def _effective_expectation(
+        self,
+        spec: SubcircuitSpec,
+        term: PauliString,
+        assignment: Mapping[str, str],
+        instance_map: Mapping[int, int],
+    ) -> float:
+        upstream, downstream_basis = self._restricted_assignment(spec, assignment)
+        local_instances = {
+            op_index: instance_map[op_index] for op_index in spec.gate_cut_sides
+        }
+        restricted_term = term.restricted_to(spec.output_qubits)
+        cache_key = (
+            spec.index,
+            tuple(sorted(upstream.items())),
+            tuple(sorted(downstream_basis.items())),
+            tuple(sorted(local_instances.items())),
+            restricted_term.paulis,
+        )
+        cached = self._expectation_cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        builder = self._builder(spec)
+        identifiers = [cut.identifier() for cut in spec.downstream_cuts]
+        total = 0.0
+        for choice in itertools.product(
+            *[INIT_STATE_DECOMPOSITION[downstream_basis[i]] for i in identifiers]
+        ) if identifiers else [()]:
+            labels = {i: label for i, (label, _) in zip(identifiers, choice)}
+            weight = 1.0
+            for _, coefficient in choice:
+                weight *= coefficient
+            settings = VariantSettings.build(upstream, labels, local_instances)
+            variant = builder.build(settings, "expectation", restricted_term)
+            total += weight * self.executor.expectation_value(variant)
+        self._expectation_cache[cache_key] = total
+        return total
+
+    def _inactive_qubit_factor(self, term: PauliString) -> float:
+        """Pauli factors on qubits no subcircuit outputs (idle qubits stay in |0>)."""
+        covered = set()
+        for spec in self.specs:
+            covered.update(spec.output_qubits)
+        factor = 1.0
+        for qubit, label in term.paulis:
+            if qubit in covered:
+                continue
+            if label == "Z":
+                continue
+            return 0.0
+        return factor
+
+
+def _combine_subcircuit_vectors(
+    vectors: Sequence[np.ndarray], orders: Sequence[Sequence[int]]
+) -> Tuple[np.ndarray, List[int]]:
+    """Kronecker-combine per-subcircuit vectors; return (vector, LSB-first qubit list)."""
+    combined = np.array([1.0])
+    order_lsb: List[int] = []
+    for vector, order in zip(vectors, orders):
+        combined = np.kron(combined, vector)
+        order_lsb = list(order) + order_lsb
+    return combined, order_lsb
+
+
+def _scatter_into(
+    total: np.ndarray,
+    combined: np.ndarray,
+    order_lsb: Sequence[int],
+    coefficient: float,
+    num_qubits: int,
+) -> None:
+    """Scatter a combined vector into the global basis ordering of ``num_qubits``."""
+    if len(order_lsb) != int(np.log2(len(combined))):
+        raise ReconstructionError("qubit order does not match combined vector size")
+    indices = np.arange(len(combined))
+    global_indices = np.zeros_like(indices)
+    for position, qubit in enumerate(order_lsb):
+        if qubit >= num_qubits:
+            raise ReconstructionError(f"output qubit {qubit} outside circuit")
+        global_indices |= ((indices >> position) & 1) << qubit
+    np.add.at(total, global_indices, coefficient * combined)

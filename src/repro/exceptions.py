@@ -1,0 +1,47 @@
+"""Exception hierarchy for the QRCC reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so callers can
+catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or invalid circuit operations."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation cannot be carried out."""
+
+
+class ModelError(ReproError):
+    """Raised for malformed optimisation models (bad variables / constraints)."""
+
+
+class SolverError(ReproError):
+    """Raised when an ILP backend fails or returns an unusable status."""
+
+
+class InfeasibleError(SolverError):
+    """Raised when a model is proven infeasible (the paper's ``no-solution`` case)."""
+
+
+class SearchTimeoutError(SolverError):
+    """Raised when the solver hit its time limit without finding any solution."""
+
+
+class CuttingError(ReproError):
+    """Raised for invalid cut specifications or impossible cut placements."""
+
+
+class ReconstructionError(ReproError):
+    """Raised when subcircuit results cannot be recombined."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload/benchmark-generator parameters."""

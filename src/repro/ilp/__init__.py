@@ -1,0 +1,20 @@
+"""Integer-linear-programming substrate (modelling DSL + solver backends)."""
+
+from .exhaustive import ExhaustiveBackend, solve_exhaustively
+from .model import Constraint, LinearExpression, Model, Sense, Variable
+from .result import SolveResult, SolveStatus
+from .scipy_backend import ScipyMilpBackend, solve_with_scipy
+
+__all__ = [
+    "Constraint",
+    "ExhaustiveBackend",
+    "LinearExpression",
+    "Model",
+    "ScipyMilpBackend",
+    "Sense",
+    "SolveResult",
+    "SolveStatus",
+    "Variable",
+    "solve_exhaustively",
+    "solve_with_scipy",
+]

@@ -1,0 +1,55 @@
+"""Exhaustive solver for tiny all-binary models.
+
+Only used by the test-suite to cross-validate the HiGHS backend: it enumerates every
+0/1 assignment (so it is exponential and refuses models with more than ~22 binaries)
+and returns the best feasible one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from ..exceptions import SolverError
+from .model import Model
+from .result import SolveResult, SolveStatus
+
+__all__ = ["ExhaustiveBackend", "solve_exhaustively"]
+
+_MAX_BINARIES = 22
+
+
+class ExhaustiveBackend:
+    """Brute-force enumeration of binary models (testing oracle)."""
+
+    name = "exhaustive"
+
+    def solve(self, model: Model) -> SolveResult:
+        for variable in model.variables:
+            if not variable.is_binary:
+                raise SolverError("the exhaustive backend only supports binary variables")
+        if model.num_variables > _MAX_BINARIES:
+            raise SolverError(
+                f"exhaustive enumeration limited to {_MAX_BINARIES} binaries, "
+                f"model has {model.num_variables}"
+            )
+        start = time.perf_counter()
+        best_value = None
+        best_assignment = None
+        for bits in itertools.product((0.0, 1.0), repeat=model.num_variables):
+            assignment = dict(enumerate(bits))
+            if not model.check_assignment(assignment):
+                continue
+            value = model.objective.value(assignment)
+            if best_value is None or value < best_value - 1e-12:
+                best_value = value
+                best_assignment = assignment
+        elapsed = time.perf_counter() - start
+        if best_assignment is None:
+            return SolveResult(SolveStatus.INFEASIBLE, None, {}, elapsed, self.name)
+        return SolveResult(SolveStatus.OPTIMAL, best_value, best_assignment, elapsed, self.name)
+
+
+def solve_exhaustively(model: Model) -> SolveResult:
+    """Convenience wrapper around :class:`ExhaustiveBackend`."""
+    return ExhaustiveBackend().solve(model)

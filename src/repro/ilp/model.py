@@ -1,0 +1,275 @@
+"""A small integer-linear-programming modelling layer.
+
+The paper formulates QRCC as an ILP and solves it with Gurobi; this repository is
+offline, so we provide our own modelling DSL (variables, linear expressions, linear
+constraints, a linear objective) and pluggable backends:
+
+* :mod:`repro.ilp.scipy_backend` — compiles the model to ``scipy.optimize.milp``
+  (the HiGHS solver), the default,
+* :mod:`repro.ilp.exhaustive` — enumerates all assignments of tiny all-binary models
+  (used by the test-suite to cross-check the HiGHS backend).
+
+Only what the QRCC / CutQC formulations need is implemented: binary / integer /
+continuous bounded variables, ``<=`` / ``>=`` / ``==`` linear constraints and a
+minimisation objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from ..exceptions import ModelError
+
+__all__ = ["Variable", "LinearExpression", "Constraint", "Model", "Sense"]
+
+Number = Union[int, float]
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A decision variable.
+
+    Attributes:
+        name: unique name inside its model.
+        index: dense column index assigned by the model.
+        lower / upper: bounds.
+        is_integer: integrality flag (binaries are integer variables in [0, 1]).
+    """
+
+    name: str
+    index: int
+    lower: float
+    upper: float
+    is_integer: bool
+
+    @property
+    def is_binary(self) -> bool:
+        return self.is_integer and self.lower == 0.0 and self.upper == 1.0
+
+    # Arithmetic sugar so formulations read naturally -------------------------
+    def __add__(self, other) -> "LinearExpression":
+        return LinearExpression.from_variable(self) + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinearExpression":
+        return LinearExpression.from_variable(self) - other
+
+    def __rsub__(self, other) -> "LinearExpression":
+        return (-1.0 * self) + other
+
+    def __mul__(self, factor: Number) -> "LinearExpression":
+        return LinearExpression.from_variable(self) * factor
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpression":
+        return self * -1.0
+
+
+class LinearExpression:
+    """A linear combination of variables plus a constant."""
+
+    __slots__ = ("coefficients", "constant")
+
+    def __init__(self, coefficients: Optional[Dict[int, float]] = None, constant: float = 0.0):
+        self.coefficients: Dict[int, float] = dict(coefficients or {})
+        self.constant = float(constant)
+
+    @staticmethod
+    def from_variable(variable: Variable, coefficient: float = 1.0) -> "LinearExpression":
+        return LinearExpression({variable.index: float(coefficient)})
+
+    @staticmethod
+    def from_constant(value: Number) -> "LinearExpression":
+        return LinearExpression({}, float(value))
+
+    @staticmethod
+    def coerce(value) -> "LinearExpression":
+        if isinstance(value, LinearExpression):
+            return value.copy()
+        if isinstance(value, Variable):
+            return LinearExpression.from_variable(value)
+        if isinstance(value, (int, float)):
+            return LinearExpression.from_constant(value)
+        raise ModelError(f"cannot interpret {value!r} as a linear expression")
+
+    def copy(self) -> "LinearExpression":
+        return LinearExpression(dict(self.coefficients), self.constant)
+
+    # ------------------------------------------------------------------ arithmetic
+    def __add__(self, other) -> "LinearExpression":
+        other = LinearExpression.coerce(other)
+        result = self.copy()
+        for index, coefficient in other.coefficients.items():
+            result.coefficients[index] = result.coefficients.get(index, 0.0) + coefficient
+        result.constant += other.constant
+        return result
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "LinearExpression":
+        return self + (LinearExpression.coerce(other) * -1.0)
+
+    def __rsub__(self, other) -> "LinearExpression":
+        return LinearExpression.coerce(other) + (self * -1.0)
+
+    def __mul__(self, factor: Number) -> "LinearExpression":
+        if not isinstance(factor, (int, float)):
+            raise ModelError("linear expressions can only be scaled by numbers")
+        return LinearExpression(
+            {i: c * float(factor) for i, c in self.coefficients.items()},
+            self.constant * float(factor),
+        )
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "LinearExpression":
+        return self * -1.0
+
+    def value(self, assignment: Mapping[int, float]) -> float:
+        """Evaluate the expression under a variable-index -> value assignment."""
+        total = self.constant
+        for index, coefficient in self.coefficients.items():
+            total += coefficient * assignment.get(index, 0.0)
+        return total
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        terms = " + ".join(f"{c:g}*x{i}" for i, c in sorted(self.coefficients.items()))
+        return f"LinearExpression({terms} + {self.constant:g})"
+
+
+class Sense:
+    """Constraint senses."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expression (sense) rhs`` (rhs folded to 0 internally)."""
+
+    name: str
+    expression: LinearExpression
+    sense: str
+    rhs: float
+
+    def is_satisfied(self, assignment: Mapping[int, float], tolerance: float = 1e-6) -> bool:
+        lhs = self.expression.value(assignment)
+        if self.sense == Sense.LE:
+            return lhs <= self.rhs + tolerance
+        if self.sense == Sense.GE:
+            return lhs >= self.rhs - tolerance
+        return abs(lhs - self.rhs) <= tolerance
+
+
+class Model:
+    """An ILP model: variables, linear constraints, and a minimisation objective."""
+
+    def __init__(self, name: str = "model") -> None:
+        self.name = name
+        self._variables: List[Variable] = []
+        self._by_name: Dict[str, Variable] = {}
+        self._constraints: List[Constraint] = []
+        self._objective = LinearExpression()
+
+    # ------------------------------------------------------------------ variables
+    def _add_variable(self, name: str, lower: float, upper: float, is_integer: bool) -> Variable:
+        if name in self._by_name:
+            raise ModelError(f"duplicate variable name {name!r}")
+        if lower > upper:
+            raise ModelError(f"variable {name!r} has lower bound above upper bound")
+        variable = Variable(name, len(self._variables), float(lower), float(upper), is_integer)
+        self._variables.append(variable)
+        self._by_name[name] = variable
+        return variable
+
+    def add_binary(self, name: str) -> Variable:
+        return self._add_variable(name, 0.0, 1.0, True)
+
+    def add_integer(self, name: str, lower: float = 0.0, upper: float = float("inf")) -> Variable:
+        return self._add_variable(name, lower, upper, True)
+
+    def add_continuous(
+        self, name: str, lower: float = 0.0, upper: float = float("inf")
+    ) -> Variable:
+        return self._add_variable(name, lower, upper, False)
+
+    @property
+    def variables(self) -> Tuple[Variable, ...]:
+        return tuple(self._variables)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._variables)
+
+    def variable(self, name: str) -> Variable:
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise ModelError(f"no variable named {name!r}") from exc
+
+    # ------------------------------------------------------------------ constraints
+    def add_constraint(self, expression, sense: str, rhs: Number, name: Optional[str] = None) -> Constraint:
+        if sense not in (Sense.LE, Sense.GE, Sense.EQ):
+            raise ModelError(f"unknown constraint sense {sense!r}")
+        expression = LinearExpression.coerce(expression)
+        constraint = Constraint(
+            name or f"c{len(self._constraints)}", expression, sense, float(rhs)
+        )
+        self._constraints.append(constraint)
+        return constraint
+
+    def add_le(self, expression, rhs: Number, name: Optional[str] = None) -> Constraint:
+        return self.add_constraint(expression, Sense.LE, rhs, name)
+
+    def add_ge(self, expression, rhs: Number, name: Optional[str] = None) -> Constraint:
+        return self.add_constraint(expression, Sense.GE, rhs, name)
+
+    def add_eq(self, expression, rhs: Number, name: Optional[str] = None) -> Constraint:
+        return self.add_constraint(expression, Sense.EQ, rhs, name)
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._constraints)
+
+    # ------------------------------------------------------------------ objective
+    def set_objective(self, expression) -> None:
+        """Set the minimisation objective."""
+        self._objective = LinearExpression.coerce(expression)
+
+    @property
+    def objective(self) -> LinearExpression:
+        return self._objective
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def sum(terms: Iterable) -> LinearExpression:
+        """Sum variables/expressions/constants into one expression."""
+        total = LinearExpression()
+        for term in terms:
+            total = total + term
+        return total
+
+    def check_assignment(self, assignment: Mapping[int, float], tolerance: float = 1e-6) -> bool:
+        """Whether an assignment satisfies every constraint and variable bound."""
+        for variable in self._variables:
+            value = assignment.get(variable.index, 0.0)
+            if value < variable.lower - tolerance or value > variable.upper + tolerance:
+                return False
+            if variable.is_integer and abs(value - round(value)) > tolerance:
+                return False
+        return all(c.is_satisfied(assignment, tolerance) for c in self._constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return (
+            f"Model(name={self.name!r}, variables={self.num_variables}, "
+            f"constraints={self.num_constraints})"
+        )

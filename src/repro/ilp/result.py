@@ -1,0 +1,61 @@
+"""Solver result container shared by all ILP backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+from ..exceptions import SolverError
+from .model import Model, Variable
+
+__all__ = ["SolveStatus", "SolveResult"]
+
+
+class SolveStatus:
+    """Normalised solver statuses."""
+
+    OPTIMAL = "optimal"
+    FEASIBLE = "feasible"        # a solution was found but optimality not proven
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    TIMEOUT = "timeout"          # stopped by the time limit without any solution
+    ERROR = "error"
+
+
+@dataclass
+class SolveResult:
+    """Outcome of solving a :class:`~repro.ilp.model.Model`.
+
+    Attributes:
+        status: one of :class:`SolveStatus`.
+        objective_value: value of the objective for the returned assignment.
+        assignment: mapping variable index -> value (empty when no solution exists).
+        solve_time: wall-clock seconds spent in the backend.
+        backend: name of the backend that produced the result.
+    """
+
+    status: str
+    objective_value: Optional[float] = None
+    assignment: Dict[int, float] = field(default_factory=dict)
+    solve_time: float = 0.0
+    backend: str = "unknown"
+
+    @property
+    def has_solution(self) -> bool:
+        return self.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+
+    def value(self, variable: Variable) -> float:
+        """Value of ``variable`` in the solution (raises without a solution)."""
+        if not self.has_solution:
+            raise SolverError(f"no solution available (status={self.status})")
+        return self.assignment.get(variable.index, 0.0)
+
+    def binary_value(self, variable: Variable, threshold: float = 0.5) -> int:
+        """Rounded 0/1 value of a binary variable."""
+        return 1 if self.value(variable) > threshold else 0
+
+    def values_by_name(self, model: Model) -> Dict[str, float]:
+        """Mapping variable name -> value, for debugging and result archiving."""
+        if not self.has_solution:
+            raise SolverError(f"no solution available (status={self.status})")
+        return {v.name: self.assignment.get(v.index, 0.0) for v in model.variables}

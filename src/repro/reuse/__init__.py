@@ -1,0 +1,19 @@
+"""Qubit-reuse analysis and scheduling (the CaQR-style compiler pass)."""
+
+from .analysis import (
+    ReuseCandidate,
+    asap_active_width,
+    find_reuse_candidates,
+    qubit_dependency_closure,
+)
+from .scheduler import QubitReuseScheduler, ReuseResult, apply_qubit_reuse
+
+__all__ = [
+    "QubitReuseScheduler",
+    "ReuseCandidate",
+    "ReuseResult",
+    "apply_qubit_reuse",
+    "asap_active_width",
+    "find_reuse_candidates",
+    "qubit_dependency_closure",
+]

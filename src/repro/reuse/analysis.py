@@ -1,0 +1,112 @@
+"""Qubit-reuse opportunity analysis (the CaQR-style compiler pass, Section 2.4).
+
+A physical qubit that has finished all operations of logical qubit ``d`` can be
+measured, reset, and redeployed as another logical qubit ``r`` — provided *all* of
+``r``'s operations can be scheduled after *all* of ``d``'s operations.  That is
+possible exactly when no operation of ``d`` depends (transitively, through the
+gate-level DAG) on an operation of ``r``.
+
+This module computes that compatibility relation and enumerates reuse candidates;
+:mod:`repro.reuse.scheduler` applies them to produce a dynamic circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+import networkx as nx
+
+from ..circuits import Circuit, CircuitDag
+from ..exceptions import ReproError
+
+__all__ = ["ReuseCandidate", "qubit_dependency_closure", "find_reuse_candidates", "asap_active_width"]
+
+
+@dataclass(frozen=True)
+class ReuseCandidate:
+    """A feasible reuse: logical qubit ``receiver`` can run on ``donor``'s wire."""
+
+    donor: int
+    receiver: int
+
+
+def qubit_dependency_closure(circuit: Circuit) -> Dict[int, FrozenSet[int]]:
+    """For every qubit ``q``, the set of qubits whose operations ``q``'s operations depend on.
+
+    ``p in closure[q]`` means some operation acting on ``q`` either acts on ``p`` as
+    well (a shared two-qubit gate) or transitively depends on an operation acting on
+    ``p``.  In either case ``q``'s operations cannot all be deferred until after
+    ``p``'s operations, so a qubit can only donate its wire to receivers that are
+    *not* in its closure.
+    """
+    dag = CircuitDag(circuit)
+    graph = dag.graph
+    ancestors_of_op: Dict[int, Set[int]] = {}
+    for op_index in nx.topological_sort(graph):
+        ancestors: Set[int] = set()
+        for predecessor in graph.predecessors(op_index):
+            ancestors.add(predecessor)
+            ancestors |= ancestors_of_op[predecessor]
+        ancestors_of_op[op_index] = ancestors
+
+    closure: Dict[int, Set[int]] = {q: set() for q in range(circuit.num_qubits)}
+    for op_index, ancestors in ancestors_of_op.items():
+        op_qubits = dag.node(op_index).qubits
+        involved = set(op_qubits)
+        for ancestor in ancestors:
+            involved.update(dag.node(ancestor).qubits)
+        for target in op_qubits:
+            closure[target].update(involved)
+    for qubit in closure:
+        closure[qubit].discard(qubit)
+    return {q: frozenset(deps) for q, deps in closure.items()}
+
+
+def find_reuse_candidates(circuit: Circuit) -> List[ReuseCandidate]:
+    """All (donor, receiver) pairs where the receiver can start after the donor ends.
+
+    The receiver may be delayed arbitrarily, so the only obstruction is a dependency
+    of the donor on the receiver.  Qubits with no operations are never donors or
+    receivers (they need no wire at all).
+    """
+    closure = qubit_dependency_closure(circuit)
+    active = set(circuit.active_qubits())
+    candidates: List[ReuseCandidate] = []
+    for donor in sorted(active):
+        for receiver in sorted(active):
+            if donor == receiver:
+                continue
+            if receiver in closure[donor]:
+                continue  # the donor's operations depend on the receiver: impossible.
+            candidates.append(ReuseCandidate(donor, receiver))
+    return candidates
+
+
+def asap_active_width(circuit: Circuit) -> int:
+    """Width required when every operation runs at its ASAP layer (no delaying).
+
+    This is the number of wires needed if no operation may be postponed: the maximum
+    number of logical qubits simultaneously live (between their first and last
+    operation) under ASAP scheduling.  The reuse scheduler can beat this figure by
+    *delaying* a qubit's first operation — which is exactly the CaQR insight — so the
+    value is a reference point for how much of the reduction comes from delaying
+    versus from plain end-of-life reuse, not a lower bound on the scheduler's output.
+    """
+    frontier = [0] * circuit.num_qubits
+    first_layer: Dict[int, int] = {}
+    last_layer: Dict[int, int] = {}
+    for op in circuit.operations:
+        level = max(frontier[q] for q in op.qubits)
+        for q in op.qubits:
+            frontier[q] = level + 1
+            first_layer.setdefault(q, level)
+            last_layer[q] = level
+    if not first_layer:
+        return 0
+    depth = max(last_layer.values()) + 1
+    occupancy = [0] * depth
+    for qubit, start in first_layer.items():
+        for layer in range(start, last_layer[qubit] + 1):
+            occupancy[layer] += 1
+    return max(occupancy)

@@ -1,0 +1,190 @@
+"""Qubit-reuse scheduling: rewrite a circuit so logical qubits share physical wires.
+
+The scheduler mirrors the CaQR compiler pass the paper builds on: repeatedly pick a
+feasible (donor, receiver) pair, schedule every donor operation before every receiver
+operation, insert a measure + reset on the donor's wire, and relabel the receiver's
+operations onto that wire.  The process iterates on the rewritten circuit (so chained
+reuse d -> r -> s is handled naturally) until no feasible pair remains or the target
+width is reached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..circuits import Circuit, CircuitDag, Operation
+from ..exceptions import ReproError
+from .analysis import find_reuse_candidates, qubit_dependency_closure
+
+__all__ = ["ReuseResult", "QubitReuseScheduler", "apply_qubit_reuse"]
+
+
+@dataclass
+class ReuseResult:
+    """Outcome of the reuse pass.
+
+    Attributes:
+        circuit: the rewritten dynamic circuit (contains measure/reset pairs).
+        width: number of physical wires actually used after reuse.
+        reuse_pairs: the (donor, receiver) pairs applied, in application order, using
+            *original* logical qubit indices.
+        wire_of_qubit: mapping original logical qubit -> physical wire index.
+    """
+
+    circuit: Circuit
+    width: int
+    reuse_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    wire_of_qubit: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_reuses(self) -> int:
+        return len(self.reuse_pairs)
+
+
+class QubitReuseScheduler:
+    """Greedy CaQR-style reuse scheduler."""
+
+    def __init__(self, target_width: Optional[int] = None) -> None:
+        self._target_width = target_width
+
+    def run(self, circuit: Circuit) -> ReuseResult:
+        """Apply reuse greedily until no pair helps (or the target width is reached)."""
+        working = circuit.copy()
+        # wire_groups[w] = ordered list of original logical qubits sharing wire w.
+        wire_groups: Dict[int, List[int]] = {q: [q] for q in range(circuit.num_qubits)}
+        reuse_pairs: List[Tuple[int, int]] = []
+
+        while True:
+            active = set(working.active_qubits())
+            if self._target_width is not None and len(active) <= self._target_width:
+                break
+            pair = self._pick_pair(working)
+            if pair is None:
+                break
+            donor, receiver = pair
+            working = self._merge(working, donor, receiver)
+            reuse_pairs.append((wire_groups[donor][-1], wire_groups[receiver][0]))
+            wire_groups[donor].extend(wire_groups.pop(receiver))
+
+        return self._finalise(circuit, working, wire_groups, reuse_pairs)
+
+    # ------------------------------------------------------------------ internals
+    def _pick_pair(self, circuit: Circuit) -> Optional[Tuple[int, int]]:
+        """Choose the next (donor, receiver) pair: earliest-finishing donor first."""
+        candidates = find_reuse_candidates(circuit)
+        if not candidates:
+            return None
+        last_layer, first_layer = _qubit_layer_spans(circuit)
+        best: Optional[Tuple[int, int]] = None
+        best_key: Optional[Tuple[int, int]] = None
+        for candidate in candidates:
+            donor, receiver = candidate.donor, candidate.receiver
+            if donor not in last_layer or receiver not in first_layer:
+                continue
+            # Earliest-finishing donor first; among its receivers prefer the one that
+            # starts earliest (classic interval-packing greedy).
+            key = (last_layer[donor], first_layer[receiver])
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (donor, receiver)
+        return best
+
+    def _merge(self, circuit: Circuit, donor: int, receiver: int) -> Circuit:
+        """Schedule all donor ops before receiver ops and relabel receiver -> donor."""
+        dag = CircuitDag(circuit)
+        graph = dag.graph
+        order = self._priority_topological_order(circuit, graph, receiver)
+        merged = Circuit(circuit.num_qubits, circuit.name)
+        boundary_emitted = False
+        mapping = {q: q for q in range(circuit.num_qubits)}
+        mapping[receiver] = donor
+        for op_index in order:
+            operation = circuit.operations[op_index]
+            if receiver in operation.qubits and not boundary_emitted:
+                merged.measure(donor, tag=f"reuse_out:{donor}")
+                merged.reset(donor, tag=f"reuse_in:{receiver}")
+                boundary_emitted = True
+            merged.append(operation.remapped(mapping))
+        return merged
+
+    def _priority_topological_order(
+        self, circuit: Circuit, graph: nx.DiGraph, receiver: int
+    ) -> List[int]:
+        """Kahn's algorithm deferring the receiver's operations as long as possible."""
+        in_degree = {node: graph.in_degree(node) for node in graph.nodes}
+        ready_normal: List[int] = []
+        ready_deferred: List[int] = []
+
+        def classify(node: int) -> None:
+            if receiver in circuit.operations[node].qubits:
+                ready_deferred.append(node)
+            else:
+                ready_normal.append(node)
+
+        for node, degree in in_degree.items():
+            if degree == 0:
+                classify(node)
+        order: List[int] = []
+        while ready_normal or ready_deferred:
+            if ready_normal:
+                ready_normal.sort()
+                node = ready_normal.pop(0)
+            else:
+                ready_deferred.sort()
+                node = ready_deferred.pop(0)
+            order.append(node)
+            for successor in graph.successors(node):
+                in_degree[successor] -= 1
+                if in_degree[successor] == 0:
+                    classify(successor)
+        if len(order) != graph.number_of_nodes():
+            raise ReproError("cycle detected while scheduling qubit reuse")
+        return order
+
+    def _finalise(
+        self,
+        original: Circuit,
+        working: Circuit,
+        wire_groups: Dict[int, List[int]],
+        reuse_pairs: List[Tuple[int, int]],
+    ) -> ReuseResult:
+        active = sorted(working.active_qubits())
+        wire_index = {qubit: index for index, qubit in enumerate(active)}
+        width = len(active)
+        compact = Circuit(max(width, 1), f"{original.name}_reused")
+        for op in working:
+            compact.append(op.remapped({q: wire_index.get(q, 0) for q in range(working.num_qubits)}))
+        wire_of_qubit: Dict[int, int] = {}
+        for wire_qubit, group in wire_groups.items():
+            if wire_qubit not in wire_index:
+                continue
+            for logical in group:
+                wire_of_qubit[logical] = wire_index[wire_qubit]
+        return ReuseResult(
+            circuit=compact,
+            width=width,
+            reuse_pairs=reuse_pairs,
+            wire_of_qubit=wire_of_qubit,
+        )
+
+
+def _qubit_layer_spans(circuit: Circuit) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """(last layer, first layer) of every active qubit under ASAP scheduling."""
+    frontier = [0] * circuit.num_qubits
+    first_layer: Dict[int, int] = {}
+    last_layer: Dict[int, int] = {}
+    for op in circuit.operations:
+        level = max(frontier[q] for q in op.qubits)
+        for q in op.qubits:
+            frontier[q] = level + 1
+            first_layer.setdefault(q, level)
+            last_layer[q] = level
+    return last_layer, first_layer
+
+
+def apply_qubit_reuse(circuit: Circuit, target_width: Optional[int] = None) -> ReuseResult:
+    """Convenience wrapper: run the greedy reuse scheduler on ``circuit``."""
+    return QubitReuseScheduler(target_width=target_width).run(circuit)

@@ -1,0 +1,43 @@
+"""Simulation backends: exact statevector, exact dynamic (branching), shots, noise."""
+
+from .dynamic import Branch, BranchedResult, BranchingSimulator, simulate_dynamic
+from .expectation import (
+    basis_rotation_circuit,
+    diagonalized_term,
+    exact_expectation,
+    expectation_from_distribution,
+    sampled_expectation,
+)
+from .noise import DeviceModel, NoiseModel, NoisySimulator, lagos_like_device
+from .sampler import (
+    counts_to_distribution,
+    distribution_to_counts,
+    expectation_from_counts,
+    sample_circuit,
+    sample_counts,
+)
+from .statevector import Statevector, apply_gate, simulate_statevector
+
+__all__ = [
+    "Branch",
+    "BranchedResult",
+    "BranchingSimulator",
+    "DeviceModel",
+    "NoiseModel",
+    "NoisySimulator",
+    "Statevector",
+    "apply_gate",
+    "basis_rotation_circuit",
+    "counts_to_distribution",
+    "diagonalized_term",
+    "distribution_to_counts",
+    "exact_expectation",
+    "expectation_from_counts",
+    "expectation_from_distribution",
+    "lagos_like_device",
+    "sample_circuit",
+    "sample_counts",
+    "sampled_expectation",
+    "simulate_dynamic",
+    "simulate_statevector",
+]

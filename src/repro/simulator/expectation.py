@@ -1,0 +1,113 @@
+"""Expectation-value evaluation helpers.
+
+Bridges the three ways expectation values are obtained in the paper's experiments:
+
+* exactly from a statevector (ground truth, Table 3 row 1),
+* from a sampled counts dictionary after rotating each Pauli term into the
+  computational basis (shot-based simulation / device execution, Table 3 rows 2-3),
+* from reconstruction of subcircuit results (QRCC row) — that path lives in
+  :mod:`repro.cutting.reconstruction` but shares these helpers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..exceptions import SimulationError
+from ..utils.pauli import PauliObservable, PauliString
+from .sampler import expectation_from_counts, sample_counts
+from .statevector import simulate_statevector
+
+__all__ = [
+    "exact_expectation",
+    "basis_rotation_circuit",
+    "diagonalized_term",
+    "sampled_expectation",
+    "expectation_from_distribution",
+]
+
+
+def exact_expectation(circuit: Circuit, observable: PauliObservable) -> float:
+    """Exact expectation of ``observable`` on the output state of a unitary circuit."""
+    return simulate_statevector(circuit).expectation(observable)
+
+
+def basis_rotation_circuit(term: PauliString, num_qubits: int) -> Circuit:
+    """Circuit rotating the measurement basis of ``term`` into the Z basis.
+
+    Append this after the main circuit, then measure in the computational basis:
+    ``X`` terms get an ``H``; ``Y`` terms get ``S†`` then ``H``; ``Z``/``I`` need
+    nothing.
+    """
+    rotation = Circuit(num_qubits, "basis_rotation")
+    for qubit, label in term.paulis:
+        if label == "X":
+            rotation.h(qubit)
+        elif label == "Y":
+            rotation.sdg(qubit)
+            rotation.h(qubit)
+        elif label == "Z":
+            pass
+        else:  # pragma: no cover - PauliString validates labels
+            raise SimulationError(f"unexpected Pauli label {label!r}")
+    return rotation
+
+
+def diagonalized_term(term: PauliString) -> PauliString:
+    """The Z-basis equivalent of ``term`` after :func:`basis_rotation_circuit`."""
+    return PauliString(tuple((q, "Z") for q, _ in term.paulis), term.coefficient)
+
+
+def sampled_expectation(
+    circuit: Circuit,
+    observable: PauliObservable,
+    shots: int,
+    seed: Optional[int] = None,
+) -> float:
+    """Shot-based estimate of an expectation value (one shot budget per Pauli term).
+
+    Mirrors how a device estimates a Hamiltonian: for every term, append the basis
+    rotation, sample ``shots`` bitstrings, and average the term parities.
+    """
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for term in observable.terms:
+        if not term.paulis:
+            total += term.coefficient
+            continue
+        rotated = circuit.copy()
+        rotated.compose(basis_rotation_circuit(term, circuit.num_qubits))
+        probabilities = simulate_statevector(rotated).probabilities()
+        counts = sample_counts(probabilities, shots, rng)
+        diag = diagonalized_term(term)
+        total += expectation_from_counts(
+            counts, PauliObservable((diag,)), circuit.num_qubits
+        )
+    return float(total)
+
+
+def expectation_from_distribution(
+    distribution: np.ndarray, observable: PauliObservable, num_qubits: int
+) -> float:
+    """Expectation of an I/Z-diagonal observable from a probability vector."""
+    value = 0.0
+    distribution = np.asarray(distribution, dtype=float)
+    for term in observable.terms:
+        for _, label in term.paulis:
+            if label not in ("I", "Z"):
+                raise SimulationError(
+                    "expectation_from_distribution needs a Z-diagonal observable"
+                )
+        term_value = 0.0
+        for index, p in enumerate(distribution):
+            if p == 0.0:
+                continue
+            parity = 1
+            for qubit, _ in term.paulis:
+                parity *= -1 if (index >> qubit) & 1 else 1
+            term_value += parity * p
+        value += term.coefficient * term_value
+    return float(value)

@@ -1,0 +1,123 @@
+"""Shot-based sampling on top of exact simulation results.
+
+Implements the "shots-based model" of Section 2.2: the circuit is executed many
+times; each execution produces one bitstring; the histogram of bitstrings estimates
+the output probability vector (and expectation values derived from it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..exceptions import SimulationError
+from ..utils.pauli import PauliObservable
+from .dynamic import simulate_dynamic
+from .statevector import simulate_statevector
+
+__all__ = [
+    "sample_counts",
+    "counts_to_distribution",
+    "distribution_to_counts",
+    "sample_circuit",
+    "expectation_from_counts",
+]
+
+
+def sample_counts(
+    probabilities: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
+) -> Dict[str, int]:
+    """Draw ``shots`` samples from a probability vector; keys are bitstrings (MSB first)."""
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    probabilities = np.asarray(probabilities, dtype=float)
+    probabilities = np.clip(probabilities, 0.0, None)
+    total = probabilities.sum()
+    if total <= 0:
+        raise SimulationError("probability vector sums to zero")
+    probabilities = probabilities / total
+    rng = rng or np.random.default_rng()
+    num_qubits = int(np.log2(len(probabilities)))
+    outcomes = rng.multinomial(shots, probabilities)
+    counts: Dict[str, int] = {}
+    for index, count in enumerate(outcomes):
+        if count:
+            counts[format(index, f"0{num_qubits}b")] = int(count)
+    return counts
+
+
+def counts_to_distribution(counts: Dict[str, int], num_qubits: int) -> np.ndarray:
+    """Convert a counts dictionary back into an estimated probability vector."""
+    distribution = np.zeros(2**num_qubits)
+    total = sum(counts.values())
+    if total == 0:
+        raise SimulationError("counts dictionary is empty")
+    for bitstring, count in counts.items():
+        if len(bitstring) != num_qubits:
+            raise SimulationError(
+                f"bitstring {bitstring!r} does not have {num_qubits} bits"
+            )
+        distribution[int(bitstring, 2)] = count / total
+    return distribution
+
+
+def distribution_to_counts(probabilities: np.ndarray, shots: int) -> Dict[str, int]:
+    """Deterministic rounding of a distribution into counts (no sampling noise)."""
+    num_qubits = int(np.log2(len(probabilities)))
+    counts = {}
+    for index, p in enumerate(np.asarray(probabilities, dtype=float)):
+        rounded = int(round(p * shots))
+        if rounded:
+            counts[format(index, f"0{num_qubits}b")] = rounded
+    return counts
+
+
+def sample_circuit(
+    circuit: Circuit, shots: int, seed: Optional[int] = None
+) -> Dict[str, int]:
+    """Simulate ``circuit`` exactly and sample ``shots`` measurement outcomes.
+
+    Circuits containing mid-circuit measurement/reset are handled through the
+    branching simulator; unitary circuits take the cheaper statevector path.
+    """
+    rng = np.random.default_rng(seed)
+    has_dynamic = any(not op.is_unitary for op in circuit)
+    if has_dynamic:
+        result = simulate_dynamic(circuit)
+        probabilities = result.probabilities()
+    else:
+        probabilities = simulate_statevector(circuit).probabilities()
+    return sample_counts(probabilities, shots, rng)
+
+
+def expectation_from_counts(
+    counts: Dict[str, int], observable: PauliObservable, num_qubits: int
+) -> float:
+    """Estimate the expectation of a Z-diagonal observable from measured counts.
+
+    Every term of ``observable`` must be composed of ``I``/``Z`` Paulis only (the
+    measurement is in the computational basis).  Terms with ``X``/``Y`` require basis
+    rotations before measuring and are rejected here.
+    """
+    total_shots = sum(counts.values())
+    if total_shots == 0:
+        raise SimulationError("counts dictionary is empty")
+    value = 0.0
+    for term in observable.terms:
+        for _, label in term.paulis:
+            if label not in ("I", "Z"):
+                raise SimulationError(
+                    "expectation_from_counts only supports I/Z observables; rotate the "
+                    "circuit into the measurement basis first"
+                )
+        term_value = 0.0
+        for bitstring, count in counts.items():
+            parity = 1
+            for qubit, _ in term.paulis:
+                bit = int(bitstring[num_qubits - 1 - qubit])
+                parity *= -1 if bit else 1
+            term_value += parity * count
+        value += term.coefficient * term_value / total_shots
+    return float(value)

@@ -1,0 +1,186 @@
+"""Dense statevector simulation.
+
+Convention: qubit 0 is the **least significant bit** of the computational-basis
+index, i.e. basis state ``|q_{n-1} ... q_1 q_0>`` has index ``sum q_k 2^k``.
+
+The simulator applies 1- and 2-qubit gates in-place on a ``2**n`` complex vector
+using tensor reshapes, which is fast enough for the exact verification circuits used
+throughout the test-suite and benchmark harnesses (n <= ~20).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..exceptions import SimulationError
+from ..utils.pauli import PauliObservable, PauliString, init_state_vector
+
+__all__ = ["Statevector", "apply_gate", "simulate_statevector"]
+
+_MAX_DENSE_QUBITS = 24
+
+
+def _validate_size(num_qubits: int) -> None:
+    if num_qubits > _MAX_DENSE_QUBITS:
+        raise SimulationError(
+            f"dense statevector simulation is limited to {_MAX_DENSE_QUBITS} qubits, "
+            f"got {num_qubits}"
+        )
+
+
+def apply_gate(state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+    """Apply a k-qubit gate ``matrix`` to ``qubits`` of ``state`` and return the result.
+
+    ``qubits[0]`` corresponds to the least significant bit of the gate's own basis
+    index (the same convention as :meth:`repro.circuits.gates.Operation.matrix`).
+    """
+    k = len(qubits)
+    if matrix.shape != (2**k, 2**k):
+        raise SimulationError(
+            f"gate matrix shape {matrix.shape} does not match {k} qubit operands"
+        )
+    tensor = state.reshape([2] * num_qubits)
+    # numpy axes are ordered most-significant-first after reshape: axis for qubit q is
+    # (num_qubits - 1 - q).
+    axes = [num_qubits - 1 - q for q in qubits]
+    gate_tensor = matrix.reshape([2] * (2 * k))
+    # Gate tensor index order: (out_{k-1} ... out_0, in_{k-1} ... in_0); we contract the
+    # input indices against the state axes.  tensordot places contracted-out axes first.
+    in_axes = list(range(2 * k))[k:]
+    moved = np.tensordot(gate_tensor, tensor, axes=(in_axes, list(reversed(axes))))
+    # tensordot output axes: (out_{k-1} ... out_0, remaining state axes in order).
+    # Move the output axes back to their original positions.
+    destination = list(reversed(axes))
+    moved = np.moveaxis(moved, list(range(k)), destination)
+    return np.ascontiguousarray(moved.reshape(-1))
+
+
+class Statevector:
+    """A pure state on ``num_qubits`` qubits with measurement/expectation helpers."""
+
+    def __init__(self, data: np.ndarray, num_qubits: Optional[int] = None) -> None:
+        data = np.asarray(data, dtype=complex).reshape(-1)
+        inferred = int(np.log2(len(data)))
+        if 2**inferred != len(data):
+            raise SimulationError(f"statevector length {len(data)} is not a power of two")
+        if num_qubits is not None and num_qubits != inferred:
+            raise SimulationError(
+                f"statevector length {len(data)} does not match {num_qubits} qubits"
+            )
+        _validate_size(inferred)
+        self._data = data
+        self._num_qubits = inferred
+
+    # ------------------------------------------------------------------ constructors
+    @staticmethod
+    def zero_state(num_qubits: int) -> "Statevector":
+        _validate_size(num_qubits)
+        data = np.zeros(2**num_qubits, dtype=complex)
+        data[0] = 1.0
+        return Statevector(data)
+
+    @staticmethod
+    def from_label(labels: Sequence[str]) -> "Statevector":
+        """Product state from per-qubit labels (``zero``, ``one``, ``plus``, ``plus_i``).
+
+        ``labels[0]`` is qubit 0 (least significant bit).
+        """
+        state = np.array([1.0 + 0.0j])
+        for label in labels:
+            state = np.kron(init_state_vector(label), state)
+        return Statevector(state)
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def num_qubits(self) -> int:
+        return self._num_qubits
+
+    @property
+    def data(self) -> np.ndarray:
+        return self._data
+
+    def copy(self) -> "Statevector":
+        return Statevector(self._data.copy())
+
+    def norm(self) -> float:
+        return float(np.linalg.norm(self._data))
+
+    def probabilities(self) -> np.ndarray:
+        """Probability of each computational-basis outcome (length ``2**n``)."""
+        return np.abs(self._data) ** 2
+
+    def probability_of(self, bitstring: str) -> float:
+        """Probability of a bitstring written most-significant-qubit first."""
+        if len(bitstring) != self._num_qubits:
+            raise SimulationError(
+                f"bitstring length {len(bitstring)} != num_qubits {self._num_qubits}"
+            )
+        index = int(bitstring, 2)
+        return float(np.abs(self._data[index]) ** 2)
+
+    def marginal_probabilities(self, qubits: Sequence[int]) -> np.ndarray:
+        """Marginal distribution over ``qubits`` (qubits[0] = LSB of the result index)."""
+        probs = self.probabilities()
+        num_states = 2 ** len(qubits)
+        result = np.zeros(num_states)
+        for index, p in enumerate(probs):
+            if p == 0.0:
+                continue
+            key = 0
+            for position, qubit in enumerate(qubits):
+                key |= ((index >> qubit) & 1) << position
+            result[key] += p
+        return result
+
+    # ------------------------------------------------------------------ evolution
+    def evolved(self, circuit: Circuit) -> "Statevector":
+        """Return the state after applying every unitary in ``circuit``."""
+        if circuit.num_qubits != self._num_qubits:
+            raise SimulationError(
+                f"circuit has {circuit.num_qubits} qubits but state has {self._num_qubits}"
+            )
+        data = self._data.copy()
+        for op in circuit:
+            if not op.is_unitary:
+                raise SimulationError(
+                    "Statevector.evolved only handles unitary circuits; use "
+                    "repro.simulator.dynamic for circuits with measure/reset"
+                )
+            data = apply_gate(data, op.matrix(), op.qubits, self._num_qubits)
+        return Statevector(data)
+
+    # ------------------------------------------------------------------ observables
+    def expectation_pauli_string(self, term: PauliString) -> float:
+        """Exact expectation value of a single (weighted) Pauli string."""
+        data = self._data
+        transformed = data.copy()
+        for qubit, label in term.paulis:
+            matrix = {
+                "X": np.array([[0, 1], [1, 0]], dtype=complex),
+                "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+                "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+            }[label]
+            transformed = apply_gate(transformed, matrix, (qubit,), self._num_qubits)
+        value = np.vdot(data, transformed)
+        return float(term.coefficient * value.real)
+
+    def expectation(self, observable: PauliObservable) -> float:
+        """Exact expectation value of a Pauli-sum observable."""
+        return float(sum(self.expectation_pauli_string(term) for term in observable.terms))
+
+    def __repr__(self) -> str:  # pragma: no cover - display helper
+        return f"Statevector(num_qubits={self._num_qubits})"
+
+
+def simulate_statevector(circuit: Circuit, initial_labels: Optional[Sequence[str]] = None) -> Statevector:
+    """Simulate a unitary-only circuit from ``|0...0>`` (or a labelled product state)."""
+    if initial_labels is None:
+        state = Statevector.zero_state(circuit.num_qubits)
+    else:
+        if len(initial_labels) != circuit.num_qubits:
+            raise SimulationError("initial_labels must have one label per qubit")
+        state = Statevector.from_label(initial_labels)
+    return state.evolved(circuit)

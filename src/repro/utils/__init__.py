@@ -1,0 +1,40 @@
+"""Shared utilities (Pauli algebra, linear algebra helpers, validation)."""
+
+from .linalg import (
+    fidelity_of_distributions,
+    is_unitary,
+    kron_all,
+    normalize_distribution,
+    total_variation_distance,
+)
+from .pauli import (
+    PAULI_MATRICES,
+    WIRE_CUT_BASES,
+    WIRE_CUT_INIT_STATES,
+    PauliObservable,
+    PauliString,
+    init_state_vector,
+    pauli_matrix,
+    pauli_string_matrix,
+)
+from .validation import require, require_index, require_positive, require_probability
+
+__all__ = [
+    "PAULI_MATRICES",
+    "WIRE_CUT_BASES",
+    "WIRE_CUT_INIT_STATES",
+    "PauliObservable",
+    "PauliString",
+    "fidelity_of_distributions",
+    "init_state_vector",
+    "is_unitary",
+    "kron_all",
+    "normalize_distribution",
+    "pauli_matrix",
+    "pauli_string_matrix",
+    "require",
+    "require_index",
+    "require_positive",
+    "require_probability",
+    "total_variation_distance",
+]

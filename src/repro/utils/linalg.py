@@ -1,0 +1,57 @@
+"""Small linear-algebra helpers used across the simulator and reconstruction code."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = [
+    "is_unitary",
+    "kron_all",
+    "fidelity_of_distributions",
+    "total_variation_distance",
+    "normalize_distribution",
+]
+
+
+def is_unitary(matrix: np.ndarray, atol: float = 1e-9) -> bool:
+    """Return ``True`` if ``matrix`` is unitary up to ``atol``."""
+    matrix = np.asarray(matrix, dtype=complex)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    identity = np.eye(matrix.shape[0])
+    return bool(np.allclose(matrix.conj().T @ matrix, identity, atol=atol))
+
+
+def kron_all(matrices: Sequence[np.ndarray]) -> np.ndarray:
+    """Kronecker product of a sequence of matrices (left-to-right)."""
+    result = np.array([[1.0 + 0.0j]])
+    for matrix in matrices:
+        result = np.kron(result, matrix)
+    return result
+
+
+def normalize_distribution(values: np.ndarray, atol: float = 1e-12) -> np.ndarray:
+    """Clip tiny negatives (reconstruction noise) and renormalise to sum 1."""
+    values = np.asarray(values, dtype=float).copy()
+    values[np.abs(values) < atol] = 0.0
+    values = np.clip(values, 0.0, None)
+    total = values.sum()
+    if total <= 0.0:
+        return np.full_like(values, 1.0 / len(values))
+    return values / total
+
+
+def fidelity_of_distributions(p: np.ndarray, q: np.ndarray) -> float:
+    """Classical (Bhattacharyya) fidelity between two probability distributions."""
+    p = np.clip(np.asarray(p, dtype=float), 0.0, None)
+    q = np.clip(np.asarray(q, dtype=float), 0.0, None)
+    return float(np.sum(np.sqrt(p * q)) ** 2)
+
+
+def total_variation_distance(p: np.ndarray, q: np.ndarray) -> float:
+    """Total variation distance between two probability distributions."""
+    p = np.asarray(p, dtype=float)
+    q = np.asarray(q, dtype=float)
+    return float(0.5 * np.sum(np.abs(p - q)))

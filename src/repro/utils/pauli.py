@@ -1,0 +1,178 @@
+"""Pauli-operator utilities shared by the simulator and the cutting engine.
+
+The module provides the single-qubit Pauli matrices, eigen-state preparations used by
+wire cutting (``|0>``, ``|1>``, ``|+>``, ``|i>``), and helpers to build multi-qubit
+Pauli-string observables as sparse-free dense matrices (only used for small
+verification circuits) or as structured objects evaluated efficiently by
+:mod:`repro.simulator.expectation`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ReproError
+
+__all__ = [
+    "PAULI_I",
+    "PAULI_X",
+    "PAULI_Y",
+    "PAULI_Z",
+    "PAULI_MATRICES",
+    "WIRE_CUT_BASES",
+    "WIRE_CUT_INIT_STATES",
+    "PauliString",
+    "PauliObservable",
+    "pauli_matrix",
+    "pauli_string_matrix",
+]
+
+PAULI_I = np.eye(2, dtype=complex)
+PAULI_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
+PAULI_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
+PAULI_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
+
+PAULI_MATRICES: Dict[str, np.ndarray] = {
+    "I": PAULI_I,
+    "X": PAULI_X,
+    "Y": PAULI_Y,
+    "Z": PAULI_Z,
+}
+
+#: Measurement bases used at the upstream end of a wire cut (CutQC, Eq. 3).
+WIRE_CUT_BASES: Tuple[str, ...] = ("I", "X", "Y", "Z")
+
+#: Initialisation states used at the downstream end of a wire cut.
+#: ``zero``/``one`` are computational states, ``plus`` is ``(|0>+|1>)/sqrt(2)`` and
+#: ``plus_i`` is ``(|0>+i|1>)/sqrt(2)``.
+WIRE_CUT_INIT_STATES: Tuple[str, ...] = ("zero", "one", "plus", "plus_i")
+
+_INIT_VECTORS: Dict[str, np.ndarray] = {
+    "zero": np.array([1.0, 0.0], dtype=complex),
+    "one": np.array([0.0, 1.0], dtype=complex),
+    "plus": np.array([1.0, 1.0], dtype=complex) / np.sqrt(2.0),
+    "plus_i": np.array([1.0, 1.0j], dtype=complex) / np.sqrt(2.0),
+}
+
+
+def init_state_vector(name: str) -> np.ndarray:
+    """Return the single-qubit state vector for a named initialisation state."""
+    try:
+        return _INIT_VECTORS[name].copy()
+    except KeyError as exc:
+        raise ReproError(f"unknown initialisation state {name!r}") from exc
+
+
+def pauli_matrix(label: str) -> np.ndarray:
+    """Return the 2x2 matrix of a single Pauli label (``I``, ``X``, ``Y`` or ``Z``)."""
+    try:
+        return PAULI_MATRICES[label].copy()
+    except KeyError as exc:
+        raise ReproError(f"unknown Pauli label {label!r}") from exc
+
+
+def pauli_string_matrix(labels: Sequence[str]) -> np.ndarray:
+    """Kronecker product of Pauli labels, with ``labels[0]`` acting on qubit 0.
+
+    Qubit 0 is the *least significant* bit of the computational-basis index, which
+    matches the convention used by :mod:`repro.simulator`.
+    """
+    matrix = np.array([[1.0 + 0.0j]])
+    for label in labels:
+        matrix = np.kron(pauli_matrix(label), matrix)
+    return matrix
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A weighted Pauli string on a subset of qubits.
+
+    Attributes:
+        paulis: mapping ``qubit index -> Pauli label`` (identity qubits omitted).
+        coefficient: real weight of the term in the observable.
+    """
+
+    paulis: Tuple[Tuple[int, str], ...]
+    coefficient: float = 1.0
+
+    @staticmethod
+    def from_dict(paulis: Dict[int, str], coefficient: float = 1.0) -> "PauliString":
+        cleaned = tuple(sorted((q, p.upper()) for q, p in paulis.items() if p.upper() != "I"))
+        for _, label in cleaned:
+            if label not in PAULI_MATRICES:
+                raise ReproError(f"unknown Pauli label {label!r}")
+        return PauliString(cleaned, float(coefficient))
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        return tuple(q for q, _ in self.paulis)
+
+    def label_for(self, qubit: int) -> str:
+        for q, label in self.paulis:
+            if q == qubit:
+                return label
+        return "I"
+
+    def restricted_to(self, qubits: Iterable[int]) -> "PauliString":
+        """Return the part of this string acting on ``qubits`` (same coefficient)."""
+        keep = set(qubits)
+        return PauliString(tuple((q, p) for q, p in self.paulis if q in keep), self.coefficient)
+
+    def remapped(self, mapping: Dict[int, int]) -> "PauliString":
+        """Return a copy with qubit indices translated through ``mapping``."""
+        return PauliString(
+            tuple(sorted((mapping[q], p) for q, p in self.paulis)), self.coefficient
+        )
+
+    def full_labels(self, num_qubits: int) -> List[str]:
+        labels = ["I"] * num_qubits
+        for q, p in self.paulis:
+            if q >= num_qubits:
+                raise ReproError(
+                    f"Pauli term on qubit {q} does not fit a {num_qubits}-qubit register"
+                )
+            labels[q] = p
+        return labels
+
+    def matrix(self, num_qubits: int) -> np.ndarray:
+        return self.coefficient * pauli_string_matrix(self.full_labels(num_qubits))
+
+
+@dataclass(frozen=True)
+class PauliObservable:
+    """A real linear combination of Pauli strings (a Hamiltonian / cost observable)."""
+
+    terms: Tuple[PauliString, ...]
+
+    @staticmethod
+    def from_terms(terms: Iterable[PauliString]) -> "PauliObservable":
+        return PauliObservable(tuple(terms))
+
+    @staticmethod
+    def single(paulis: Dict[int, str], coefficient: float = 1.0) -> "PauliObservable":
+        return PauliObservable((PauliString.from_dict(paulis, coefficient),))
+
+    @property
+    def qubits(self) -> Tuple[int, ...]:
+        found = sorted({q for term in self.terms for q in term.qubits})
+        return tuple(found)
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __add__(self, other: "PauliObservable") -> "PauliObservable":
+        return PauliObservable(self.terms + other.terms)
+
+    def scaled(self, factor: float) -> "PauliObservable":
+        return PauliObservable(
+            tuple(PauliString(t.paulis, t.coefficient * factor) for t in self.terms)
+        )
+
+    def matrix(self, num_qubits: int) -> np.ndarray:
+        total = np.zeros((2**num_qubits, 2**num_qubits), dtype=complex)
+        for term in self.terms:
+            total += term.matrix(num_qubits)
+        return total

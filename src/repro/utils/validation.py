@@ -1,0 +1,35 @@
+"""Argument-validation helpers producing consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..exceptions import ReproError
+
+__all__ = ["require", "require_positive", "require_index", "require_probability"]
+
+
+def require(condition: bool, message: str, error: type = ReproError) -> None:
+    """Raise ``error(message)`` when ``condition`` is false."""
+    if not condition:
+        raise error(message)
+
+
+def require_positive(value: float, name: str, error: type = ReproError) -> None:
+    """Raise when ``value`` is not strictly positive."""
+    if not value > 0:
+        raise error(f"{name} must be positive, got {value!r}")
+
+
+def require_index(value: int, upper: int, name: str, error: type = ReproError) -> None:
+    """Raise when ``value`` is not a valid index in ``range(upper)``."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise error(f"{name} must be an integer index, got {value!r}")
+    if not 0 <= value < upper:
+        raise error(f"{name} must be in [0, {upper}), got {value}")
+
+
+def require_probability(value: float, name: str, error: type = ReproError) -> None:
+    """Raise when ``value`` is not a probability in ``[0, 1]``."""
+    if not 0.0 <= value <= 1.0:
+        raise error(f"{name} must be in [0, 1], got {value!r}")

@@ -1,0 +1,68 @@
+"""Benchmark circuit generators used by the paper's evaluation."""
+
+from .adder import adder_qubit_count, append_toffoli, make_adder, ripple_carry_adder
+from .base import Workload, WorkloadKind
+from .graphs import barabasi_albert_graph, erdos_renyi_graph, grid_graph, regular_graph
+from .hamiltonian import (
+    heisenberg_observable,
+    ising_observable,
+    make_heisenberg,
+    make_ising,
+    make_xy,
+    trotter_circuit,
+    xy_observable,
+)
+from .qaoa import (
+    make_barabasi_albert_qaoa,
+    make_erdos_renyi_qaoa,
+    make_regular_qaoa,
+    maxcut_observable,
+    qaoa_circuit,
+)
+from .qft import aqft_circuit, make_aqft, make_qft, qft_circuit
+from .registry import (
+    EXPECTATION_BENCHMARKS,
+    PROBABILITY_BENCHMARKS,
+    available_benchmarks,
+    make_workload,
+)
+from .supremacy import make_supremacy, supremacy_circuit
+from .vqe import hydrogen_chain_observable, make_vqe, two_local_ansatz
+
+__all__ = [
+    "EXPECTATION_BENCHMARKS",
+    "PROBABILITY_BENCHMARKS",
+    "Workload",
+    "WorkloadKind",
+    "adder_qubit_count",
+    "append_toffoli",
+    "aqft_circuit",
+    "available_benchmarks",
+    "barabasi_albert_graph",
+    "erdos_renyi_graph",
+    "grid_graph",
+    "heisenberg_observable",
+    "hydrogen_chain_observable",
+    "ising_observable",
+    "make_adder",
+    "make_aqft",
+    "make_barabasi_albert_qaoa",
+    "make_erdos_renyi_qaoa",
+    "make_heisenberg",
+    "make_ising",
+    "make_qft",
+    "make_regular_qaoa",
+    "make_supremacy",
+    "make_vqe",
+    "make_workload",
+    "make_xy",
+    "maxcut_observable",
+    "qaoa_circuit",
+    "qft_circuit",
+    "regular_graph",
+    "ripple_carry_adder",
+    "supremacy_circuit",
+    "trotter_circuit",
+    "two_local_ansatz",
+    "xy_observable",
+]

@@ -1,0 +1,125 @@
+"""Cuccaro ripple-carry adder (the ``ADD`` benchmark).
+
+The Cuccaro adder computes ``b <- a + b`` on the qubit layout
+``[cin, b0, a0, b1, a1, ..., b_{n-1}, a_{n-1}, cout]`` using MAJ / UMA blocks and a
+single ancilla (the paper cites it precisely because it needs only one ancilla).
+The MAJ/UMA blocks contain Toffoli gates; since the IR (like the hardware the paper
+targets) only provides one- and two-qubit gates, Toffolis are emitted in the
+standard 6-CNOT + T decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..circuits import Circuit
+from ..exceptions import WorkloadError
+from .base import Workload, WorkloadKind
+
+__all__ = ["append_toffoli", "ripple_carry_adder", "make_adder", "adder_qubit_count"]
+
+
+def append_toffoli(circuit: Circuit, control_a: int, control_b: int, target: int) -> Circuit:
+    """Append a Toffoli (CCX) decomposed into {H, T, Tdg, CX}."""
+    circuit.h(target)
+    circuit.cx(control_b, target)
+    circuit.tdg(target)
+    circuit.cx(control_a, target)
+    circuit.t(target)
+    circuit.cx(control_b, target)
+    circuit.tdg(target)
+    circuit.cx(control_a, target)
+    circuit.t(control_b)
+    circuit.t(target)
+    circuit.h(target)
+    circuit.cx(control_a, control_b)
+    circuit.t(control_a)
+    circuit.tdg(control_b)
+    circuit.cx(control_a, control_b)
+    return circuit
+
+
+def _maj(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    circuit.cx(a, b)
+    circuit.cx(a, carry)
+    append_toffoli(circuit, carry, b, a)
+
+
+def _uma(circuit: Circuit, carry: int, b: int, a: int) -> None:
+    append_toffoli(circuit, carry, b, a)
+    circuit.cx(a, carry)
+    circuit.cx(carry, b)
+
+
+def adder_qubit_count(num_bits: int) -> int:
+    """Total qubits of an ``num_bits``-bit ripple-carry adder (2n data + cin + cout)."""
+    return 2 * num_bits + 2
+
+
+def ripple_carry_adder(
+    num_bits: int,
+    a_value: Optional[int] = None,
+    b_value: Optional[int] = None,
+) -> Circuit:
+    """Build the Cuccaro ripple-carry adder for two ``num_bits``-bit registers.
+
+    ``a_value`` / ``b_value`` optionally prepare the inputs with X gates so the
+    circuit computes a concrete sum (useful for functional tests); by default the
+    inputs are put in superposition with Hadamards, which is what the cutting
+    benchmark uses (denser, more entangling).
+    """
+    if num_bits < 1:
+        raise WorkloadError("adder needs at least 1 bit")
+    num_qubits = adder_qubit_count(num_bits)
+    circuit = Circuit(num_qubits, f"adder_{num_bits}b")
+
+    carry_in = 0
+    carry_out = num_qubits - 1
+
+    def b_qubit(i: int) -> int:
+        return 1 + 2 * i
+
+    def a_qubit(i: int) -> int:
+        return 2 + 2 * i
+
+    if a_value is None and b_value is None:
+        for i in range(num_bits):
+            circuit.h(a_qubit(i))
+            circuit.h(b_qubit(i))
+    else:
+        a_value = a_value or 0
+        b_value = b_value or 0
+        if a_value >= 2**num_bits or b_value >= 2**num_bits:
+            raise WorkloadError("input values do not fit in the register width")
+        for i in range(num_bits):
+            if (a_value >> i) & 1:
+                circuit.x(a_qubit(i))
+            if (b_value >> i) & 1:
+                circuit.x(b_qubit(i))
+
+    _maj(circuit, carry_in, b_qubit(0), a_qubit(0))
+    for i in range(1, num_bits):
+        _maj(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    circuit.cx(a_qubit(num_bits - 1), carry_out)
+    for i in reversed(range(1, num_bits)):
+        _uma(circuit, a_qubit(i - 1), b_qubit(i), a_qubit(i))
+    _uma(circuit, carry_in, b_qubit(0), a_qubit(0))
+    return circuit
+
+
+def make_adder(num_qubits: int) -> Workload:
+    """The ``ADD`` probability-vector workload sized by total qubit count.
+
+    ``num_qubits`` is rounded down to the nearest valid adder width (2n+2).
+    """
+    if num_qubits < 4:
+        raise WorkloadError("adder workload needs at least 4 qubits")
+    num_bits = (num_qubits - 2) // 2
+    circuit = ripple_carry_adder(num_bits)
+    return Workload(
+        name="cuccaro_ripple_carry_adder",
+        acronym="ADD",
+        circuit=circuit,
+        kind=WorkloadKind.PROBABILITY,
+        params={"N": circuit.num_qubits, "bits": num_bits},
+    )

@@ -1,0 +1,64 @@
+"""Common workload abstractions.
+
+A :class:`Workload` bundles a benchmark circuit together with what the paper's
+evaluation needs to know about it:
+
+* whether it computes a **probability vector** (only wire cutting allowed) or an
+  **expectation value** (wire + gate cutting allowed) — Section 5.1,
+* the observable whose expectation value is reported (expectation workloads only),
+* the three-letter acronym used in the paper's tables and the generator parameters,
+  so benchmark harnesses can archive exactly what was run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..circuits import Circuit
+from ..exceptions import WorkloadError
+from ..utils.pauli import PauliObservable
+
+__all__ = ["WorkloadKind", "Workload"]
+
+
+class WorkloadKind:
+    """The two output types distinguished throughout the paper."""
+
+    PROBABILITY = "probability"
+    EXPECTATION = "expectation"
+
+
+@dataclass
+class Workload:
+    """A benchmark instance: circuit + output kind + optional observable."""
+
+    name: str
+    acronym: str
+    circuit: Circuit
+    kind: str
+    observable: Optional[PauliObservable] = None
+    params: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in (WorkloadKind.PROBABILITY, WorkloadKind.EXPECTATION):
+            raise WorkloadError(f"unknown workload kind {self.kind!r}")
+        if self.kind == WorkloadKind.EXPECTATION and self.observable is None:
+            raise WorkloadError(
+                f"expectation workload {self.name!r} must provide an observable"
+            )
+
+    @property
+    def num_qubits(self) -> int:
+        return self.circuit.num_qubits
+
+    @property
+    def allows_gate_cutting(self) -> bool:
+        """Gate cutting only reconstructs expectation values (Section 2.3.2)."""
+        return self.kind == WorkloadKind.EXPECTATION
+
+    def describe(self) -> str:
+        pieces = [f"{self.acronym} ({self.name})", f"N={self.num_qubits}", f"kind={self.kind}"]
+        if self.params:
+            pieces.append(", ".join(f"{k}={v}" for k, v in sorted(self.params.items())))
+        return ", ".join(pieces)

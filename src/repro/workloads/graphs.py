@@ -1,0 +1,79 @@
+"""Deterministic graph generators for the QAOA workloads (REG / ERD / BAR).
+
+Thin wrappers over networkx generators with fixed seeds so every benchmark run (and
+the paper-table reproduction) uses the same graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from ..exceptions import WorkloadError
+
+__all__ = ["regular_graph", "erdos_renyi_graph", "barabasi_albert_graph", "grid_graph"]
+
+
+def regular_graph(num_nodes: int, degree: int = 5, seed: int = 11) -> nx.Graph:
+    """An ``degree``-regular graph on ``num_nodes`` nodes (paper default m=5)."""
+    if num_nodes <= degree:
+        raise WorkloadError(f"need more than {degree} nodes for a {degree}-regular graph")
+    if (num_nodes * degree) % 2:
+        raise WorkloadError("num_nodes * degree must be even for a regular graph")
+    return nx.random_regular_graph(degree, num_nodes, seed=seed)
+
+
+def erdos_renyi_graph(num_nodes: int, probability: float = 0.1, seed: int = 11) -> nx.Graph:
+    """An Erdős–Rényi G(n, p) graph (paper default p=0.1), forced to be connected-ish.
+
+    Isolated nodes are attached to their successor so every qubit participates in at
+    least one interaction (an isolated qubit is trivially cuttable and would make the
+    benchmark degenerate).
+    """
+    if not 0.0 < probability <= 1.0:
+        raise WorkloadError("edge probability must be in (0, 1]")
+    graph = nx.gnp_random_graph(num_nodes, probability, seed=seed)
+    for node in range(num_nodes):
+        if graph.degree(node) == 0:
+            graph.add_edge(node, (node + 1) % num_nodes)
+    return graph
+
+
+def barabasi_albert_graph(num_nodes: int, attachment: int = 3, seed: int = 11) -> nx.Graph:
+    """A Barabási–Albert preferential-attachment graph (paper default m=3)."""
+    if num_nodes <= attachment:
+        raise WorkloadError("num_nodes must exceed the attachment parameter")
+    return nx.barabasi_albert_graph(num_nodes, attachment, seed=seed)
+
+
+def grid_graph(num_nodes: int, next_nearest: bool = False) -> nx.Graph:
+    """A 2-D square-lattice interaction graph used by the Hamiltonian workloads.
+
+    With ``next_nearest`` the diagonal (next-nearest-neighbour) couplings of the
+    ``-n`` benchmark variants are added.
+    """
+    import math
+
+    rows = int(math.isqrt(num_nodes))
+    while num_nodes % rows:
+        rows -= 1
+    cols = num_nodes // rows
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+
+    def qubit(row: int, col: int) -> int:
+        return row * cols + col
+
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                graph.add_edge(qubit(row, col), qubit(row, col + 1))
+            if row + 1 < rows:
+                graph.add_edge(qubit(row, col), qubit(row + 1, col))
+            if next_nearest:
+                if row + 1 < rows and col + 1 < cols:
+                    graph.add_edge(qubit(row, col), qubit(row + 1, col + 1))
+                if row + 1 < rows and col - 1 >= 0:
+                    graph.add_edge(qubit(row, col), qubit(row + 1, col - 1))
+    return graph

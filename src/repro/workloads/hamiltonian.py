@@ -1,0 +1,151 @@
+"""2-D square-lattice Hamiltonian-simulation workloads (IS / XY / HS and -n variants).
+
+Each workload is one (or more) first-order Trotter steps of the corresponding
+lattice model and reports the expectation value of the model Hamiltonian itself:
+
+* **IS** — transverse-field Ising: ``J * sum ZZ + h * sum X``,
+* **XY** — XY model: ``J * sum (XX + YY)``,
+* **HS** — Heisenberg: ``J * sum (XX + YY + ZZ) + h * sum Z``.
+
+``*-n`` variants add next-nearest-neighbour (diagonal) couplings, doubling the
+two-qubit gate density, which is exactly what Table 2 uses them for.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import networkx as nx
+
+from ..circuits import Circuit
+from ..exceptions import WorkloadError
+from ..utils.pauli import PauliObservable, PauliString
+from .base import Workload, WorkloadKind
+from .graphs import grid_graph
+
+__all__ = [
+    "ising_observable",
+    "xy_observable",
+    "heisenberg_observable",
+    "trotter_circuit",
+    "make_ising",
+    "make_xy",
+    "make_heisenberg",
+]
+
+
+def ising_observable(graph: nx.Graph, coupling: float = 1.0, field: float = 0.6) -> PauliObservable:
+    """Transverse-field Ising Hamiltonian on the lattice ``graph``."""
+    terms = [PauliString.from_dict({u: "Z", v: "Z"}, coupling) for u, v in graph.edges]
+    terms += [PauliString.from_dict({q: "X"}, field) for q in graph.nodes]
+    return PauliObservable(tuple(terms))
+
+
+def xy_observable(graph: nx.Graph, coupling: float = 1.0) -> PauliObservable:
+    """XY-model Hamiltonian on the lattice ``graph``."""
+    terms = []
+    for u, v in graph.edges:
+        terms.append(PauliString.from_dict({u: "X", v: "X"}, coupling))
+        terms.append(PauliString.from_dict({u: "Y", v: "Y"}, coupling))
+    return PauliObservable(tuple(terms))
+
+
+def heisenberg_observable(
+    graph: nx.Graph, coupling: float = 1.0, field: float = 0.4
+) -> PauliObservable:
+    """Heisenberg Hamiltonian (XX + YY + ZZ couplings + Z field)."""
+    terms = []
+    for u, v in graph.edges:
+        terms.append(PauliString.from_dict({u: "X", v: "X"}, coupling))
+        terms.append(PauliString.from_dict({u: "Y", v: "Y"}, coupling))
+        terms.append(PauliString.from_dict({u: "Z", v: "Z"}, coupling))
+    terms += [PauliString.from_dict({q: "Z"}, field) for q in graph.nodes]
+    return PauliObservable(tuple(terms))
+
+
+def trotter_circuit(
+    graph: nx.Graph,
+    model: str,
+    steps: int = 1,
+    time_step: float = 0.2,
+    field: float = 0.6,
+) -> Circuit:
+    """First-order Trotterised evolution of the given lattice ``model``.
+
+    ``model`` is ``"ising"``, ``"xy"`` or ``"heisenberg"``.  The initial state is
+    prepared with a layer of Hadamards so the reported expectation values are
+    non-trivial.
+    """
+    if steps < 1:
+        raise WorkloadError("trotter steps must be >= 1")
+    model = model.lower()
+    if model not in ("ising", "xy", "heisenberg"):
+        raise WorkloadError(f"unknown lattice model {model!r}")
+    num_qubits = graph.number_of_nodes()
+    circuit = Circuit(num_qubits, f"{model}_{num_qubits}q_s{steps}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for _ in range(steps):
+        if model in ("xy", "heisenberg"):
+            for u, v in graph.edges:
+                circuit.rxx(2.0 * time_step, u, v)
+            for u, v in graph.edges:
+                circuit.ryy(2.0 * time_step, u, v)
+        if model in ("ising", "heisenberg"):
+            for u, v in graph.edges:
+                circuit.rzz(2.0 * time_step, u, v)
+        if model == "ising":
+            for qubit in range(num_qubits):
+                circuit.rx(2.0 * time_step * field, qubit)
+        elif model == "heisenberg":
+            for qubit in range(num_qubits):
+                circuit.rz(2.0 * time_step * field, qubit)
+    return circuit
+
+
+def _lattice_workload(
+    acronym: str,
+    name: str,
+    model: str,
+    observable_builder,
+    num_qubits: int,
+    next_nearest: bool,
+    steps: int,
+) -> Workload:
+    graph = grid_graph(num_qubits, next_nearest=next_nearest)
+    circuit = trotter_circuit(graph, model, steps=steps)
+    return Workload(
+        name=name,
+        acronym=acronym + ("-n" if next_nearest else ""),
+        circuit=circuit,
+        kind=WorkloadKind.EXPECTATION,
+        observable=observable_builder(graph),
+        params={"N": num_qubits, "next_nearest": next_nearest, "steps": steps},
+    )
+
+
+def make_ising(num_qubits: int, next_nearest: bool = False, steps: int = 1) -> Workload:
+    """The ``IS`` / ``IS-n`` workload (2-D transverse-field Ising)."""
+    return _lattice_workload(
+        "IS", "ising_2d_lattice", "ising", ising_observable, num_qubits, next_nearest, steps
+    )
+
+
+def make_xy(num_qubits: int, next_nearest: bool = False, steps: int = 1) -> Workload:
+    """The ``XY`` / ``XY-n`` workload (2-D XY model)."""
+    return _lattice_workload(
+        "XY", "xy_2d_lattice", "xy", xy_observable, num_qubits, next_nearest, steps
+    )
+
+
+def make_heisenberg(num_qubits: int, next_nearest: bool = False, steps: int = 1) -> Workload:
+    """The ``HS`` / ``HS-n`` workload (2-D Heisenberg model)."""
+    return _lattice_workload(
+        "HS",
+        "heisenberg_2d_lattice",
+        "heisenberg",
+        heisenberg_observable,
+        num_qubits,
+        next_nearest,
+        steps,
+    )

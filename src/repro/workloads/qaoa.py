@@ -1,0 +1,131 @@
+"""QAOA MaxCut workloads on random graphs (REG / ERD / BAR benchmarks).
+
+These are the expectation-value benchmarks of Table 2: a depth-``p`` QAOA ansatz
+whose cost layer applies one ``RZZ`` per graph edge and whose output of interest is
+the expectation value of the MaxCut Hamiltonian — exactly the setting where gate
+cutting becomes usable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+import networkx as nx
+import numpy as np
+
+from ..circuits import Circuit
+from ..exceptions import WorkloadError
+from ..utils.pauli import PauliObservable, PauliString
+from .base import Workload, WorkloadKind
+from .graphs import barabasi_albert_graph, erdos_renyi_graph, regular_graph
+
+__all__ = [
+    "maxcut_observable",
+    "qaoa_circuit",
+    "make_regular_qaoa",
+    "make_erdos_renyi_qaoa",
+    "make_barabasi_albert_qaoa",
+]
+
+
+def maxcut_observable(graph: nx.Graph) -> PauliObservable:
+    """The MaxCut cost Hamiltonian ``sum_{(u,v) in E} (1 - Z_u Z_v) / 2``.
+
+    The constant part is kept as an identity term so the expectation value equals the
+    expected cut size.
+    """
+    terms = []
+    for u, v in graph.edges:
+        terms.append(PauliString.from_dict({}, 0.5))
+        terms.append(PauliString.from_dict({u: "Z", v: "Z"}, -0.5))
+    return PauliObservable(tuple(terms))
+
+
+def qaoa_circuit(
+    graph: nx.Graph,
+    layers: int = 1,
+    gammas: Optional[Sequence[float]] = None,
+    betas: Optional[Sequence[float]] = None,
+    seed: int = 3,
+) -> Circuit:
+    """Standard QAOA ansatz: H on all qubits, then ``layers`` of cost + mixer layers.
+
+    When angles are not supplied, deterministic pseudo-random angles (seeded) are
+    used — the cutting benchmarks only care about circuit structure, but examples and
+    accuracy experiments want reproducible values.
+    """
+    if layers < 1:
+        raise WorkloadError("QAOA needs at least one layer")
+    num_qubits = graph.number_of_nodes()
+    rng = np.random.default_rng(seed)
+    if gammas is None:
+        gammas = [float(rng.uniform(0.1, math.pi / 2)) for _ in range(layers)]
+    if betas is None:
+        betas = [float(rng.uniform(0.1, math.pi / 2)) for _ in range(layers)]
+    if len(gammas) != layers or len(betas) != layers:
+        raise WorkloadError("gammas/betas must have one entry per layer")
+
+    circuit = Circuit(num_qubits, f"qaoa_{num_qubits}q_p{layers}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for layer in range(layers):
+        for u, v in graph.edges:
+            circuit.rzz(2.0 * gammas[layer], u, v)
+        for qubit in range(num_qubits):
+            circuit.rx(2.0 * betas[layer], qubit)
+    return circuit
+
+
+def _make_qaoa_workload(
+    graph: nx.Graph, acronym: str, name: str, layers: int, params: dict
+) -> Workload:
+    circuit = qaoa_circuit(graph, layers=layers)
+    return Workload(
+        name=name,
+        acronym=acronym,
+        circuit=circuit,
+        kind=WorkloadKind.EXPECTATION,
+        observable=maxcut_observable(graph),
+        params=params,
+    )
+
+
+def make_regular_qaoa(num_qubits: int, degree: int = 5, layers: int = 1, seed: int = 11) -> Workload:
+    """The ``REG`` workload: QAOA MaxCut on an m-regular graph (default m=5)."""
+    graph = regular_graph(num_qubits, degree, seed)
+    return _make_qaoa_workload(
+        graph,
+        "REG",
+        "qaoa_maxcut_regular",
+        layers,
+        {"N": num_qubits, "m": degree, "layers": layers, "seed": seed},
+    )
+
+
+def make_erdos_renyi_qaoa(
+    num_qubits: int, probability: float = 0.1, layers: int = 1, seed: int = 11
+) -> Workload:
+    """The ``ERD`` workload: QAOA MaxCut on an Erdős–Rényi graph (default p=0.1)."""
+    graph = erdos_renyi_graph(num_qubits, probability, seed)
+    return _make_qaoa_workload(
+        graph,
+        "ERD",
+        "qaoa_maxcut_erdos_renyi",
+        layers,
+        {"N": num_qubits, "p": probability, "layers": layers, "seed": seed},
+    )
+
+
+def make_barabasi_albert_qaoa(
+    num_qubits: int, attachment: int = 3, layers: int = 1, seed: int = 11
+) -> Workload:
+    """The ``BAR`` workload: QAOA MaxCut on a Barabási–Albert graph (default m=3)."""
+    graph = barabasi_albert_graph(num_qubits, attachment, seed)
+    return _make_qaoa_workload(
+        graph,
+        "BAR",
+        "qaoa_maxcut_barabasi_albert",
+        layers,
+        {"N": num_qubits, "m": attachment, "layers": layers, "seed": seed},
+    )

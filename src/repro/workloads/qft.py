@@ -1,0 +1,84 @@
+"""Quantum Fourier Transform workloads (QFT and AQFT).
+
+QFT is the paper's hardest cutting benchmark: controlled-phase gates between every
+qubit pair produce all-to-all connectivity.  AQFT drops the smallest rotations
+(controlled-phase angles below ``pi / 2**(degree-1)``), removing long-range
+interactions and making cutting much easier — exactly the contrast Table 1 reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..circuits import Circuit
+from ..exceptions import WorkloadError
+from .base import Workload, WorkloadKind
+
+__all__ = ["qft_circuit", "aqft_circuit", "make_qft", "make_aqft"]
+
+
+def qft_circuit(num_qubits: int, include_swaps: bool = False) -> Circuit:
+    """Textbook QFT on ``num_qubits`` qubits.
+
+    ``include_swaps`` appends the final qubit-reversal SWAP network; cutting papers
+    (CutQC, QRCC) conventionally omit it because it only relabels outputs.
+    """
+    if num_qubits < 2:
+        raise WorkloadError("QFT needs at least 2 qubits")
+    circuit = Circuit(num_qubits, f"qft_{num_qubits}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control_offset in range(1, num_qubits - target):
+            control = target + control_offset
+            angle = math.pi / (2**control_offset)
+            circuit.cp(angle, control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def aqft_circuit(num_qubits: int, degree: int = 5, include_swaps: bool = False) -> Circuit:
+    """Approximate QFT keeping only controlled rotations of order < ``degree``.
+
+    ``degree`` follows the usual AQFT convention: a controlled-phase between qubits a
+    distance ``d`` apart is kept only when ``d < degree``.  ``degree >= num_qubits``
+    recovers the exact QFT.
+    """
+    if num_qubits < 2:
+        raise WorkloadError("AQFT needs at least 2 qubits")
+    if degree < 1:
+        raise WorkloadError("AQFT degree must be at least 1")
+    circuit = Circuit(num_qubits, f"aqft_{num_qubits}_d{degree}")
+    for target in range(num_qubits):
+        circuit.h(target)
+        for control_offset in range(1, min(degree, num_qubits - target)):
+            control = target + control_offset
+            angle = math.pi / (2**control_offset)
+            circuit.cp(angle, control, target)
+    if include_swaps:
+        for qubit in range(num_qubits // 2):
+            circuit.swap(qubit, num_qubits - 1 - qubit)
+    return circuit
+
+
+def make_qft(num_qubits: int) -> Workload:
+    """The ``QFT`` probability-vector workload."""
+    return Workload(
+        name="quantum_fourier_transform",
+        acronym="QFT",
+        circuit=qft_circuit(num_qubits),
+        kind=WorkloadKind.PROBABILITY,
+        params={"N": num_qubits},
+    )
+
+
+def make_aqft(num_qubits: int, degree: int = 5) -> Workload:
+    """The ``AQFT`` probability-vector workload."""
+    return Workload(
+        name="approximate_quantum_fourier_transform",
+        acronym="AQFT",
+        circuit=aqft_circuit(num_qubits, degree),
+        kind=WorkloadKind.PROBABILITY,
+        params={"N": num_qubits, "degree": degree},
+    )

@@ -1,0 +1,77 @@
+"""Registry mapping the paper's benchmark acronyms to workload builders.
+
+The benchmark harnesses address workloads by the same three-letter acronyms the
+paper's tables use (``QFT``, ``SPM``, ``ADD``, ``AQFT``, ``REG``, ``ERD``, ``BAR``,
+``IS``, ``XY``, ``HS``, ``IS-n``, ``XY-n``, ``HS-n``, ``VQE``); the registry resolves
+them to the generator functions with their paper-default parameters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from ..exceptions import WorkloadError
+from .adder import make_adder
+from .base import Workload
+from .hamiltonian import make_heisenberg, make_ising, make_xy
+from .qaoa import make_barabasi_albert_qaoa, make_erdos_renyi_qaoa, make_regular_qaoa
+from .qft import make_aqft, make_qft
+from .supremacy import make_supremacy
+from .vqe import make_vqe
+
+__all__ = [
+    "PROBABILITY_BENCHMARKS",
+    "EXPECTATION_BENCHMARKS",
+    "available_benchmarks",
+    "make_workload",
+]
+
+_BUILDERS: Dict[str, Callable[..., Workload]] = {
+    "QFT": make_qft,
+    "AQFT": make_aqft,
+    "SPM": make_supremacy,
+    "ADD": make_adder,
+    "REG": make_regular_qaoa,
+    "ERD": make_erdos_renyi_qaoa,
+    "BAR": make_barabasi_albert_qaoa,
+    "IS": lambda n, **kw: make_ising(n, next_nearest=False, **kw),
+    "IS-n": lambda n, **kw: make_ising(n, next_nearest=True, **kw),
+    "XY": lambda n, **kw: make_xy(n, next_nearest=False, **kw),
+    "XY-n": lambda n, **kw: make_xy(n, next_nearest=True, **kw),
+    "HS": lambda n, **kw: make_heisenberg(n, next_nearest=False, **kw),
+    "HS-n": lambda n, **kw: make_heisenberg(n, next_nearest=True, **kw),
+    "VQE": make_vqe,
+}
+
+#: Benchmarks that compute probability vectors (Table 1: wire cutting only).
+PROBABILITY_BENCHMARKS = ("QFT", "AQFT", "SPM", "ADD")
+
+#: Benchmarks that compute expectation values (Table 2: wire + gate cutting).
+EXPECTATION_BENCHMARKS = (
+    "REG",
+    "ERD",
+    "BAR",
+    "IS",
+    "XY",
+    "HS",
+    "IS-n",
+    "XY-n",
+    "HS-n",
+    "VQE",
+)
+
+
+def available_benchmarks() -> List[str]:
+    """All registered benchmark acronyms."""
+    return sorted(_BUILDERS)
+
+
+def make_workload(acronym: str, num_qubits: int, **kwargs) -> Workload:
+    """Build the named benchmark at the requested size with paper-default parameters."""
+    try:
+        builder = _BUILDERS[acronym]
+    except KeyError as exc:
+        raise WorkloadError(
+            f"unknown benchmark {acronym!r}; available: {available_benchmarks()}"
+        ) from exc
+    return builder(num_qubits, **kwargs)

@@ -1,0 +1,92 @@
+"""Google-supremacy-style random circuits (the ``SPM`` benchmark).
+
+The circuit follows the structure of Boixo et al.: qubits live on a 2-D grid;
+every cycle applies a random single-qubit gate from ``{sqrt(X), sqrt(Y), T}`` to each
+qubit and a layer of CZ gates along one of the grid-edge patterns, cycling through
+the patterns so every edge is activated periodically.  Connectivity is strictly
+nearest-neighbour on the grid, which is why SPM is far easier to cut than QFT.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..exceptions import WorkloadError
+from .base import Workload, WorkloadKind
+
+__all__ = ["grid_dimensions", "supremacy_circuit", "make_supremacy"]
+
+
+def grid_dimensions(num_qubits: int) -> Tuple[int, int]:
+    """Pick the most-square (rows, cols) grid with ``rows*cols == num_qubits``."""
+    best = (1, num_qubits)
+    for rows in range(1, int(math.isqrt(num_qubits)) + 1):
+        if num_qubits % rows == 0:
+            best = (rows, num_qubits // rows)
+    return best
+
+
+def _grid_edges(rows: int, cols: int) -> List[List[Tuple[int, int]]]:
+    """Four alternating CZ activation patterns over the grid edges."""
+
+    def qubit(row: int, col: int) -> int:
+        return row * cols + col
+
+    horizontal_even, horizontal_odd, vertical_even, vertical_odd = [], [], [], []
+    for row in range(rows):
+        for col in range(cols - 1):
+            edge = (qubit(row, col), qubit(row, col + 1))
+            (horizontal_even if col % 2 == 0 else horizontal_odd).append(edge)
+    for row in range(rows - 1):
+        for col in range(cols):
+            edge = (qubit(row, col), qubit(row + 1, col))
+            (vertical_even if row % 2 == 0 else vertical_odd).append(edge)
+    patterns = [p for p in (horizontal_even, vertical_even, horizontal_odd, vertical_odd) if p]
+    return patterns or [[]]
+
+
+def supremacy_circuit(
+    num_qubits: int, depth: int = 8, seed: Optional[int] = 7, rows: Optional[int] = None
+) -> Circuit:
+    """Random supremacy-style circuit with ``depth`` entangling cycles."""
+    if num_qubits < 2:
+        raise WorkloadError("supremacy circuits need at least 2 qubits")
+    if depth < 1:
+        raise WorkloadError("depth must be at least 1")
+    if rows is None:
+        rows, cols = grid_dimensions(num_qubits)
+    else:
+        if num_qubits % rows:
+            raise WorkloadError(f"rows={rows} does not divide num_qubits={num_qubits}")
+        cols = num_qubits // rows
+    rng = np.random.default_rng(seed)
+    patterns = _grid_edges(rows, cols)
+    circuit = Circuit(num_qubits, f"supremacy_{rows}x{cols}_d{depth}")
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    single_gates = ("sx", "t", "rx", "ry")
+    for cycle in range(depth):
+        for qubit in range(num_qubits):
+            gate = single_gates[rng.integers(0, len(single_gates))]
+            if gate in ("rx", "ry"):
+                circuit.add(gate, [qubit], [float(rng.uniform(0, 2 * math.pi))])
+            else:
+                circuit.add(gate, [qubit])
+        for a, b in patterns[cycle % len(patterns)]:
+            circuit.cz(a, b)
+    return circuit
+
+
+def make_supremacy(num_qubits: int, depth: int = 8, seed: int = 7) -> Workload:
+    """The ``SPM`` probability-vector workload."""
+    return Workload(
+        name="google_supremacy_random_circuit",
+        acronym="SPM",
+        circuit=supremacy_circuit(num_qubits, depth, seed),
+        kind=WorkloadKind.PROBABILITY,
+        params={"N": num_qubits, "depth": depth, "seed": seed},
+    )

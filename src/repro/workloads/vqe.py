@@ -1,0 +1,82 @@
+"""Hydrogen-chain VQE workload with a linear two-local ansatz (the ``VQE`` benchmark).
+
+The paper simulates the hydrogen-chain VQE with a linear two-local ansatz.  Real
+molecular integrals require an electronic-structure package that is not available
+offline, so the Hamiltonian here is a *synthetic hydrogen-chain-like* operator: a
+1-D chain with nearest-neighbour ZZ/XX couplings and on-site Z terms whose
+coefficients decay along the chain (deterministic, seeded).  The circuit — the part
+that matters for cutting — is exactly the linear two-local ansatz: alternating layers
+of single-qubit ``RY`` rotations and a line of CX entanglers, which is why the paper
+reports a single cut for it (nearest-neighbour connectivity only).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..circuits import Circuit
+from ..exceptions import WorkloadError
+from ..utils.pauli import PauliObservable, PauliString
+from .base import Workload, WorkloadKind
+
+__all__ = ["hydrogen_chain_observable", "two_local_ansatz", "make_vqe"]
+
+
+def hydrogen_chain_observable(num_qubits: int, seed: int = 5) -> PauliObservable:
+    """Synthetic hydrogen-chain Hamiltonian (documented substitution, see DESIGN.md)."""
+    if num_qubits < 2:
+        raise WorkloadError("hydrogen chain needs at least 2 qubits")
+    rng = np.random.default_rng(seed)
+    terms = []
+    for qubit in range(num_qubits):
+        terms.append(PauliString.from_dict({qubit: "Z"}, -0.4 - 0.05 * float(rng.random())))
+    for qubit in range(num_qubits - 1):
+        strength = 0.25 + 0.05 * float(rng.random())
+        terms.append(PauliString.from_dict({qubit: "Z", qubit + 1: "Z"}, strength))
+        terms.append(PauliString.from_dict({qubit: "X", qubit + 1: "X"}, 0.1 * strength))
+    return PauliObservable(tuple(terms))
+
+
+def two_local_ansatz(
+    num_qubits: int,
+    layers: int = 2,
+    angles: Optional[Sequence[float]] = None,
+    seed: int = 5,
+) -> Circuit:
+    """Linear two-local ansatz: RY rotation layers separated by a CX entangler line."""
+    if num_qubits < 2:
+        raise WorkloadError("ansatz needs at least 2 qubits")
+    if layers < 1:
+        raise WorkloadError("ansatz needs at least 1 layer")
+    needed = num_qubits * (layers + 1)
+    rng = np.random.default_rng(seed)
+    if angles is None:
+        angles = [float(rng.uniform(0, np.pi)) for _ in range(needed)]
+    if len(angles) != needed:
+        raise WorkloadError(f"two-local ansatz needs {needed} angles, got {len(angles)}")
+    circuit = Circuit(num_qubits, f"vqe_two_local_{num_qubits}q_l{layers}")
+    position = 0
+    for qubit in range(num_qubits):
+        circuit.ry(angles[position], qubit)
+        position += 1
+    for _ in range(layers):
+        for qubit in range(num_qubits - 1):
+            circuit.cx(qubit, qubit + 1)
+        for qubit in range(num_qubits):
+            circuit.ry(angles[position], qubit)
+            position += 1
+    return circuit
+
+
+def make_vqe(num_qubits: int, layers: int = 2, seed: int = 5) -> Workload:
+    """The ``VQE`` expectation-value workload (hydrogen chain, linear two-local ansatz)."""
+    return Workload(
+        name="hydrogen_chain_vqe",
+        acronym="VQE",
+        circuit=two_local_ansatz(num_qubits, layers=layers, seed=seed),
+        kind=WorkloadKind.EXPECTATION,
+        observable=hydrogen_chain_observable(num_qubits, seed=seed),
+        params={"N": num_qubits, "layers": layers, "seed": seed},
+    )

@@ -1,0 +1,84 @@
+"""Shared fixtures for the test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.cutting import CutSolution, GateCut, WireCut
+from repro.utils.pauli import PauliObservable, PauliString
+
+
+@pytest.fixture
+def bell_circuit() -> Circuit:
+    circuit = Circuit(2, "bell")
+    circuit.h(0).cx(0, 1)
+    return circuit
+
+
+@pytest.fixture
+def ghz_circuit() -> Circuit:
+    circuit = Circuit(4, "ghz")
+    circuit.h(0)
+    for qubit in range(3):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+@pytest.fixture
+def chain_circuit() -> Circuit:
+    """A 3-qubit chain circuit with one natural wire-cut location on qubit 1."""
+    circuit = Circuit(3, "chain")
+    circuit.h(0).ry(0.7, 1).h(2)
+    circuit.cx(0, 1)
+    circuit.rz(0.3, 1)
+    circuit.cz(1, 2)
+    circuit.rx(0.5, 2)
+    return circuit
+
+
+@pytest.fixture
+def chain_wire_cut_solution(chain_circuit) -> CutSolution:
+    """The chain circuit cut once on qubit 1 between the rz and the cz."""
+    return CutSolution(
+        circuit=chain_circuit,
+        op_subcircuit={0: 0, 1: 0, 2: 1, 3: 0, 4: 0, 5: 1, 6: 1},
+        wire_cuts=[WireCut(qubit=1, downstream_op=5)],
+    )
+
+
+@pytest.fixture
+def gate_cut_circuit() -> Circuit:
+    """A 2-qubit circuit whose only entangler (a CZ) will be gate-cut."""
+    circuit = Circuit(2, "gate_cut_demo")
+    circuit.h(0).ry(0.4, 1)
+    circuit.cz(0, 1)
+    circuit.rx(0.3, 0).ry(0.9, 1)
+    return circuit
+
+
+@pytest.fixture
+def gate_cut_solution(gate_cut_circuit) -> CutSolution:
+    return CutSolution(
+        circuit=gate_cut_circuit,
+        op_subcircuit={0: 0, 1: 1, 3: 0, 4: 1},
+        gate_cuts=[GateCut(op_index=2)],
+        gate_cut_placement={2: (0, 1)},
+    )
+
+
+@pytest.fixture
+def zz_observable() -> PauliObservable:
+    return PauliObservable.from_terms(
+        [
+            PauliString.from_dict({0: "Z", 1: "Z"}, 1.0),
+            PauliString.from_dict({0: "X"}, 0.5),
+            PauliString.from_dict({1: "Y"}, 0.25),
+        ]
+    )
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,78 @@
+"""Tests for the analysis helpers (metrics, scaling sweeps)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ComparisonRow,
+    connectivity_sweep,
+    cut_reduction,
+    expectation_accuracy,
+    nd_ratio_sweep,
+    summarize_reductions,
+)
+
+
+class TestMetrics:
+    def test_expectation_accuracy_perfect(self):
+        assert expectation_accuracy(-0.0349, -0.0349) == 1.0
+
+    def test_expectation_accuracy_paper_row(self):
+        # Table 3: device execution -0.0078 vs ground truth -0.0349 -> ~22% accuracy.
+        accuracy = expectation_accuracy(-0.0078, -0.0349)
+        assert 0.2 < accuracy < 0.25
+
+    def test_expectation_accuracy_zero_reference(self):
+        assert expectation_accuracy(0.0, 0.0) == 1.0
+        assert expectation_accuracy(0.5, 0.0) == 0.0
+
+    def test_accuracy_never_negative(self):
+        assert expectation_accuracy(10.0, 0.1) == 0.0
+
+    def test_cut_reduction(self):
+        assert np.isclose(cut_reduction(32, 6), 26 / 32)
+        assert cut_reduction(0, 5) is None
+        assert cut_reduction(None, 5) is None
+
+    def test_summarize_reductions_skips_no_solution_rows(self):
+        rows = [
+            ComparisonRow("QFT", 15, 7, None, 20),
+            ComparisonRow("QFT", 15, 9, 44, 12),
+            ComparisonRow("SPM", 15, 7, 6, 5),
+        ]
+        summary = summarize_reductions(rows)
+        assert summary["rows"] == 3
+        assert summary["rows_with_baseline_solution"] == 2
+        expected = np.mean([(44 - 12) / 44, (6 - 5) / 6])
+        assert np.isclose(summary["average_reduction"], expected)
+
+    def test_summarize_reductions_empty(self):
+        summary = summarize_reductions([])
+        assert np.isnan(summary["average_reduction"])
+
+
+class TestScalingSweeps:
+    def test_nd_ratio_sweep_produces_points(self):
+        points = nd_ratio_sweep("VQE", 8, ratios=(1.3, 1.6), force_greedy=True)
+        assert len(points) == 2
+        for point in points:
+            assert point.benchmark == "VQE"
+            assert point.nd_ratio > 1.0
+            assert point.row()["N"] == 8
+
+    def test_cuts_do_not_decrease_with_tighter_devices(self):
+        points = nd_ratio_sweep("REG", 10, ratios=(1.25, 2.0), workload_kwargs={"degree": 3},
+                                force_greedy=True)
+        cuts = [p.total_cuts for p in points if p.total_cuts is not None]
+        assert len(cuts) == 2
+        assert cuts[1] >= cuts[0]
+
+    def test_connectivity_sweep(self):
+        points = connectivity_sweep(
+            [
+                ("REG", 10, 6, {"degree": 3}),
+                ("REG", 10, 6, {"degree": 5}),
+            ]
+        )
+        assert len(points) == 2
+        assert points[1].total_cuts >= points[0].total_cuts

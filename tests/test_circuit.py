@@ -1,0 +1,132 @@
+"""Tests for the Circuit class."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, operation
+from repro.exceptions import CircuitError
+
+
+class TestConstruction:
+    def test_needs_positive_qubits(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_builders_chain(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(0.2, 2).measure(2)
+        assert len(circuit) == 4
+        assert circuit.num_qubits == 3
+
+    def test_append_validates_qubit_range(self):
+        with pytest.raises(CircuitError):
+            Circuit(2).h(5)
+
+    def test_all_builder_methods_emit_expected_names(self):
+        circuit = Circuit(3)
+        circuit.x(0).y(0).z(0).s(0).sdg(0).t(0).tdg(0).sx(0).i(0)
+        circuit.rx(0.1, 0).ry(0.2, 0).rz(0.3, 0).p(0.4, 0).u3(0.1, 0.2, 0.3, 0)
+        circuit.cx(0, 1).cz(0, 1).swap(0, 1).cp(0.5, 0, 1).crz(0.6, 0, 1)
+        circuit.rzz(0.7, 0, 1).rxx(0.8, 0, 1).ryy(0.9, 0, 1)
+        circuit.reset(2)
+        counts = circuit.count_ops()
+        assert counts["cx"] == 1 and counts["rzz"] == 1 and counts["reset"] == 1
+
+    def test_measure_all(self):
+        circuit = Circuit(3).h(0).measure_all()
+        assert circuit.num_measurements == 3
+
+    def test_copy_is_independent(self):
+        circuit = Circuit(2).h(0)
+        clone = circuit.copy()
+        clone.x(1)
+        assert len(circuit) == 1 and len(clone) == 2
+
+    def test_equality(self):
+        a = Circuit(2).h(0).cx(0, 1)
+        b = Circuit(2).h(0).cx(0, 1)
+        c = Circuit(2).h(1)
+        assert a == b and a != c
+
+
+class TestMetrics:
+    def test_depth_counts_longest_path(self):
+        circuit = Circuit(3).h(0).h(1).cx(0, 1).cx(1, 2).h(2)
+        assert circuit.depth() == 4
+
+    def test_depth_of_parallel_gates_is_one(self):
+        circuit = Circuit(4)
+        for q in range(4):
+            circuit.h(q)
+        assert circuit.depth() == 1
+
+    def test_two_qubit_gate_count(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cz(1, 2).rzz(0.1, 0, 2)
+        assert circuit.num_two_qubit_gates == 3
+        assert circuit.num_single_qubit_gates == 1
+
+    def test_nonlocal_pairs(self):
+        circuit = Circuit(3).cx(0, 1).cx(1, 0).cz(1, 2)
+        assert circuit.num_nonlocal_pairs == 2
+
+    def test_active_qubits(self):
+        circuit = Circuit(5).h(1).cx(1, 3)
+        assert circuit.active_qubits() == (1, 3)
+
+    def test_layers_partition_all_operations(self):
+        circuit = Circuit(3).h(0).cx(0, 1).h(2).cz(1, 2).h(0)
+        layers = circuit.layers()
+        assert sum(len(layer) for layer in layers) == len(circuit)
+        # No layer uses a qubit twice.
+        for layer in layers:
+            qubits = [q for op in layer for q in op.qubits]
+            assert len(qubits) == len(set(qubits))
+
+    def test_operations_on_returns_program_order(self):
+        circuit = Circuit(2).h(0).cx(0, 1).h(0)
+        indexed = circuit.operations_on(0)
+        assert [index for index, _ in indexed] == [0, 1, 2]
+
+    def test_summary_mentions_counts(self):
+        summary = Circuit(2, "demo").h(0).cx(0, 1).summary()
+        assert "demo" in summary and "2 qubits" in summary
+
+
+class TestCompositionAndNumerics:
+    def test_compose_with_mapping(self):
+        main = Circuit(3)
+        other = Circuit(2).h(0).cx(0, 1)
+        main.compose(other, {0: 2, 1: 0})
+        assert main.operations[0].qubits == (2,)
+        assert main.operations[1].qubits == (2, 0)
+
+    def test_remapped_circuit(self):
+        circuit = Circuit(2).cx(0, 1)
+        remapped = circuit.remapped({0: 1, 1: 0})
+        assert remapped.operations[0].qubits == (1, 0)
+
+    def test_unitary_matches_composition_of_gates(self):
+        circuit = Circuit(2).h(0).cx(0, 1).rz(0.3, 1)
+        unitary = circuit.unitary()
+        assert unitary.shape == (4, 4)
+        assert np.allclose(unitary.conj().T @ unitary, np.eye(4))
+
+    def test_unitary_rejects_measurements(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).measure(0).unitary()
+
+    def test_unitary_refuses_large_circuits(self):
+        with pytest.raises(CircuitError):
+            Circuit(13).unitary()
+
+    def test_inverse_undoes_circuit(self):
+        circuit = Circuit(3)
+        circuit.h(0).t(1).s(2).sx(0).cx(0, 1).rz(0.4, 2).rzz(0.6, 1, 2)
+        circuit.u3(0.1, 0.2, 0.3, 0).cp(0.5, 0, 2)
+        identity = circuit.copy().compose(circuit.inverse())
+        assert np.allclose(identity.unitary(), np.eye(8))
+
+    def test_inverse_rejects_measurement(self):
+        with pytest.raises(CircuitError):
+            Circuit(1).measure(0).inverse()

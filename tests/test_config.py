@@ -1,0 +1,40 @@
+"""Tests for the cutting configuration objects."""
+
+import pytest
+
+from repro.core import CutConfig, QRCC_B, QRCC_C
+from repro.exceptions import ModelError
+
+
+class TestCutConfig:
+    def test_defaults_match_paper_weights(self):
+        config = CutConfig(device_size=5)
+        assert config.alpha == 3.25
+        assert config.beta == 4.2
+        assert config.delta == 1.0
+        assert config.enable_qubit_reuse
+
+    def test_qrcc_c_and_b_presets(self):
+        assert QRCC_C(5).delta == 1.0
+        assert QRCC_B(5).delta == 0.7
+
+    def test_with_replaces_fields(self):
+        config = CutConfig(device_size=5).with_(delta=0.5, enable_gate_cuts=True)
+        assert config.delta == 0.5 and config.enable_gate_cuts
+        assert config.device_size == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"device_size": 1},
+            {"device_size": 5, "max_subcircuits": 0},
+            {"device_size": 5, "min_subcircuits": 4, "max_subcircuits": 3},
+            {"device_size": 5, "max_wire_cuts": -1},
+            {"device_size": 5, "delta": 0.0},
+            {"device_size": 5, "delta": 1.5},
+            {"device_size": 5, "alpha": 0.0},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            CutConfig(**kwargs)

@@ -1,0 +1,144 @@
+"""Tests for cut specifications and the CutSolution container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.cutting import (
+    CutSolution,
+    GateCut,
+    WireCut,
+    effective_wire_cuts,
+    postprocessing_cost,
+)
+from repro.exceptions import CuttingError
+
+
+class TestCostModels:
+    def test_postprocessing_cost_formula(self):
+        assert postprocessing_cost(0, 0) == 1
+        assert postprocessing_cost(3, 0) == 64
+        assert postprocessing_cost(2, 1) == 16 * 6
+        assert postprocessing_cost(0, 2) == 36
+
+    def test_effective_cuts_matches_paper_examples(self):
+        # Table 2: (15 W, 1 G) -> 16.29 effective cuts; (17 W, 5 G) -> 23.46.
+        assert np.isclose(effective_wire_cuts(15, 1), 16.29, atol=0.01)
+        assert np.isclose(effective_wire_cuts(17, 5), 23.46, atol=0.01)
+        assert np.isclose(effective_wire_cuts(4, 0), 4.0)
+
+    def test_effective_cuts_preserves_cost_ordering(self):
+        # A gate cut is slightly more expensive than a wire cut: 6 vs 4 branches.
+        assert effective_wire_cuts(1, 1) < effective_wire_cuts(1, 2)
+        assert postprocessing_cost(5, 0) < postprocessing_cost(0, 4)
+        assert effective_wire_cuts(5, 0) < effective_wire_cuts(0, 4)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(CuttingError):
+            effective_wire_cuts(-1, 0)
+
+
+class TestCutSolution:
+    def test_basic_metrics(self, chain_wire_cut_solution):
+        solution = chain_wire_cut_solution
+        assert solution.num_wire_cuts == 1
+        assert solution.num_gate_cuts == 0
+        assert solution.num_cuts == 1
+        assert solution.num_subcircuits == 2
+        assert solution.subcircuit_indices == (0, 1)
+
+    def test_validation_passes_for_consistent_solution(self, chain_wire_cut_solution):
+        chain_wire_cut_solution.validate()
+
+    def test_two_qubit_gate_counts(self, chain_wire_cut_solution):
+        counts = chain_wire_cut_solution.two_qubit_gates_per_subcircuit()
+        assert counts == {0: 1, 1: 1}
+        assert chain_wire_cut_solution.max_two_qubit_gates() == 1
+
+    def test_endpoint_subcircuit_for_gate_cut(self, gate_cut_solution):
+        assert gate_cut_solution.endpoint_subcircuit(2, 0) == 0
+        assert gate_cut_solution.endpoint_subcircuit(2, 1) == 1
+
+    def test_endpoint_subcircuit_wrong_qubit_raises(self, gate_cut_solution):
+        with pytest.raises(CuttingError):
+            gate_cut_solution.endpoint_subcircuit(2, 5)
+
+    def test_missing_assignment_detected(self, chain_circuit):
+        solution = CutSolution(
+            circuit=chain_circuit,
+            op_subcircuit={0: 0},
+            wire_cuts=[],
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_uncut_segment_across_subcircuits_detected(self, chain_circuit):
+        solution = CutSolution(
+            circuit=chain_circuit,
+            op_subcircuit={0: 0, 1: 0, 2: 1, 3: 0, 4: 0, 5: 1, 6: 1},
+            wire_cuts=[],  # the q1 segment into op 5 crosses subcircuits but is not cut
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_cut_segment_within_one_subcircuit_detected(self, chain_circuit):
+        solution = CutSolution(
+            circuit=chain_circuit,
+            op_subcircuit={i: 0 for i in range(7)},
+            wire_cuts=[WireCut(qubit=1, downstream_op=5)],
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_gate_cut_halves_must_differ(self, gate_cut_circuit):
+        solution = CutSolution(
+            circuit=gate_cut_circuit,
+            op_subcircuit={0: 0, 1: 0, 3: 0, 4: 0},
+            gate_cuts=[GateCut(2)],
+            gate_cut_placement={2: (0, 0)},
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_gate_cut_on_single_qubit_gate_rejected(self, gate_cut_circuit):
+        solution = CutSolution(
+            circuit=gate_cut_circuit,
+            op_subcircuit={1: 0, 2: 0, 3: 0, 4: 1},
+            gate_cuts=[GateCut(0)],
+            gate_cut_placement={0: (0, 1)},
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_gate_cuts_and_placement_must_agree(self, gate_cut_circuit):
+        solution = CutSolution(
+            circuit=gate_cut_circuit,
+            op_subcircuit={0: 0, 1: 1, 3: 0, 4: 1},
+            gate_cuts=[GateCut(2)],
+            gate_cut_placement={},
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_wire_cut_on_wrong_qubit_rejected(self, chain_circuit):
+        solution = CutSolution(
+            circuit=chain_circuit,
+            op_subcircuit={i: 0 for i in range(7)},
+            wire_cuts=[WireCut(qubit=0, downstream_op=5)],  # op 5 does not act on qubit 0
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_wire_cut_without_upstream_rejected(self, chain_circuit):
+        solution = CutSolution(
+            circuit=chain_circuit,
+            op_subcircuit={i: 0 for i in range(7)},
+            wire_cuts=[WireCut(qubit=0, downstream_op=0)],  # first op on qubit 0
+        )
+        with pytest.raises(CuttingError):
+            solution.validate()
+
+    def test_summary_and_costs(self, chain_wire_cut_solution):
+        assert "wire_cuts=1" in chain_wire_cut_solution.summary()
+        assert chain_wire_cut_solution.postprocessing_cost() == 4.0
+        assert chain_wire_cut_solution.effective_wire_cuts() == 1.0

@@ -1,0 +1,94 @@
+"""Tests for the circuit DAG view (wire segments, dependencies)."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import Circuit, CircuitDag
+from repro.exceptions import CircuitError
+
+
+@pytest.fixture
+def dag():
+    circuit = Circuit(3)
+    circuit.h(0)          # 0
+    circuit.cx(0, 1)      # 1
+    circuit.rz(0.1, 1)    # 2
+    circuit.cz(1, 2)      # 3
+    circuit.h(2)          # 4
+    return CircuitDag(circuit)
+
+
+class TestStructure:
+    def test_node_count(self, dag):
+        assert dag.num_nodes == 5
+
+    def test_wire_chain_per_qubit(self, dag):
+        assert dag.wire_chain(0) == (0, 1)
+        assert dag.wire_chain(1) == (1, 2, 3)
+        assert dag.wire_chain(2) == (3, 4)
+
+    def test_wire_chain_unknown_qubit_raises(self, dag):
+        with pytest.raises(CircuitError):
+            dag.wire_chain(9)
+
+    def test_cuttable_segments_exclude_inputs_and_outputs(self, dag):
+        cuttable = dag.segments(cuttable_only=True)
+        # qubit 0: 1 internal segment; qubit 1: 2; qubit 2: 1.
+        assert len(cuttable) == 4
+        assert all(segment.is_cuttable for segment in cuttable)
+
+    def test_total_segments_include_boundaries(self, dag):
+        # per qubit: len(chain) + 1 segments.
+        assert len(dag.segments()) == (2 + 1) + (3 + 1) + (2 + 1)
+
+    def test_segment_before_and_after(self, dag):
+        segment = dag.segment_before(3, 1)
+        assert segment.upstream == 2 and segment.downstream == 3
+        segment = dag.segment_after(1, 1)
+        assert segment.upstream == 1 and segment.downstream == 2
+
+    def test_segment_lookup_wrong_qubit_raises(self, dag):
+        with pytest.raises(CircuitError):
+            dag.segment_before(0, 2)
+
+    def test_predecessor_and_successor(self, dag):
+        assert dag.predecessor_on(1, 0) == 0
+        assert dag.predecessor_on(0, 0) is None
+        assert dag.successor_on(3, 2) == 4
+        assert dag.successor_on(4, 2) is None
+
+    def test_node_accessor_bounds(self, dag):
+        assert dag.node(3).operation.name == "cz"
+        with pytest.raises(CircuitError):
+            dag.node(99)
+
+
+class TestGraphViews:
+    def test_topological_order_respects_dependencies(self, dag):
+        order = dag.topological_order()
+        assert order.index(0) < order.index(1) < order.index(2) < order.index(3)
+
+    def test_ancestors_and_descendants(self, dag):
+        assert dag.ancestors(3) == {0, 1, 2}
+        assert dag.descendants(0) == {1, 2, 3, 4}
+
+    def test_qubit_interaction_graph_weights(self, dag):
+        graph = dag.qubit_interaction_graph()
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 2)
+        assert not graph.has_edge(0, 2)
+        assert graph[0][1]["weight"] == 1
+
+    def test_qubit_dependency_graph_is_symmetric_for_two_qubit_gates(self, dag):
+        graph = dag.qubit_dependency_graph()
+        assert graph.has_edge(0, 1) and graph.has_edge(1, 0)
+
+    def test_first_and_last_ops(self, dag):
+        assert dag.qubit_first_op(1) == 1
+        assert dag.qubit_last_op(1) == 3
+
+    def test_graph_is_a_dag(self, dag):
+        assert nx.is_directed_acyclic_graph(dag.graph)
+
+    def test_segment_key_is_hashable_identifier(self, dag):
+        keys = {segment.key() for segment in dag.segments()}
+        assert len(keys) == len(dag.segments())

@@ -1,0 +1,122 @@
+"""Tests for the exact branching (dynamic-circuit) simulator."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.exceptions import SimulationError
+from repro.simulator import BranchingSimulator, simulate_dynamic, simulate_statevector
+from repro.utils.pauli import PauliObservable, PauliString
+
+
+class TestMeasurement:
+    def test_measurement_splits_branches(self):
+        circuit = Circuit(1).h(0).measure(0)
+        result = simulate_dynamic(circuit)
+        assert len(result.branches) == 2
+        assert np.isclose(result.total_probability(), 1.0)
+        outcomes = sorted(branch.outcomes["m1"] for branch in result.branches)
+        assert outcomes == [0, 1]
+
+    def test_deterministic_measurement_prunes_zero_branch(self):
+        circuit = Circuit(1).x(0).measure(0)
+        result = simulate_dynamic(circuit)
+        assert len(result.branches) == 1
+        assert result.branches[0].outcomes["m1"] == 1
+
+    def test_measurement_collapses_state(self):
+        circuit = Circuit(2).h(0).cx(0, 1).measure(0)
+        result = simulate_dynamic(circuit)
+        for branch in result.branches:
+            probs = np.abs(branch.state) ** 2
+            # After measuring qubit 0 of a Bell state, qubit 1 is perfectly correlated.
+            outcome = branch.outcomes["m2"]
+            expected_index = 3 if outcome else 0
+            assert np.isclose(probs[expected_index], 1.0)
+
+    def test_probabilities_match_statevector_for_terminal_measurement(self):
+        unitary_part = Circuit(3).h(0).cx(0, 1).ry(0.4, 2).cz(1, 2)
+        measured = unitary_part.copy().measure_all()
+        exact = simulate_statevector(unitary_part).probabilities()
+        dynamic = simulate_dynamic(measured).probabilities()
+        assert np.allclose(dynamic, exact, atol=1e-10)
+
+    def test_signed_measurement_computes_z_expectation(self):
+        circuit = Circuit(1).ry(0.9, 0)
+        circuit.measure(0, tag="signed:z")
+        result = simulate_dynamic(circuit)
+        expected = simulate_statevector(Circuit(1).ry(0.9, 0)).expectation(
+            PauliObservable.single({0: "Z"})
+        )
+        assert np.isclose(result.expectation_of_signs(), expected, atol=1e-10)
+
+    def test_unsigned_measurement_has_unit_sign_sum(self):
+        circuit = Circuit(1).ry(0.9, 0).measure(0)
+        result = simulate_dynamic(circuit)
+        assert np.isclose(result.expectation_of_signs(), 1.0)
+
+
+class TestReset:
+    def test_reset_returns_qubit_to_zero(self):
+        circuit = Circuit(1).x(0).reset(0)
+        result = simulate_dynamic(circuit)
+        assert len(result.branches) == 1
+        assert np.isclose(np.abs(result.branches[0].state[0]) ** 2, 1.0)
+
+    def test_reset_of_superposition_keeps_total_probability(self):
+        circuit = Circuit(1).h(0).reset(0).h(0)
+        result = simulate_dynamic(circuit)
+        assert np.isclose(result.total_probability(), 1.0)
+        assert np.allclose(result.probabilities(), [0.5, 0.5])
+
+    def test_qubit_reuse_pattern(self):
+        """Measure+reset lets a 2-wire circuit emulate a 3-qubit GHZ-like sequence."""
+        circuit = Circuit(2)
+        circuit.h(0).cx(0, 1)
+        circuit.measure(0, tag="out:0")
+        circuit.reset(0)
+        circuit.cx(1, 0)
+        result = simulate_dynamic(circuit)
+        # Recorded outcome of qubit 0 and final state of both wires stay correlated.
+        for branch in result.branches:
+            probs = np.abs(branch.state) ** 2
+            recorded = branch.outcomes["out:0"]
+            assert np.isclose(probs[3 if recorded else 0], 1.0)
+
+
+class TestObservablesAndMarginals:
+    def test_expectation_over_branches(self):
+        circuit = Circuit(2).h(0).cx(0, 1).measure(0)
+        observable = PauliObservable.single({1: "Z"})
+        result = simulate_dynamic(circuit)
+        # <Z1> over the post-measurement ensemble is 0 (half +1, half -1).
+        assert np.isclose(result.expectation(observable), 0.0, atol=1e-12)
+
+    def test_marginal_probabilities(self):
+        circuit = Circuit(3).h(0).cx(0, 2).measure(0)
+        result = simulate_dynamic(circuit)
+        marginal = result.marginal_probabilities([2])
+        assert np.allclose(marginal, [0.5, 0.5])
+
+    def test_initial_labels(self):
+        circuit = Circuit(2).cx(0, 1)
+        result = BranchingSimulator().run(circuit, initial_labels=["one", "zero"])
+        assert np.isclose(result.probabilities()[3], 1.0)
+
+    def test_initial_labels_wrong_length(self):
+        with pytest.raises(SimulationError):
+            BranchingSimulator().run(Circuit(2), initial_labels=["zero"])
+
+    def test_negative_prune_threshold_rejected(self):
+        with pytest.raises(SimulationError):
+            BranchingSimulator(prune_threshold=-1.0)
+
+
+class TestDeferredMeasurement:
+    def test_mid_circuit_measurement_of_unused_qubit_matches_marginal(self):
+        """Measuring a qubit that is never used again must not change other marginals."""
+        base = Circuit(3).h(0).cx(0, 1).ry(0.6, 2).cz(1, 2)
+        measured_early = Circuit(3).h(0).cx(0, 1).measure(0).ry(0.6, 2).cz(1, 2)
+        expected = simulate_statevector(base).marginal_probabilities([1, 2])
+        actual = simulate_dynamic(measured_early).marginal_probabilities([1, 2])
+        assert np.allclose(actual, expected, atol=1e-10)

@@ -1,0 +1,61 @@
+"""Tests for the exception hierarchy and its package-level exports."""
+
+import pytest
+
+import repro
+from repro.exceptions import (
+    CircuitError,
+    CuttingError,
+    InfeasibleError,
+    ModelError,
+    ReconstructionError,
+    ReproError,
+    SearchTimeoutError,
+    SimulationError,
+    SolverError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "error",
+        [
+            CircuitError,
+            CuttingError,
+            InfeasibleError,
+            ModelError,
+            ReconstructionError,
+            SearchTimeoutError,
+            SimulationError,
+            SolverError,
+            WorkloadError,
+        ],
+    )
+    def test_everything_derives_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+        with pytest.raises(ReproError):
+            raise error("boom")
+
+    def test_infeasible_and_timeout_are_solver_errors(self):
+        assert issubclass(InfeasibleError, SolverError)
+        assert issubclass(SearchTimeoutError, SolverError)
+        assert not issubclass(InfeasibleError, SearchTimeoutError)
+
+    def test_public_exports(self):
+        for name in ("ReproError", "InfeasibleError", "SearchTimeoutError", "CutConfig",
+                     "cut_circuit", "evaluate_workload", "__version__"):
+            assert name in repro.__all__ or hasattr(repro, name)
+
+
+class TestTimeoutPathway:
+    def test_zero_time_limit_raises_search_timeout(self):
+        """A hopeless time limit must surface as SearchTimeoutError, not a crash."""
+        from repro.core import CutConfig, CuttingFormulation
+        from repro.workloads import qft_circuit
+
+        formulation = CuttingFormulation(
+            qft_circuit(8), CutConfig(device_size=5, max_subcircuits=3, time_limit=1e-4)
+        )
+        with pytest.raises((SearchTimeoutError, InfeasibleError)):
+            formulation.solve_and_decode()

@@ -1,0 +1,93 @@
+"""Tests for expectation-value helpers (basis rotations, sampled estimates)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    basis_rotation_circuit,
+    diagonalized_term,
+    exact_expectation,
+    expectation_from_distribution,
+    sampled_expectation,
+    simulate_statevector,
+)
+from repro.utils.pauli import PauliObservable, PauliString
+
+
+class TestBasisRotation:
+    def test_x_term_rotation_is_hadamard(self):
+        rotation = basis_rotation_circuit(PauliString.from_dict({0: "X"}), 2)
+        assert [op.name for op in rotation] == ["h"]
+
+    def test_y_term_rotation(self):
+        rotation = basis_rotation_circuit(PauliString.from_dict({1: "Y"}), 2)
+        assert [op.name for op in rotation] == ["sdg", "h"]
+
+    def test_z_term_needs_no_rotation(self):
+        rotation = basis_rotation_circuit(PauliString.from_dict({0: "Z"}), 1)
+        assert len(rotation) == 0
+
+    def test_diagonalized_term_is_all_z(self):
+        term = PauliString.from_dict({0: "X", 2: "Y"}, 0.3)
+        diag = diagonalized_term(term)
+        assert all(label == "Z" for _, label in diag.paulis)
+        assert diag.coefficient == term.coefficient
+
+    def test_rotation_diagonalisation_identity(self):
+        """<P> on psi equals <Z...Z> on the rotated state for every single term."""
+        circuit = Circuit(2).ry(0.8, 0).cx(0, 1).rz(0.4, 1)
+        for labels in ({0: "X"}, {1: "Y"}, {0: "X", 1: "Z"}, {0: "Y", 1: "X"}):
+            term = PauliString.from_dict(labels)
+            rotated = circuit.copy().compose(basis_rotation_circuit(term, 2))
+            lhs = simulate_statevector(circuit).expectation(PauliObservable((term,)))
+            rhs = simulate_statevector(rotated).expectation(
+                PauliObservable((diagonalized_term(term),))
+            )
+            assert np.isclose(lhs, rhs, atol=1e-10)
+
+
+class TestSampledExpectation:
+    def test_sampled_matches_exact_within_statistical_error(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ry(0.5, 2).cz(1, 2)
+        observable = PauliObservable.from_terms(
+            [
+                PauliString.from_dict({0: "Z", 1: "Z"}, 1.0),
+                PauliString.from_dict({2: "X"}, 0.5),
+                PauliString.from_dict({}, 0.25),
+            ]
+        )
+        exact = exact_expectation(circuit, observable)
+        sampled = sampled_expectation(circuit, observable, shots=20000, seed=11)
+        assert abs(exact - sampled) < 0.05
+
+    def test_identity_only_observable_needs_no_shots(self):
+        circuit = Circuit(1).h(0)
+        observable = PauliObservable.from_terms([PauliString.from_dict({}, 1.5)])
+        assert np.isclose(sampled_expectation(circuit, observable, shots=10, seed=0), 1.5)
+
+
+class TestExpectationFromDistribution:
+    def test_diagonal_observable(self):
+        distribution = np.array([0.5, 0.0, 0.0, 0.5])
+        observable = PauliObservable.single({0: "Z", 1: "Z"})
+        assert np.isclose(expectation_from_distribution(distribution, observable, 2), 1.0)
+
+    def test_off_diagonal_rejected(self):
+        with pytest.raises(SimulationError):
+            expectation_from_distribution(
+                np.array([1.0, 0.0]), PauliObservable.single({0: "X"}), 1
+            )
+
+    def test_matches_statevector_for_diagonal_hamiltonian(self):
+        circuit = Circuit(3).h(0).cx(0, 1).ry(1.2, 2)
+        observable = PauliObservable.from_terms(
+            [
+                PauliString.from_dict({0: "Z"}, 0.3),
+                PauliString.from_dict({1: "Z", 2: "Z"}, -0.8),
+            ]
+        )
+        state = simulate_statevector(circuit)
+        from_distribution = expectation_from_distribution(state.probabilities(), observable, 3)
+        assert np.isclose(from_distribution, state.expectation(observable), atol=1e-10)

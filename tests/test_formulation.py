@@ -1,0 +1,135 @@
+"""Tests for the QRCC / CutQC ILP formulations."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import CutConfig, CuttingFormulation
+from repro.exceptions import InfeasibleError
+from repro.ilp import SolveStatus
+from repro.workloads import qft_circuit, supremacy_circuit
+
+
+def _ladder_circuit(num_qubits: int) -> Circuit:
+    """Nearest-neighbour entangling ladder: easy to cut into halves."""
+    circuit = Circuit(num_qubits)
+    for qubit in range(num_qubits):
+        circuit.h(qubit)
+    for qubit in range(num_qubits - 1):
+        circuit.cz(qubit, qubit + 1)
+    for qubit in range(num_qubits):
+        circuit.rx(0.3, qubit)
+    return circuit
+
+
+class TestModelConstruction:
+    def test_statistics_populated(self):
+        formulation = CuttingFormulation(_ladder_circuit(4), CutConfig(device_size=3))
+        stats = formulation.statistics
+        assert stats.num_variables > 0
+        assert stats.num_constraints > 0
+        assert stats.num_wire_cut_candidates > 0
+        assert stats.num_gate_cut_candidates == 0  # gate cuts disabled by default
+
+    def test_gate_cut_variables_only_when_enabled(self):
+        circuit = _ladder_circuit(4)
+        without = CuttingFormulation(circuit, CutConfig(device_size=3))
+        with_gate = CuttingFormulation(
+            circuit, CutConfig(device_size=3, enable_gate_cuts=True)
+        )
+        assert with_gate.statistics.num_gate_cut_candidates == 3
+        assert with_gate.statistics.num_variables > without.statistics.num_variables
+
+
+class TestSolving:
+    def test_ladder_splits_into_two_subcircuits(self):
+        circuit = _ladder_circuit(6)
+        formulation = CuttingFormulation(
+            circuit, CutConfig(device_size=4, max_subcircuits=2)
+        )
+        solution = formulation.solve_and_decode()
+        assert solution.num_subcircuits == 2
+        assert solution.num_wire_cuts >= 1
+        solution.validate()
+
+    def test_solution_respects_device_capacity_after_extraction(self):
+        from repro.cutting import extract_subcircuits
+
+        circuit = _ladder_circuit(6)
+        config = CutConfig(device_size=4, max_subcircuits=2)
+        solution = CuttingFormulation(circuit, config).solve_and_decode()
+        for spec in extract_subcircuits(solution, enable_reuse=True):
+            assert spec.num_wires <= config.device_size
+
+    def test_infeasible_when_device_too_small(self):
+        # A fully-entangled first layer cannot fit on 2 qubits with only 1 cut allowed.
+        circuit = qft_circuit(5)
+        config = CutConfig(device_size=2, max_subcircuits=2, max_wire_cuts=1, max_gate_cuts=0)
+        with pytest.raises(InfeasibleError):
+            CuttingFormulation(circuit, config).solve_and_decode()
+
+    def test_min_subcircuits_forces_a_cut(self):
+        # The whole circuit fits on the device, but min_subcircuits=2 forces a split.
+        circuit = _ladder_circuit(4)
+        config = CutConfig(device_size=4, max_subcircuits=2, min_subcircuits=2)
+        solution = CuttingFormulation(circuit, config).solve_and_decode()
+        assert solution.num_subcircuits == 2
+
+    def test_no_cut_needed_when_circuit_fits(self):
+        circuit = _ladder_circuit(4)
+        config = CutConfig(device_size=4, max_subcircuits=2)
+        solution = CuttingFormulation(circuit, config).solve_and_decode()
+        assert solution.num_cuts == 0
+
+    def test_gate_cut_chosen_when_it_saves_post_processing(self):
+        """Two qubit blocks joined by a single CZ: one gate cut beats wire cuts."""
+        circuit = Circuit(4)
+        for qubit in range(4):
+            circuit.h(qubit)
+        circuit.cz(0, 1).cz(2, 3)
+        circuit.cz(1, 2)  # the single bridge between the two halves
+        circuit.rx(0.4, 1).rx(0.4, 2)
+        config = CutConfig(
+            device_size=2, max_subcircuits=2, enable_gate_cuts=True, max_wire_cuts=10
+        )
+        solution = CuttingFormulation(circuit, config).solve_and_decode()
+        # One cut of either kind suffices; the solver must not use more than one.
+        assert solution.num_cuts == 1
+
+    def test_cutqc_width_model_needs_more_resources(self):
+        """The same circuit/device needs more cuts (or fails) without qubit reuse."""
+        circuit = supremacy_circuit(6, depth=4, seed=7)
+        qrcc = CuttingFormulation(
+            circuit, CutConfig(device_size=4, max_subcircuits=2)
+        ).solve_and_decode()
+        baseline_config = CutConfig(
+            device_size=4, max_subcircuits=2, enable_qubit_reuse=False
+        )
+        try:
+            cutqc = CuttingFormulation(circuit, baseline_config).solve_and_decode()
+            assert cutqc.num_wire_cuts >= qrcc.num_wire_cuts
+        except InfeasibleError:
+            # Also acceptable: the paper reports No-Solution cases for CutQC.
+            pass
+
+    def test_wire_cut_budget_respected(self):
+        circuit = _ladder_circuit(6)
+        config = CutConfig(device_size=4, max_subcircuits=2, max_wire_cuts=3)
+        solution = CuttingFormulation(circuit, config).solve_and_decode()
+        assert solution.num_wire_cuts <= 3
+
+    def test_delta_balances_two_qubit_gates(self):
+        """Lower delta (QRCC-B) must not increase the largest subcircuit's gate count."""
+        circuit = _ladder_circuit(8)
+        base = CutConfig(device_size=5, max_subcircuits=2)
+        cuts_only = CuttingFormulation(circuit, base).solve_and_decode()
+        balanced = CuttingFormulation(circuit, base.with_(delta=0.6)).solve_and_decode()
+        assert balanced.max_two_qubit_gates() <= cuts_only.max_two_qubit_gates()
+
+    def test_time_limit_is_passed_through(self):
+        circuit = _ladder_circuit(6)
+        config = CutConfig(device_size=4, max_subcircuits=2, time_limit=30.0)
+        formulation = CuttingFormulation(circuit, config)
+        result = formulation.solve()
+        assert result.status in (SolveStatus.OPTIMAL, SolveStatus.FEASIBLE)
+        assert formulation.statistics.solve_time < 30.0

@@ -1,0 +1,116 @@
+"""Tests for the Mitarai–Fujii gate-cut decomposition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, operation
+from repro.cutting import CUTTABLE_GATES, NUM_GATE_CUT_INSTANCES, decompose_gate_cut
+from repro.exceptions import CuttingError
+
+
+def _single_qubit_matrix(gates):
+    matrix = np.eye(2, dtype=complex)
+    for name, params in gates:
+        from repro.circuits.gates import gate_matrix
+
+        matrix = gate_matrix(name, params) @ matrix
+    return matrix
+
+
+def _apply_instance_channel(decomposition, instance, rho):
+    """Apply one instance's channel (local gates / signed measurement) to a 2-qubit rho."""
+    z = np.diag([1.0, -1.0]).astype(complex)
+    projectors = [np.diag([1.0, 0.0]).astype(complex), np.diag([0.0, 1.0]).astype(complex)]
+
+    def side_operators(side):
+        pre, measure, post = decomposition.side_operations(side, instance)
+        pre_matrix = _single_qubit_matrix(pre)
+        post_matrix = _single_qubit_matrix(post)
+        if not measure:
+            return [(1.0, post_matrix @ pre_matrix)]
+        # Signed Z measurement between pre and post: sum_beta beta * P_beta.
+        return [
+            (1.0, post_matrix @ projectors[0] @ pre_matrix),
+            (-1.0, post_matrix @ projectors[1] @ pre_matrix),
+        ]
+
+    result = np.zeros_like(rho)
+    for sign_top, top in side_operators("top"):
+        for sign_bottom, bottom in side_operators("bottom"):
+            # qubit 0 = top operand = least significant bit -> kron(bottom, top).
+            operator = np.kron(bottom, top)
+            result += sign_top * sign_bottom * (operator @ rho @ operator.conj().T)
+    return result
+
+
+def _random_density_matrix(rng, dim=4):
+    mat = rng.normal(size=(dim, dim)) + 1j * rng.normal(size=(dim, dim))
+    rho = mat @ mat.conj().T
+    return rho / np.trace(rho)
+
+
+class TestDecompositionStructure:
+    def test_cuttable_gate_set(self):
+        assert CUTTABLE_GATES == {"cz", "cx", "rzz"}
+
+    def test_uncuttable_gate_rejected(self):
+        with pytest.raises(CuttingError):
+            decompose_gate_cut(operation("cp", [0, 1], [0.3]))
+
+    @pytest.mark.parametrize(
+        "op",
+        [
+            operation("cz", [0, 1]),
+            operation("cx", [0, 1]),
+            operation("rzz", [0, 1], [0.8]),
+        ],
+    )
+    def test_six_instances_with_expected_coefficients(self, op):
+        decomposition = decompose_gate_cut(op)
+        assert len(decomposition.instances) == NUM_GATE_CUT_INSTANCES
+        theta = decomposition.theta
+        coefficients = [instance.coefficient for instance in decomposition.instances]
+        assert np.isclose(coefficients[0], math.cos(theta) ** 2)
+        assert np.isclose(coefficients[1], math.sin(theta) ** 2)
+        assert np.isclose(coefficients[0] + coefficients[1], 1.0)
+        assert np.isclose(sum(coefficients[2:]), 0.0, atol=1e-12)
+
+    def test_measurement_instances_measure_exactly_one_side(self):
+        decomposition = decompose_gate_cut(operation("cz", [0, 1]))
+        for instance in decomposition.instances[2:4]:
+            assert instance.top.measure and not instance.bottom.measure
+        for instance in decomposition.instances[4:6]:
+            assert instance.bottom.measure and not instance.top.measure
+
+    def test_unknown_side_rejected(self):
+        decomposition = decompose_gate_cut(operation("cz", [0, 1]))
+        with pytest.raises(CuttingError):
+            decomposition.side_operations("middle", decomposition.instances[0])
+
+
+class TestChannelIdentity:
+    @pytest.mark.parametrize(
+        "op",
+        [
+            operation("cz", [0, 1]),
+            operation("cx", [0, 1]),
+            operation("rzz", [0, 1], [0.8]),
+            operation("rzz", [0, 1], [-1.3]),
+            operation("rzz", [0, 1], [math.pi / 2]),
+        ],
+    )
+    def test_weighted_instances_reproduce_the_gate_channel(self, op, rng):
+        """sum_i c_i Phi_i(rho) must equal U rho U^dagger for random mixed states."""
+        decomposition = decompose_gate_cut(op)
+        unitary = op.matrix()
+        for _ in range(3):
+            rho = _random_density_matrix(rng)
+            expected = unitary @ rho @ unitary.conj().T
+            reconstructed = np.zeros_like(rho)
+            for instance in decomposition.instances:
+                reconstructed += instance.coefficient * _apply_instance_channel(
+                    decomposition, instance, rho
+                )
+            assert np.allclose(reconstructed, expected, atol=1e-9)

@@ -1,0 +1,155 @@
+"""Tests for the gate library (matrices, operation validation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits.gates import (
+    GATE_SPECS,
+    SINGLE_QUBIT_GATES,
+    TWO_QUBIT_GATES,
+    Operation,
+    gate_matrix,
+    identity,
+    measure,
+    operation,
+    reset,
+)
+from repro.exceptions import CircuitError
+from repro.utils.linalg import is_unitary
+
+
+class TestGateMatrices:
+    @pytest.mark.parametrize("name", sorted(SINGLE_QUBIT_GATES | TWO_QUBIT_GATES))
+    def test_every_gate_matrix_is_unitary(self, name):
+        spec = GATE_SPECS[name]
+        params = [0.37 * (i + 1) for i in range(spec.num_params)]
+        assert is_unitary(gate_matrix(name, params))
+
+    def test_hadamard_matrix(self):
+        h = gate_matrix("h")
+        expected = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+        assert np.allclose(h, expected)
+
+    def test_pauli_relations(self):
+        x, y, z = gate_matrix("x"), gate_matrix("y"), gate_matrix("z")
+        assert np.allclose(x @ y, 1j * z)
+        assert np.allclose(x @ x, np.eye(2))
+
+    def test_s_gate_is_sqrt_z(self):
+        s = gate_matrix("s")
+        assert np.allclose(s @ s, gate_matrix("z"))
+
+    def test_t_gate_is_sqrt_s(self):
+        t = gate_matrix("t")
+        assert np.allclose(t @ t, gate_matrix("s"))
+
+    def test_sx_gate_is_sqrt_x(self):
+        sx = gate_matrix("sx")
+        assert np.allclose(sx @ sx, gate_matrix("x"))
+
+    def test_sdg_tdg_are_inverses(self):
+        assert np.allclose(gate_matrix("s") @ gate_matrix("sdg"), np.eye(2))
+        assert np.allclose(gate_matrix("t") @ gate_matrix("tdg"), np.eye(2))
+
+    def test_rotation_gates_at_zero_angle_are_identity(self):
+        for name in ("rx", "ry", "rz", "p", "rzz", "rxx", "ryy", "cp", "crz"):
+            spec = GATE_SPECS[name]
+            dim = 2**spec.num_qubits
+            assert np.allclose(gate_matrix(name, [0.0] * spec.num_params), np.eye(dim))
+
+    def test_rz_full_turn_is_minus_identity(self):
+        assert np.allclose(gate_matrix("rz", [2 * math.pi]), -np.eye(2))
+
+    def test_rx_pi_is_x_up_to_phase(self):
+        rx = gate_matrix("rx", [math.pi])
+        assert np.allclose(rx, -1j * gate_matrix("x"))
+
+    def test_cx_matrix_convention_first_operand_is_control(self):
+        cx = gate_matrix("cx")
+        # |control=1, target=0> (index 1: q0=1) maps to |11> (index 3).
+        state = np.zeros(4)
+        state[1] = 1.0
+        assert np.allclose(cx @ state, np.eye(4)[:, 3])
+
+    def test_cz_is_diagonal_with_single_minus(self):
+        cz = gate_matrix("cz")
+        assert np.allclose(cz, np.diag([1, 1, 1, -1]))
+
+    def test_swap_exchanges_basis_states(self):
+        swap = gate_matrix("swap")
+        state = np.zeros(4)
+        state[1] = 1.0  # |q1=0, q0=1>
+        assert np.allclose(swap @ state, np.eye(4)[:, 2])
+
+    def test_rzz_is_diagonal(self):
+        rzz = gate_matrix("rzz", [0.8])
+        assert np.allclose(rzz, np.diag(np.diag(rzz)))
+
+    def test_cp_phase_only_on_11(self):
+        cp = gate_matrix("cp", [0.7])
+        assert np.allclose(np.diag(cp)[:3], 1.0)
+        assert np.isclose(np.diag(cp)[3], np.exp(0.7j))
+
+    def test_u3_reproduces_ry(self):
+        assert np.allclose(gate_matrix("u3", [0.5, 0, 0]), gate_matrix("ry", [0.5]))
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("toffoli")
+
+    def test_wrong_parameter_count_raises(self):
+        with pytest.raises(CircuitError):
+            gate_matrix("rx", [])
+
+
+class TestOperation:
+    def test_operation_builder(self):
+        op = operation("cx", [0, 1])
+        assert op.is_two_qubit
+        assert op.qubits == (0, 1)
+        assert not op.is_measurement
+
+    def test_operation_qubit_count_mismatch(self):
+        with pytest.raises(CircuitError):
+            operation("cx", [0])
+
+    def test_operation_param_count_mismatch(self):
+        with pytest.raises(CircuitError):
+            operation("rx", [0], [])
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            operation("cx", [1, 1])
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(CircuitError):
+            Operation("bogus", (0,))
+
+    def test_measure_and_reset_helpers(self):
+        m = measure(2, tag="signed:test")
+        r = reset(1)
+        assert m.is_measurement and not m.is_unitary
+        assert r.is_reset and not r.is_unitary
+        assert m.tag == "signed:test"
+
+    def test_identity_helper(self):
+        op = identity(3, tag="pad")
+        assert op.is_identity and op.is_unitary
+
+    def test_measure_has_no_matrix(self):
+        with pytest.raises(CircuitError):
+            measure(0).matrix()
+
+    def test_remapped_moves_qubits(self):
+        op = operation("cz", [0, 2]).remapped({0: 5, 2: 1})
+        assert op.qubits == (5, 1)
+
+    def test_with_tag(self):
+        op = operation("h", [0]).with_tag("hello")
+        assert op.tag == "hello"
+
+    def test_single_qubit_classification(self):
+        assert operation("h", [0]).is_single_qubit_unitary
+        assert not operation("cz", [0, 1]).is_single_qubit_unitary

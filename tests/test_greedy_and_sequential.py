@@ -1,0 +1,103 @@
+"""Tests for the greedy cutter and the sequential CutQC->CaQR baseline."""
+
+import networkx as nx
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import (
+    CutConfig,
+    GreedyCutter,
+    cut_circuit,
+    partition_qubits,
+    sequential_cutqc_then_reuse,
+    sequential_sweep,
+)
+from repro.exceptions import CuttingError, InfeasibleError
+from repro.workloads import make_workload, qft_circuit, supremacy_circuit
+
+
+class TestPartitionQubits:
+    def test_blocks_cover_all_qubits(self):
+        graph = nx.cycle_graph(10)
+        blocks = partition_qubits(graph, 3)
+        covered = set()
+        for block in blocks:
+            covered |= block
+        assert covered == set(range(10))
+
+    def test_single_block(self):
+        graph = nx.path_graph(5)
+        blocks = partition_qubits(graph, 1)
+        assert blocks == [set(range(5))]
+
+    def test_invalid_block_count(self):
+        with pytest.raises(CuttingError):
+            partition_qubits(nx.path_graph(3), 0)
+
+    def test_bisection_prefers_weak_links(self):
+        """Two cliques joined by one edge should be split at the bridge."""
+        graph = nx.Graph()
+        for offset in (0, 4):
+            for a in range(4):
+                for b in range(a + 1, 4):
+                    graph.add_edge(offset + a, offset + b, weight=5)
+        graph.add_edge(0, 4, weight=1)
+        blocks = partition_qubits(graph, 2)
+        assert {frozenset(b) for b in blocks} == {
+            frozenset(range(4)),
+            frozenset(range(4, 8)),
+        }
+
+
+class TestGreedyCutter:
+    def test_produces_valid_solution(self):
+        circuit = supremacy_circuit(8, depth=4, seed=2)
+        cutter = GreedyCutter(circuit, CutConfig(device_size=4, max_subcircuits=2))
+        solution = cutter.cut()
+        solution.validate()
+        assert solution.num_subcircuits >= 2
+        assert solution.metadata["method"] == "greedy-kl"
+
+    def test_greedy_cuts_grow_with_connectivity(self):
+        sparse = make_workload("REG", 10, degree=3).circuit
+        dense = make_workload("REG", 10, degree=5).circuit
+        config = CutConfig(device_size=6, max_subcircuits=2)
+        sparse_cuts = GreedyCutter(sparse, config).cut().num_wire_cuts
+        dense_cuts = GreedyCutter(dense, config).cut().num_wire_cuts
+        assert dense_cuts >= sparse_cuts
+
+    def test_pipeline_switches_to_greedy_for_large_circuits(self, monkeypatch):
+        import repro.core.pipeline as pipeline
+
+        monkeypatch.setattr(pipeline, "DEFAULT_ILP_SIZE_LIMIT", 10)
+        workload = make_workload("SPM", 8, depth=4)
+        plan = cut_circuit(workload.circuit, CutConfig(device_size=5, max_subcircuits=2))
+        assert plan.method == "greedy"
+
+
+class TestSequentialBaseline:
+    def test_sequential_reports_widths(self):
+        circuit = qft_circuit(6)
+        try:
+            result = sequential_cutqc_then_reuse(circuit, intermediate_size=5, target_size=4)
+        except InfeasibleError:
+            pytest.skip("CutQC found no solution at the intermediate size")
+        assert result.width_before_reuse >= result.width_after_reuse
+        assert result.feasible == (result.width_after_reuse <= 4)
+        assert set(result.row()) >= {"X", "num_cuts", "width_after_reuse"}
+
+    def test_sweep_covers_requested_sizes(self):
+        circuit = qft_circuit(6)
+        results = sequential_sweep(circuit, target_size=4, intermediate_sizes=[5])
+        assert len(results) == 1
+        assert results[0].intermediate_size == 5
+
+    def test_sequential_never_beats_integrated_qrcc(self):
+        """Table 6's claim: CutQC followed by reuse needs at least as many cuts as QRCC."""
+        workload = make_workload("SPM", 6, depth=3)
+        config = CutConfig(device_size=4, max_subcircuits=3)
+        qrcc_plan = cut_circuit(workload.circuit, config)
+        results = sequential_sweep(workload.circuit, target_size=4, intermediate_sizes=[5])
+        for result in results:
+            if result.plan is not None and result.feasible:
+                assert result.num_cuts >= qrcc_plan.num_cuts

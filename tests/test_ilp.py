@@ -1,0 +1,180 @@
+"""Tests for the ILP modelling layer and solver backends."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ModelError, SolverError
+from repro.ilp import (
+    Model,
+    Sense,
+    SolveStatus,
+    solve_exhaustively,
+    solve_with_scipy,
+)
+
+
+class TestModelBuilding:
+    def test_variable_kinds(self):
+        model = Model()
+        b = model.add_binary("b")
+        i = model.add_integer("i", 0, 10)
+        c = model.add_continuous("c", -1.0, 1.0)
+        assert b.is_binary and i.is_integer and not c.is_integer
+        assert model.num_variables == 3
+
+    def test_duplicate_variable_name_rejected(self):
+        model = Model()
+        model.add_binary("x")
+        with pytest.raises(ModelError):
+            model.add_binary("x")
+
+    def test_bad_bounds_rejected(self):
+        with pytest.raises(ModelError):
+            Model().add_continuous("x", 2.0, 1.0)
+
+    def test_variable_lookup(self):
+        model = Model()
+        model.add_binary("x")
+        assert model.variable("x").name == "x"
+        with pytest.raises(ModelError):
+            model.variable("missing")
+
+    def test_expression_arithmetic(self):
+        model = Model()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        expression = 2 * x + y - 3 + (x - y) * 0.5
+        assert np.isclose(expression.value({x.index: 1, y.index: 0}), 2 + 0 - 3 + 0.5)
+
+    def test_expression_rejects_nonlinear_scaling(self):
+        model = Model()
+        x = model.add_binary("x")
+        with pytest.raises(ModelError):
+            (x + 1) * (x + 1)  # expression * expression is not linear
+
+    def test_constraint_sense_validation(self):
+        model = Model()
+        x = model.add_binary("x")
+        with pytest.raises(ModelError):
+            model.add_constraint(x, "<", 1)
+
+    def test_check_assignment(self):
+        model = Model()
+        x, y = model.add_binary("x"), model.add_binary("y")
+        model.add_le(x + y, 1)
+        assert model.check_assignment({0: 1.0, 1: 0.0})
+        assert not model.check_assignment({0: 1.0, 1: 1.0})
+        assert not model.check_assignment({0: 0.5, 1: 0.0})
+
+    def test_sum_helper(self):
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(4)]
+        total = Model.sum(xs)
+        assert np.isclose(total.value({i: 1.0 for i in range(4)}), 4.0)
+
+
+class TestScipyBackend:
+    def test_simple_knapsack(self):
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(4)]
+        weights, values = [2, 3, 4, 5], [3, 4, 5, 8]
+        model.add_le(Model.sum(w * x for w, x in zip(weights, xs)), 7)
+        model.set_objective(Model.sum(-v * x for v, x in zip(values, xs)))
+        result = solve_with_scipy(model)
+        assert result.status == SolveStatus.OPTIMAL
+        assert np.isclose(result.objective_value, -11.0)
+
+    def test_infeasible_model(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_ge(x, 2)
+        assert solve_with_scipy(model).status == SolveStatus.INFEASIBLE
+
+    def test_equality_constraints(self):
+        model = Model()
+        x = model.add_integer("x", 0, 10)
+        y = model.add_integer("y", 0, 10)
+        model.add_eq(x + y, 7)
+        model.set_objective(x - y)
+        result = solve_with_scipy(model)
+        assert result.status == SolveStatus.OPTIMAL
+        assert np.isclose(result.value(x), 0) and np.isclose(result.value(y), 7)
+
+    def test_continuous_variables(self):
+        model = Model()
+        x = model.add_continuous("x", 0.0, 10.0)
+        model.add_ge(x, 2.5)
+        model.set_objective(x)
+        result = solve_with_scipy(model)
+        assert np.isclose(result.value(x), 2.5)
+
+    def test_empty_model(self):
+        result = solve_with_scipy(Model())
+        assert result.status == SolveStatus.OPTIMAL
+
+    def test_values_by_name_and_binary_value(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_ge(x, 1)
+        model.set_objective(x)
+        result = solve_with_scipy(model)
+        assert result.values_by_name(model) == {"x": 1.0}
+        assert result.binary_value(x) == 1
+
+    def test_no_solution_value_access_raises(self):
+        model = Model()
+        x = model.add_binary("x")
+        model.add_ge(x, 2)
+        result = solve_with_scipy(model)
+        with pytest.raises(SolverError):
+            result.value(x)
+
+
+class TestExhaustiveBackend:
+    def test_matches_scipy_on_small_model(self):
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(5)]
+        model.add_le(Model.sum(xs), 3)
+        model.add_ge(xs[0] + xs[1], 1)
+        model.set_objective(Model.sum((i - 2) * x for i, x in enumerate(xs)))
+        a = solve_with_scipy(model)
+        b = solve_exhaustively(model)
+        assert np.isclose(a.objective_value, b.objective_value)
+
+    def test_rejects_non_binary_models(self):
+        model = Model()
+        model.add_integer("x", 0, 5)
+        with pytest.raises(SolverError):
+            solve_exhaustively(model)
+
+    def test_rejects_large_models(self):
+        model = Model()
+        for i in range(30):
+            model.add_binary(f"x{i}")
+        with pytest.raises(SolverError):
+            solve_exhaustively(model)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=st.data())
+    def test_scipy_agrees_with_exhaustive_on_random_models(self, data):
+        """Property: HiGHS and brute force find the same optimal objective."""
+        num_vars = data.draw(st.integers(2, 6))
+        num_constraints = data.draw(st.integers(1, 4))
+        model = Model()
+        xs = [model.add_binary(f"x{i}") for i in range(num_vars)]
+        for c in range(num_constraints):
+            coefficients = [data.draw(st.integers(-3, 3)) for _ in xs]
+            rhs = data.draw(st.integers(-2, 6))
+            model.add_le(Model.sum(k * x for k, x in zip(coefficients, xs)), rhs)
+        objective = [data.draw(st.integers(-5, 5)) for _ in xs]
+        model.set_objective(Model.sum(k * x for k, x in zip(objective, xs)))
+        scipy_result = solve_with_scipy(model)
+        exact_result = solve_exhaustively(model)
+        assert (scipy_result.status == SolveStatus.INFEASIBLE) == (
+            exact_result.status == SolveStatus.INFEASIBLE
+        )
+        if exact_result.status == SolveStatus.OPTIMAL:
+            assert np.isclose(
+                scipy_result.objective_value, exact_result.objective_value, atol=1e-6
+            )

@@ -1,0 +1,103 @@
+"""Tests for the simulated noisy device (the Table 3 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    DeviceModel,
+    NoiseModel,
+    NoisySimulator,
+    exact_expectation,
+    lagos_like_device,
+)
+from repro.utils.pauli import PauliObservable, PauliString
+
+
+class TestNoiseModel:
+    def test_defaults_match_paper_error_rates(self):
+        model = NoiseModel()
+        assert np.isclose(model.two_qubit_error, 8.25e-3)
+        assert np.isclose(model.single_qubit_error, 2.6e-4)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            NoiseModel(two_qubit_error=1.5)
+
+    def test_scaled_clips_at_one(self):
+        scaled = NoiseModel(two_qubit_error=0.5).scaled(10)
+        assert scaled.two_qubit_error == 1.0
+
+
+class TestDeviceModel:
+    def test_lagos_like_device_shape(self):
+        device = lagos_like_device()
+        assert device.num_qubits == 7
+        assert 1.5 <= device.connections_per_qubit <= 2.0
+
+    def test_coupling_bounds_validated(self):
+        with pytest.raises(SimulationError):
+            DeviceModel(3, ((0, 5),))
+
+    def test_supports_checks_width(self):
+        device = lagos_like_device()
+        assert device.supports(Circuit(7))
+        assert not device.supports(Circuit(8))
+
+
+class TestNoisySimulator:
+    def test_circuit_wider_than_device_rejected(self):
+        simulator = NoisySimulator(lagos_like_device(), seed=0)
+        with pytest.raises(SimulationError):
+            simulator.compile(Circuit(9).h(0))
+
+    def test_compile_decomposes_and_routes(self):
+        device = lagos_like_device()
+        simulator = NoisySimulator(device, seed=0)
+        circuit = Circuit(7).h(0).cx(0, 6).swap(2, 3)
+        compiled = simulator.compile(circuit)
+        allowed = {tuple(sorted(edge)) for edge in device.coupling}
+        for op in compiled:
+            if op.is_two_qubit:
+                assert tuple(sorted(op.qubits)) in allowed
+
+    def test_zero_noise_counts_match_ideal_distribution(self):
+        device = DeviceModel(3, ((0, 1), (1, 2)), NoiseModel(0.0, 0.0, 0.0), "ideal")
+        simulator = NoisySimulator(device, seed=5)
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        counts = simulator.run_counts(circuit, shots=4000, trajectories=4)
+        total = sum(counts.values())
+        assert set(counts) <= {"000", "111"}
+        assert abs(counts.get("000", 0) / total - 0.5) < 0.1
+
+    def test_noise_degrades_ghz_distribution(self):
+        noisy_device = DeviceModel(3, ((0, 1), (1, 2)), NoiseModel(0.2, 0.05, 0.05), "noisy")
+        simulator = NoisySimulator(noisy_device, seed=5)
+        circuit = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        counts = simulator.run_counts(circuit, shots=4000, trajectories=10)
+        leaked = sum(v for k, v in counts.items() if k not in ("000", "111"))
+        assert leaked > 0
+
+    def test_shots_must_be_positive(self):
+        simulator = NoisySimulator(lagos_like_device(), seed=0)
+        with pytest.raises(SimulationError):
+            simulator.run_counts(Circuit(2).h(0), shots=0)
+
+    def test_expectation_degrades_with_noise(self):
+        circuit = Circuit(4)
+        circuit.h(0)
+        for q in range(3):
+            circuit.cx(q, q + 1)
+        observable = PauliObservable.single({0: "Z", 3: "Z"})
+        exact = exact_expectation(circuit, observable)
+        clean_device = DeviceModel(4, ((0, 1), (1, 2), (2, 3)), NoiseModel(0, 0, 0), "clean")
+        noisy_device = DeviceModel(4, ((0, 1), (1, 2), (2, 3)), NoiseModel(0.15, 0.01, 0.02), "noisy")
+        clean = NoisySimulator(clean_device, seed=9).run_expectation(
+            circuit, observable, shots=3000, trajectories=5
+        )
+        noisy = NoisySimulator(noisy_device, seed=9).run_expectation(
+            circuit, observable, shots=3000, trajectories=15
+        )
+        assert abs(clean - exact) < 0.1
+        assert abs(noisy - exact) > abs(clean - exact)

@@ -1,0 +1,88 @@
+"""Tests for the analytic post-processing overhead models (Figure 6)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cutting import (
+    arp_operations,
+    fre_operations,
+    frp_operations,
+    full_state_simulation_threshold,
+    postprocessing_speedup,
+    reconstruction_overhead_curves,
+)
+from repro.exceptions import ReproError
+
+
+class TestIndividualModels:
+    def test_fss_threshold_close_to_paper_value(self):
+        # The paper quotes ~1e24 #FP for a dense 34-qubit 1000-gate simulation.
+        threshold = full_state_simulation_threshold()
+        assert 1e23 < threshold < 1e25
+
+    def test_frp_grows_with_qubits_and_cuts(self):
+        assert frp_operations(48, 10) > frp_operations(32, 10)
+        assert frp_operations(32, 11) == 4 * frp_operations(32, 10)
+
+    def test_fre_is_qubit_independent_and_much_cheaper(self):
+        assert fre_operations(10) < frp_operations(32, 10)
+        assert fre_operations(12) / fre_operations(10) == 16
+
+    def test_arp_caps_the_qubit_exponent(self):
+        # Above the cap the overhead no longer depends on the circuit size.
+        assert arp_operations(50, 10) == arp_operations(80, 10)
+        assert arp_operations(20, 10) < arp_operations(50, 10)
+
+    def test_arp_with_more_subcircuits_is_cheaper_at_high_cut_counts(self):
+        assert arp_operations(48, 40, num_subcircuits=4) < arp_operations(
+            48, 40, num_subcircuits=2
+        )
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ReproError):
+            frp_operations(0, 3)
+        with pytest.raises(ReproError):
+            fre_operations(-1)
+        with pytest.raises(ReproError):
+            arp_operations(10, 3, num_subcircuits=1)
+        with pytest.raises(ReproError):
+            full_state_simulation_threshold(0)
+
+    def test_speedup_matches_paper_example(self):
+        # Section 6.6.1: cuts 21 -> 16.29 corresponds to a ~685x speedup.
+        speedup = postprocessing_speedup(21, 16.29)
+        assert 600 < speedup < 800
+
+
+class TestFigureSixCurves:
+    def test_all_expected_curves_present(self):
+        curves = reconstruction_overhead_curves(range(1, 50, 4))
+        assert set(curves) == {"FRP_32", "FRP_48", "ARP_2", "ARP_4", "FRE", "FSS"}
+
+    def test_curve_ordering_matches_figure(self):
+        cut_counts = list(range(1, 30))
+        curves = reconstruction_overhead_curves(cut_counts)
+        for i, _ in enumerate(cut_counts):
+            assert curves["FRP_48"][i] > curves["FRP_32"][i]
+            assert curves["FRE"][i] < curves["FRP_32"][i]
+
+    def test_fss_threshold_is_flat(self):
+        curves = reconstruction_overhead_curves([1, 10, 20])
+        assert len(set(curves["FSS"])) == 1
+
+    def test_tolerable_cut_counts_match_paper_claims(self):
+        """FRE tolerates ~40 cuts and FRP_48 only ~16 before hitting the FSS threshold."""
+        cut_counts = list(range(1, 51))
+        curves = reconstruction_overhead_curves(cut_counts)
+        threshold = curves["FSS"][0]
+
+        def max_tolerated(name):
+            tolerated = [k for k, value in zip(cut_counts, curves[name]) if value <= threshold]
+            return max(tolerated) if tolerated else 0
+
+        assert 35 <= max_tolerated("FRE") <= 45
+        assert 12 <= max_tolerated("FRP_48") <= 20
+        assert max_tolerated("ARP_2") >= max_tolerated("FRP_48")
+        assert max_tolerated("ARP_4") >= max_tolerated("ARP_2")

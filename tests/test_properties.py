@@ -1,0 +1,220 @@
+"""Cross-module property-based tests (hypothesis).
+
+These tests assert the library's core invariants on randomly generated inputs:
+
+* simulation preserves normalisation and matches the dense-unitary reference,
+* the branching simulator is consistent with the deferred-measurement principle,
+* cutting + reconstruction is exact for randomly generated circuits, cut positions
+  and observables,
+* reuse scheduling never violates the layer-interval disjointness invariant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.cutting import CutReconstructor, CutSolution, GateCut, WireCut, extract_subcircuits
+from repro.exceptions import CuttingError
+from repro.reuse import apply_qubit_reuse
+from repro.simulator import simulate_dynamic, simulate_statevector
+from repro.utils.pauli import PauliObservable, PauliString
+
+_SETTINGS = dict(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_SINGLE_GATES = ("h", "x", "s", "t", "sx")
+_ROTATIONS = ("rx", "ry", "rz")
+_TWO_QUBIT = ("cx", "cz", "rzz")
+
+
+def _random_circuit(data, num_qubits: int, num_ops: int) -> Circuit:
+    circuit = Circuit(num_qubits)
+    for _ in range(num_ops):
+        kind = data.draw(st.sampled_from(("single", "rotation", "two")))
+        if kind == "single":
+            gate = data.draw(st.sampled_from(_SINGLE_GATES))
+            circuit.add(gate, [data.draw(st.integers(0, num_qubits - 1))])
+        elif kind == "rotation":
+            gate = data.draw(st.sampled_from(_ROTATIONS))
+            circuit.add(
+                gate,
+                [data.draw(st.integers(0, num_qubits - 1))],
+                [data.draw(st.floats(0.1, 3.0))],
+            )
+        else:
+            gate = data.draw(st.sampled_from(_TWO_QUBIT))
+            a = data.draw(st.integers(0, num_qubits - 1))
+            b = data.draw(st.integers(0, num_qubits - 1).filter(lambda x: x != a))
+            params = [data.draw(st.floats(0.1, 3.0))] if gate == "rzz" else []
+            circuit.add(gate, [a, b], params)
+    return circuit
+
+
+class TestSimulatorProperties:
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_statevector_stays_normalised(self, data):
+        circuit = _random_circuit(data, num_qubits=4, num_ops=12)
+        state = simulate_statevector(circuit)
+        assert np.isclose(state.norm(), 1.0, atol=1e-9)
+        assert np.isclose(state.probabilities().sum(), 1.0, atol=1e-9)
+
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_statevector_matches_dense_unitary(self, data):
+        circuit = _random_circuit(data, num_qubits=3, num_ops=8)
+        reference = circuit.unitary()[:, 0]
+        assert np.allclose(simulate_statevector(circuit).data, reference, atol=1e-9)
+
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_deferred_measurement_principle(self, data):
+        """Measuring a qubit mid-circuit (then leaving it alone) preserves the other
+        qubits' marginal distribution."""
+        circuit = _random_circuit(data, num_qubits=3, num_ops=8)
+        measured_qubit = data.draw(st.integers(0, 2))
+        dynamic = Circuit(3)
+        for op in circuit:
+            dynamic.append(op)
+        dynamic.measure(measured_qubit)
+        others = [q for q in range(3) if q != measured_qubit]
+        expected = simulate_statevector(circuit).marginal_probabilities(others)
+        actual = simulate_dynamic(dynamic).marginal_probabilities(others)
+        assert np.allclose(actual, expected, atol=1e-9)
+
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_branch_probabilities_sum_to_one(self, data):
+        circuit = _random_circuit(data, num_qubits=3, num_ops=6)
+        dynamic = Circuit(3)
+        for op in circuit:
+            dynamic.append(op)
+        dynamic.measure(data.draw(st.integers(0, 2)))
+        dynamic.reset(data.draw(st.integers(0, 2)))
+        result = simulate_dynamic(dynamic)
+        assert np.isclose(result.total_probability(), 1.0, atol=1e-9)
+
+
+class TestCuttingProperties:
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_wire_cut_reconstruction_exact_for_random_two_block_circuits(self, data):
+        """Build [block A on qubits 0-1] -> bridging CZ -> [block B on qubits 1-2],
+        cut the bridge wire, and check the distribution is reconstructed exactly."""
+        circuit = Circuit(3)
+        ops_a = data.draw(st.integers(1, 4))
+        ops_b = data.draw(st.integers(1, 4))
+        for _ in range(ops_a):
+            gate = data.draw(st.sampled_from(_ROTATIONS))
+            circuit.add(gate, [data.draw(st.integers(0, 1))], [data.draw(st.floats(0.1, 3.0))])
+        circuit.cx(0, 1)
+        bridge_index = len(circuit) - 1
+        boundary = len(circuit)
+        circuit.cz(1, 2)
+        for _ in range(ops_b):
+            gate = data.draw(st.sampled_from(_ROTATIONS))
+            circuit.add(gate, [data.draw(st.integers(1, 2))], [data.draw(st.floats(0.1, 3.0))])
+
+        assignment = {}
+        for index in range(len(circuit)):
+            assignment[index] = 0 if index < boundary else 1
+        solution = CutSolution(
+            circuit=circuit,
+            op_subcircuit=assignment,
+            wire_cuts=[WireCut(qubit=1, downstream_op=boundary)],
+        )
+        reconstructed = CutReconstructor(solution).reconstruct_probabilities()
+        exact = simulate_statevector(circuit).probabilities()
+        assert np.allclose(reconstructed, exact, atol=1e-8)
+
+    @settings(**_SETTINGS)
+    @given(theta=st.floats(0.05, 3.1), phi=st.floats(0.05, 3.1))
+    def test_gate_cut_expectation_exact_for_random_angles(self, theta, phi):
+        circuit = Circuit(2)
+        circuit.ry(theta, 0).ry(phi, 1)
+        circuit.rzz(theta + phi, 0, 1)
+        circuit.rx(phi, 0).rz(theta, 1)
+        solution = CutSolution(
+            circuit=circuit,
+            op_subcircuit={0: 0, 1: 1, 3: 0, 4: 1},
+            gate_cuts=[GateCut(2)],
+            gate_cut_placement={2: (0, 1)},
+        )
+        observable = PauliObservable.from_terms(
+            [
+                PauliString.from_dict({0: "Z", 1: "Z"}, 1.0),
+                PauliString.from_dict({0: "X"}, 0.5),
+                PauliString.from_dict({1: "X"}, -0.25),
+            ]
+        )
+        value = CutReconstructor(solution).reconstruct_expectation(observable)
+        exact = simulate_statevector(circuit).expectation(observable)
+        assert np.isclose(value, exact, atol=1e-8)
+
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_quasi_distributions_always_sum_to_one(self, data):
+        """The reconstructed distribution must be normalised for any valid single cut."""
+        circuit = Circuit(3)
+        circuit.h(0).ry(data.draw(st.floats(0.1, 3.0)), 1).h(2)
+        circuit.cx(0, 1)
+        circuit.rz(data.draw(st.floats(0.1, 3.0)), 1)
+        circuit.cz(1, 2)
+        circuit.rx(data.draw(st.floats(0.1, 3.0)), 2)
+        solution = CutSolution(
+            circuit=circuit,
+            op_subcircuit={0: 0, 1: 0, 2: 1, 3: 0, 4: 0, 5: 1, 6: 1},
+            wire_cuts=[WireCut(qubit=1, downstream_op=5)],
+        )
+        reconstructed = CutReconstructor(solution).reconstruct_probabilities()
+        assert np.isclose(reconstructed.sum(), 1.0, atol=1e-8)
+        assert np.all(reconstructed >= -1e-9)
+
+
+class TestReuseProperties:
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_reuse_width_bounds(self, data):
+        circuit = _random_circuit(data, num_qubits=5, num_ops=10)
+        result = apply_qubit_reuse(circuit)
+        minimum = 2 if circuit.num_two_qubit_gates else 1
+        assert result.width >= min(minimum, max(len(circuit.active_qubits()), 1))
+        assert result.width <= max(len(circuit.active_qubits()), 1)
+
+    @settings(**_SETTINGS)
+    @given(data=st.data())
+    def test_fragment_wire_sharing_invariant(self, data):
+        """For any valid cut of a layered random circuit, fragments sharing a wire
+        never overlap in layers."""
+        circuit = _random_circuit(data, num_qubits=4, num_ops=10)
+        # Cut the wire entering the last operation of a random qubit (if possible).
+        from repro.circuits import CircuitDag
+
+        dag = CircuitDag(circuit)
+        cuttable = dag.segments(cuttable_only=True)
+        if not cuttable:
+            return
+        segment = cuttable[data.draw(st.integers(0, len(cuttable) - 1))]
+        downstream_set = {segment.downstream} | set(dag.descendants(segment.downstream))
+        assignment = {
+            index: (1 if index in downstream_set else 0) for index in range(len(circuit))
+        }
+        wire_cuts = []
+        for other in dag.segments(cuttable_only=True):
+            if assignment[other.upstream] != assignment[other.downstream]:
+                wire_cuts.append(WireCut(other.qubit, other.downstream))
+        solution = CutSolution(
+            circuit=circuit, op_subcircuit=assignment, wire_cuts=wire_cuts
+        )
+        for spec in extract_subcircuits(solution, enable_reuse=True):
+            for wire in range(spec.num_wires):
+                fragments = spec.fragment_on_wire(wire)
+                for earlier, later in zip(fragments, fragments[1:]):
+                    assert earlier.end_layer < later.start_layer

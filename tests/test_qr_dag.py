@@ -1,0 +1,112 @@
+"""Tests for the QR-aware DAG (layer alignment + identity padding)."""
+
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import QRAwareDag
+from repro.exceptions import CuttingError
+from repro.workloads import qft_circuit
+
+
+@pytest.fixture
+def staircase_dag():
+    circuit = Circuit(3)
+    circuit.h(0)          # layer 0
+    circuit.cx(0, 1)      # layer 1
+    circuit.cx(1, 2)      # layer 2
+    circuit.h(0)          # layer 2 (qubit 0 idle in layer 2? no: free at layer 2)
+    return QRAwareDag(circuit)
+
+
+class TestPadding:
+    def test_padding_fills_active_windows_only(self, staircase_dag):
+        padded = staircase_dag.padded_circuit
+        # qubit 2 starts at layer 2, so layers 0-1 must NOT be padded for it.
+        for entry in staircase_dag.entries:
+            if entry.operation.is_identity:
+                assert entry.operation.tag == "pad"
+                assert entry.original_index is None
+
+    def test_every_active_layer_slot_is_occupied(self):
+        circuit = Circuit(3)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        circuit.rz(0.3, 0)
+        circuit.cz(0, 2)
+        circuit.h(1)
+        dag = QRAwareDag(circuit)
+        occupancy = {}
+        first = {}
+        last = {}
+        for entry in dag.entries:
+            for qubit in entry.operation.qubits:
+                occupancy.setdefault((qubit, entry.layer), 0)
+                occupancy[(qubit, entry.layer)] += 1
+                first.setdefault(qubit, entry.layer)
+                first[qubit] = min(first[qubit], entry.layer)
+                last[qubit] = max(last.get(qubit, 0), entry.layer)
+        for qubit, start in first.items():
+            for layer in range(start, last[qubit] + 1):
+                assert occupancy.get((qubit, layer), 0) == 1
+
+    def test_layers_consistent_with_circuit_scheduling(self, staircase_dag):
+        """Recomputing ASAP layers on the padded circuit reproduces the stored layers."""
+        padded = staircase_dag.padded_circuit
+        frontier = [0] * padded.num_qubits
+        for index, op in enumerate(padded.operations):
+            level = max(frontier[q] for q in op.qubits)
+            assert level == staircase_dag.layer_of(index)
+            for q in op.qubits:
+                frontier[q] = level + 1
+
+    def test_original_operations_preserved_in_order(self, staircase_dag):
+        originals = [
+            entry.original_index
+            for entry in staircase_dag.entries
+            if entry.original_index is not None
+        ]
+        assert sorted(originals) == list(range(4))
+
+    def test_padding_count_reported(self):
+        circuit = Circuit(2)
+        circuit.h(0)
+        circuit.h(0)
+        circuit.cx(0, 1)
+        dag = QRAwareDag(circuit)
+        # Qubit 1 is idle for layers... it first appears at the cx, so no padding needed.
+        assert dag.num_padding_gates == 0
+
+    def test_measurement_in_input_rejected(self):
+        with pytest.raises(CuttingError):
+            QRAwareDag(Circuit(2).h(0).measure(0))
+
+
+class TestCutCandidates:
+    def test_wire_cut_candidates_exclude_first_operations(self, staircase_dag):
+        candidates = staircase_dag.wire_cut_candidates()
+        dag = staircase_dag.dag
+        for qubit, downstream in candidates:
+            assert dag.predecessor_on(downstream, qubit) is not None
+
+    def test_gate_cut_candidates_only_cuttable_two_qubit_gates(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cp(0.3, 1, 2).rzz(0.5, 0, 2).cz(1, 2)
+        dag = QRAwareDag(circuit)
+        names = {dag.padded_circuit.operations[i].name for i in dag.gate_cut_candidates()}
+        assert names == {"cx", "rzz", "cz"}
+
+    def test_two_qubit_gate_indices(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cp(0.3, 1, 2)
+        dag = QRAwareDag(circuit)
+        assert len(dag.two_qubit_gate_indices()) == 2
+
+    def test_endpoint_layers_cover_all_endpoints(self, staircase_dag):
+        per_layer = staircase_dag.endpoint_layers()
+        total = sum(len(endpoints) for endpoints in per_layer.values())
+        expected = sum(
+            len(entry.operation.qubits) for entry in staircase_dag.entries
+        )
+        assert total == expected
+
+    def test_summary_mentions_counts(self):
+        summary = QRAwareDag(qft_circuit(4)).summary()
+        assert "wire_cut_candidates" in summary and "layers" in summary

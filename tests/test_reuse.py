@@ -1,0 +1,116 @@
+"""Tests for qubit-reuse analysis and the CaQR-style scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.reuse import (
+    apply_qubit_reuse,
+    find_reuse_candidates,
+    qubit_dependency_closure,
+    asap_active_width,
+)
+from repro.simulator import simulate_dynamic, simulate_statevector
+from repro.workloads import qft_circuit, two_local_ansatz
+
+
+def _sequential_bell_chain(num_qubits: int) -> Circuit:
+    """A circuit where qubit i only starts after qubit i-1 finished (ideal for reuse)."""
+    circuit = Circuit(num_qubits)
+    circuit.h(0)
+    for qubit in range(num_qubits - 1):
+        circuit.cx(qubit, qubit + 1)
+    return circuit
+
+
+class TestAnalysis:
+    def test_dependency_closure_on_chain(self):
+        circuit = _sequential_bell_chain(4)
+        closure = qubit_dependency_closure(circuit)
+        assert closure[3] == frozenset({0, 1, 2})
+        assert closure[0] == frozenset({1})  # cx(0,1) acts on qubit 0 too.
+
+    def test_independent_qubits_have_empty_closure(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        closure = qubit_dependency_closure(circuit)
+        assert all(not deps for deps in closure.values())
+
+    def test_figure_1c_example(self):
+        """The paper's Figure 1(c): q2 can reuse q0's wire once U1(q0,q1) finished."""
+        circuit = Circuit(3)
+        circuit.cz(0, 1)   # U1
+        circuit.cx(1, 2)   # U2
+        candidates = {(c.donor, c.receiver) for c in find_reuse_candidates(circuit)}
+        assert (0, 2) in candidates
+        # q0 cannot take over q2's wire (q2's operations depend on q0's), and qubits
+        # that share a gate can never reuse each other.
+        assert (2, 0) not in candidates
+        assert (1, 2) not in candidates
+
+    def test_fully_entangled_first_layer_blocks_reuse(self):
+        circuit = Circuit(4)
+        circuit.cz(0, 1).cz(2, 3).cz(0, 2).cz(1, 3)
+        result = apply_qubit_reuse(circuit)
+        assert result.width == 4
+        assert result.num_reuses == 0
+
+    def test_asap_width_on_parallel_circuit(self):
+        circuit = Circuit(3).h(0).h(1).h(2)
+        assert asap_active_width(circuit) == 3
+
+    def test_asap_width_of_empty_circuit(self):
+        assert asap_active_width(Circuit(3)) == 0
+
+
+class TestScheduler:
+    def test_chain_circuit_reduces_to_two_wires(self):
+        circuit = _sequential_bell_chain(5)
+        result = apply_qubit_reuse(circuit)
+        assert result.width == 2
+        assert result.num_reuses == 3
+        assert result.width >= 2  # the chain contains two-qubit gates
+
+    def test_reused_circuit_contains_measure_reset_pairs(self):
+        result = apply_qubit_reuse(_sequential_bell_chain(4))
+        counts = result.circuit.count_ops()
+        assert counts.get("measure", 0) == result.num_reuses
+        assert counts.get("reset", 0) == result.num_reuses
+
+    def test_target_width_stops_early(self):
+        circuit = _sequential_bell_chain(6)
+        result = apply_qubit_reuse(circuit, target_width=4)
+        assert result.width == 4
+
+    def test_wire_of_qubit_covers_all_original_qubits(self):
+        circuit = _sequential_bell_chain(4)
+        result = apply_qubit_reuse(circuit)
+        assert set(result.wire_of_qubit) == {0, 1, 2, 3}
+        assert max(result.wire_of_qubit.values()) < result.width
+
+    def test_reuse_preserves_measurement_statistics(self):
+        """Recorded mid-circuit outcomes + final wires reproduce the original distribution."""
+        circuit = _sequential_bell_chain(3)
+        result = apply_qubit_reuse(circuit)
+        original = simulate_statevector(circuit).probabilities()
+
+        # GHZ state: all qubits perfectly correlated; the reused execution must only
+        # ever see all-equal outcomes.
+        branched = simulate_dynamic(result.circuit)
+        for branch in branched.branches:
+            recorded = set(branch.outcomes.values())
+            live = np.abs(branch.state) ** 2
+            live_index = int(np.argmax(live))
+            live_bits = {(live_index >> w) & 1 for w in range(result.width)}
+            assert len(recorded | live_bits) == 1
+        assert np.isclose(original[0], 0.5) and np.isclose(original[-1], 0.5)
+
+    def test_qft_cannot_be_reused(self):
+        """All-to-all circuits admit no reuse (the paper's motivation for cutting first)."""
+        result = apply_qubit_reuse(qft_circuit(5))
+        assert result.width == 5
+
+    def test_vqe_ansatz_partially_reusable(self):
+        """The linear two-local ansatz allows at least one reuse at depth 1."""
+        circuit = two_local_ansatz(6, layers=1)
+        result = apply_qubit_reuse(circuit)
+        assert result.width <= 6

@@ -1,0 +1,92 @@
+"""Tests for the shot-based sampler."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.exceptions import SimulationError
+from repro.simulator import (
+    counts_to_distribution,
+    distribution_to_counts,
+    expectation_from_counts,
+    sample_circuit,
+    sample_counts,
+)
+from repro.utils.pauli import PauliObservable, PauliString
+
+
+class TestSampling:
+    def test_counts_sum_to_shots(self):
+        counts = sample_counts(np.array([0.25, 0.25, 0.25, 0.25]), 1000, np.random.default_rng(0))
+        assert sum(counts.values()) == 1000
+
+    def test_deterministic_distribution_gives_single_outcome(self):
+        counts = sample_counts(np.array([0, 0, 1.0, 0]), 128, np.random.default_rng(0))
+        assert counts == {"10": 128}
+
+    def test_sampling_is_reproducible_with_seed(self):
+        probs = np.array([0.1, 0.2, 0.3, 0.4])
+        a = sample_counts(probs, 500, np.random.default_rng(7))
+        b = sample_counts(probs, 500, np.random.default_rng(7))
+        assert a == b
+
+    def test_negative_probabilities_are_clipped(self):
+        counts = sample_counts(np.array([1.0, -1e-9]), 10, np.random.default_rng(0))
+        assert counts == {"0": 10}
+
+    def test_zero_distribution_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.zeros(4), 10)
+
+    def test_nonpositive_shots_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.array([1.0]), 0)
+
+    def test_sample_circuit_unitary_and_dynamic_paths(self):
+        unitary = Circuit(2).h(0).cx(0, 1)
+        dynamic = Circuit(2).h(0).cx(0, 1).measure(0)
+        for circuit in (unitary, dynamic):
+            counts = sample_circuit(circuit, 2000, seed=3)
+            assert set(counts) <= {"00", "11"}
+            assert abs(counts.get("00", 0) - 1000) < 150
+
+
+class TestConversions:
+    def test_counts_round_trip(self):
+        distribution = np.array([0.5, 0.0, 0.25, 0.25])
+        counts = distribution_to_counts(distribution, 400)
+        recovered = counts_to_distribution(counts, 2)
+        assert np.allclose(recovered, distribution)
+
+    def test_counts_to_distribution_validates_length(self):
+        with pytest.raises(SimulationError):
+            counts_to_distribution({"000": 5}, 2)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            counts_to_distribution({}, 2)
+
+
+class TestExpectationFromCounts:
+    def test_zz_parity(self):
+        counts = {"00": 500, "11": 500}
+        observable = PauliObservable.single({0: "Z", 1: "Z"})
+        assert np.isclose(expectation_from_counts(counts, observable, 2), 1.0)
+
+    def test_single_qubit_z(self):
+        counts = {"01": 750, "00": 250}  # qubit 0 is 1 with prob 0.75.
+        observable = PauliObservable.single({0: "Z"})
+        assert np.isclose(expectation_from_counts(counts, observable, 2), -0.5)
+
+    def test_identity_term_adds_constant(self):
+        counts = {"0": 10}
+        observable = PauliObservable.from_terms([PauliString.from_dict({}, 2.5)])
+        assert np.isclose(expectation_from_counts(counts, observable, 1), 2.5)
+
+    def test_x_observable_rejected(self):
+        with pytest.raises(SimulationError):
+            expectation_from_counts({"0": 1}, PauliObservable.single({0: "X"}), 1)
+
+    def test_empty_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            expectation_from_counts({}, PauliObservable.single({0: "Z"}), 1)

@@ -1,0 +1,51 @@
+"""Tests for the plain-text circuit serialisation."""
+
+import pytest
+
+from repro.circuits import Circuit, from_text, to_text
+from repro.exceptions import CircuitError
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self):
+        circuit = Circuit(3).h(0).cx(0, 1).rz(0.25, 2).measure(1).reset(1)
+        assert from_text(to_text(circuit)) == circuit
+
+    def test_parameterised_gates_round_trip_exactly(self):
+        circuit = Circuit(2).rzz(0.123456789, 0, 1).u3(0.1, -0.2, 3.5, 0)
+        restored = from_text(to_text(circuit))
+        assert restored.operations[0].params == circuit.operations[0].params
+        assert restored.operations[1].params == circuit.operations[1].params
+
+    def test_tags_round_trip(self):
+        circuit = Circuit(1)
+        circuit.measure(0, tag="signed:cut:w0_3")
+        restored = from_text(to_text(circuit))
+        assert restored.operations[0].tag == "signed:cut:w0_3"
+
+    def test_header_contains_qubit_count(self):
+        text = to_text(Circuit(5).h(2))
+        assert text.splitlines()[0] == "qubits 5"
+
+
+class TestParsing:
+    def test_missing_header_raises(self):
+        with pytest.raises(CircuitError):
+            from_text("h 0\n")
+
+    def test_malformed_header_raises(self):
+        with pytest.raises(CircuitError):
+            from_text("qubits\nh 0\n")
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(CircuitError):
+            from_text("qubits 2\nh zero\n")
+
+    def test_unknown_gate_raises(self):
+        with pytest.raises(CircuitError):
+            from_text("qubits 2\nwarp 0 1\n")
+
+    def test_blank_lines_and_comments_ignored(self):
+        text = "qubits 2\n\n// a comment\nh 0\ncx 0 1\n"
+        circuit = from_text(text)
+        assert len(circuit) == 2

@@ -1,0 +1,120 @@
+"""Tests for circuit transformations (decomposition, routing, padding, peephole)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import (
+    Circuit,
+    decompose_to_basis,
+    insert_identity_padding,
+    remove_adjacent_inverse_pairs,
+    route_to_coupling_map,
+)
+from repro.exceptions import CircuitError
+from repro.simulator import simulate_statevector
+
+
+def _states_match(a: Circuit, b: Circuit) -> bool:
+    sa = simulate_statevector(a).data
+    sb = simulate_statevector(b).data
+    overlap = np.vdot(sa, sb)
+    return np.isclose(abs(overlap), 1.0, atol=1e-9)
+
+
+class TestDecomposition:
+    @pytest.mark.parametrize(
+        "builder",
+        [
+            lambda c: c.swap(0, 1),
+            lambda c: c.cp(0.7, 0, 1),
+            lambda c: c.crz(0.9, 0, 1),
+            lambda c: c.rxx(0.4, 0, 1),
+            lambda c: c.ryy(0.6, 0, 1),
+        ],
+    )
+    def test_decomposition_preserves_state(self, builder):
+        circuit = Circuit(2).h(0).ry(0.3, 1)
+        builder(circuit)
+        circuit.rz(0.2, 0)
+        decomposed = decompose_to_basis(circuit)
+        assert _states_match(circuit, decomposed)
+        allowed = {"h", "ry", "rz", "cx", "rzz", "s", "sdg", "t", "tdg", "x", "id"}
+        assert all(op.name in allowed for op in decomposed)
+
+    def test_gates_already_in_basis_pass_through(self):
+        circuit = Circuit(2).h(0).cx(0, 1).measure(1)
+        decomposed = decompose_to_basis(circuit)
+        assert decomposed.count_ops() == circuit.count_ops()
+
+    def test_gate_without_rewrite_rule_outside_basis_raises(self):
+        circuit = Circuit(2).u3(0.1, 0.2, 0.3, 0)
+        with pytest.raises(CircuitError):
+            decompose_to_basis(circuit, basis={"h", "cx"})
+
+
+class TestIdentityPadding:
+    def test_every_layer_is_full_after_padding(self):
+        circuit = Circuit(3).h(0).cx(0, 1).cz(1, 2).h(0)
+        padded = insert_identity_padding(circuit)
+        for layer in padded.layers():
+            qubits = sorted(q for op in layer for q in op.qubits)
+            assert qubits == [0, 1, 2]
+
+    def test_padding_preserves_real_operations(self):
+        circuit = Circuit(3).h(0).cx(1, 2)
+        padded = insert_identity_padding(circuit)
+        real = [op for op in padded if op.tag != "pad"]
+        assert [op.name for op in real] == ["h", "cx"]
+
+
+class TestPeephole:
+    def test_adjacent_self_inverse_pairs_cancel(self):
+        circuit = Circuit(2).h(0).h(0).cx(0, 1).cx(0, 1).x(1)
+        cleaned = remove_adjacent_inverse_pairs(circuit)
+        assert [op.name for op in cleaned] == ["x"]
+
+    def test_non_adjacent_pairs_survive(self):
+        circuit = Circuit(2).h(0).x(0).h(0)
+        cleaned = remove_adjacent_inverse_pairs(circuit)
+        assert len(cleaned) == 3
+
+    def test_parameterised_gates_not_cancelled(self):
+        circuit = Circuit(1).rz(0.2, 0).rz(0.2, 0)
+        assert len(remove_adjacent_inverse_pairs(circuit)) == 2
+
+
+class TestRouting:
+    def test_routed_circuit_respects_coupling(self):
+        circuit = Circuit(4).cx(0, 3).cz(1, 3).cx(0, 2)
+        line = [(0, 1), (1, 2), (2, 3)]
+        routed = route_to_coupling_map(circuit, line)
+        allowed = {tuple(sorted(edge)) for edge in line}
+        for op in routed:
+            if op.is_two_qubit:
+                assert tuple(sorted(op.qubits)) in allowed
+
+    def test_routing_adds_swap_overhead(self):
+        circuit = Circuit(4).cx(0, 3)
+        routed = route_to_coupling_map(circuit, [(0, 1), (1, 2), (2, 3)])
+        assert routed.num_two_qubit_gates > circuit.num_two_qubit_gates
+
+    def test_adjacent_gates_not_routed(self):
+        circuit = Circuit(3).cx(0, 1).cz(1, 2)
+        routed = route_to_coupling_map(circuit, [(0, 1), (1, 2)])
+        assert routed.num_two_qubit_gates == 2
+
+    def test_routing_preserves_distribution_for_trivial_layout(self):
+        circuit = Circuit(3).h(0).cx(0, 2).cz(0, 1)
+        routed = route_to_coupling_map(circuit, [(0, 1), (1, 2)])
+        original = np.sort(simulate_statevector(circuit).probabilities())
+        rerouted = np.sort(simulate_statevector(routed).probabilities())
+        # Routing permutes qubits, so compare sorted probability multisets.
+        assert np.allclose(original, rerouted, atol=1e-9)
+
+    def test_disconnected_coupling_rejected(self):
+        with pytest.raises(CircuitError):
+            route_to_coupling_map(Circuit(4).cx(0, 3), [(0, 1), (2, 3)])
+
+    def test_bad_initial_layout_rejected(self):
+        with pytest.raises(CircuitError):
+            route_to_coupling_map(Circuit(2).cx(0, 1), [(0, 1)], initial_layout={0: 0, 1: 0})

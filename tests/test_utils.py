@@ -1,0 +1,150 @@
+"""Tests for the shared utilities (Pauli algebra, linear algebra, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.utils import (
+    PauliObservable,
+    PauliString,
+    fidelity_of_distributions,
+    init_state_vector,
+    is_unitary,
+    kron_all,
+    normalize_distribution,
+    pauli_matrix,
+    pauli_string_matrix,
+    require,
+    require_index,
+    require_positive,
+    require_probability,
+    total_variation_distance,
+)
+
+
+class TestPauliStrings:
+    def test_from_dict_drops_identities_and_sorts(self):
+        term = PauliString.from_dict({3: "Z", 1: "i", 0: "X"}, 0.5)
+        assert term.paulis == ((0, "X"), (3, "Z"))
+        assert term.qubits == (0, 3)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ReproError):
+            PauliString.from_dict({0: "Q"})
+
+    def test_label_for_missing_qubit_is_identity(self):
+        term = PauliString.from_dict({1: "Y"})
+        assert term.label_for(0) == "I"
+        assert term.label_for(1) == "Y"
+
+    def test_restricted_and_remapped(self):
+        term = PauliString.from_dict({0: "X", 2: "Z"}, 2.0)
+        restricted = term.restricted_to([2])
+        assert restricted.paulis == ((2, "Z"),)
+        remapped = term.remapped({0: 5, 2: 1})
+        assert remapped.paulis == ((1, "Z"), (5, "X"))
+
+    def test_full_labels_and_matrix(self):
+        term = PauliString.from_dict({1: "Z"}, -1.0)
+        assert term.full_labels(3) == ["I", "Z", "I"]
+        matrix = term.matrix(2)
+        assert np.allclose(matrix, -np.kron(pauli_matrix("Z"), np.eye(2)))
+
+    def test_full_labels_out_of_range(self):
+        with pytest.raises(ReproError):
+            PauliString.from_dict({4: "Z"}).full_labels(3)
+
+
+class TestPauliObservables:
+    def test_addition_and_scaling(self):
+        a = PauliObservable.single({0: "Z"}, 1.0)
+        b = PauliObservable.single({1: "X"}, 2.0)
+        combined = (a + b).scaled(0.5)
+        assert len(combined) == 2
+        assert combined.terms[0].coefficient == 0.5
+        assert combined.terms[1].coefficient == 1.0
+
+    def test_qubits_property(self):
+        observable = PauliObservable.from_terms(
+            [PauliString.from_dict({2: "Z"}), PauliString.from_dict({0: "X", 4: "Y"})]
+        )
+        assert observable.qubits == (0, 2, 4)
+
+    def test_matrix_is_hermitian(self):
+        observable = PauliObservable.from_terms(
+            [PauliString.from_dict({0: "X", 1: "Y"}, 0.3), PauliString.from_dict({1: "Z"}, -0.7)]
+        )
+        matrix = observable.matrix(2)
+        assert np.allclose(matrix, matrix.conj().T)
+
+
+class TestPauliMatrices:
+    def test_pauli_string_matrix_ordering(self):
+        # labels[0] acts on qubit 0 = least significant bit -> kron(Z, X) overall.
+        matrix = pauli_string_matrix(["X", "Z"])
+        assert np.allclose(matrix, np.kron(pauli_matrix("Z"), pauli_matrix("X")))
+
+    def test_unknown_pauli_rejected(self):
+        with pytest.raises(ReproError):
+            pauli_matrix("W")
+
+    def test_init_state_vectors_are_normalised(self):
+        for label in ("zero", "one", "plus", "plus_i"):
+            assert np.isclose(np.linalg.norm(init_state_vector(label)), 1.0)
+
+    def test_unknown_init_state_rejected(self):
+        with pytest.raises(ReproError):
+            init_state_vector("minus")
+
+
+class TestLinalgHelpers:
+    def test_is_unitary(self):
+        assert is_unitary(pauli_matrix("Y"))
+        assert not is_unitary(np.array([[1, 1], [0, 1]], dtype=complex))
+        assert not is_unitary(np.ones((2, 3)))
+
+    def test_kron_all(self):
+        result = kron_all([pauli_matrix("X"), np.eye(2)])
+        assert result.shape == (4, 4)
+
+    def test_normalize_distribution_clips_and_renormalises(self):
+        values = normalize_distribution(np.array([0.5, -1e-15, 0.25]))
+        assert np.all(values >= 0)
+        assert np.isclose(values.sum(), 1.0)
+
+    def test_normalize_all_zero_returns_uniform(self):
+        values = normalize_distribution(np.zeros(4))
+        assert np.allclose(values, 0.25)
+
+    def test_fidelity_and_tvd(self):
+        p = np.array([0.5, 0.5, 0.0, 0.0])
+        q = np.array([0.5, 0.5, 0.0, 0.0])
+        r = np.array([0.0, 0.0, 0.5, 0.5])
+        assert np.isclose(fidelity_of_distributions(p, q), 1.0)
+        assert np.isclose(fidelity_of_distributions(p, r), 0.0)
+        assert np.isclose(total_variation_distance(p, r), 1.0)
+        assert np.isclose(total_variation_distance(p, q), 0.0)
+
+
+class TestValidationHelpers:
+    def test_require(self):
+        require(True, "fine")
+        with pytest.raises(ReproError):
+            require(False, "nope")
+
+    def test_require_positive(self):
+        require_positive(1.0, "x")
+        with pytest.raises(ReproError):
+            require_positive(0.0, "x")
+
+    def test_require_index(self):
+        require_index(2, 5, "i")
+        with pytest.raises(ReproError):
+            require_index(5, 5, "i")
+        with pytest.raises(ReproError):
+            require_index(True, 5, "i")
+
+    def test_require_probability(self):
+        require_probability(0.5, "p")
+        with pytest.raises(ReproError):
+            require_probability(1.5, "p")

@@ -1,0 +1,146 @@
+"""Tests for subcircuit variant construction."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.cutting import (
+    CutSolution,
+    GateCut,
+    WireCut,
+    extract_subcircuits,
+)
+from repro.cutting.variants import VariantBuilder, VariantSettings
+from repro.exceptions import CuttingError
+from repro.simulator import simulate_dynamic
+from repro.utils.pauli import PauliString
+
+
+def _builders(solution):
+    specs = extract_subcircuits(solution)
+    return {spec.index: VariantBuilder(solution, spec) for spec in specs}
+
+
+class TestWireCutVariants:
+    def test_upstream_variant_contains_cut_measurement(self, chain_wire_cut_solution):
+        builders = _builders(chain_wire_cut_solution)
+        cut = chain_wire_cut_solution.wire_cuts[0]
+        settings = VariantSettings.build({cut.identifier(): "X"}, {}, {})
+        variant = builders[0].build(settings, "probability")
+        tags = [op.tag for op in variant.circuit if op.is_measurement]
+        assert f"signed:cut:{cut.identifier()}" in tags
+        # X basis requires a Hadamard immediately before the cut measurement.
+        names = [op.name for op in variant.circuit]
+        assert "h" in names
+
+    def test_i_basis_measurement_is_unsigned(self, chain_wire_cut_solution):
+        builders = _builders(chain_wire_cut_solution)
+        cut = chain_wire_cut_solution.wire_cuts[0]
+        settings = VariantSettings.build({cut.identifier(): "I"}, {}, {})
+        variant = builders[0].build(settings, "probability")
+        tags = [op.tag for op in variant.circuit if op.is_measurement]
+        assert f"cut:{cut.identifier()}" in tags
+
+    @pytest.mark.parametrize(
+        "label,expected_gates",
+        [("zero", []), ("one", ["x"]), ("plus", ["h"]), ("plus_i", ["h", "s"])],
+    )
+    def test_downstream_variant_prepares_init_state(
+        self, chain_wire_cut_solution, label, expected_gates
+    ):
+        specs = {s.index: s for s in extract_subcircuits(chain_wire_cut_solution)}
+        builder = VariantBuilder(chain_wire_cut_solution, specs[1])
+        cut = chain_wire_cut_solution.wire_cuts[0]
+        settings = VariantSettings.build({}, {cut.identifier(): label}, {})
+        variant = builder.build(settings, "probability")
+        # The initialisation gates must be the first operations on the cut fragment's wire.
+        cut_fragment = next(f for f in specs[1].fragments if f.entry_cut == cut)
+        wire = specs[1].wire_of_fragment[cut_fragment.index]
+        wire_ops = [op.name for op in variant.circuit if wire in op.qubits]
+        assert wire_ops[: len(expected_gates)] == expected_gates
+
+    def test_unknown_basis_rejected(self, chain_wire_cut_solution):
+        builders = _builders(chain_wire_cut_solution)
+        cut = chain_wire_cut_solution.wire_cuts[0]
+        settings = VariantSettings.build({cut.identifier(): "Q"}, {}, {})
+        with pytest.raises(CuttingError):
+            builders[0].build(settings, "probability")
+
+    def test_unknown_init_label_rejected(self, chain_wire_cut_solution):
+        builders = _builders(chain_wire_cut_solution)
+        cut = chain_wire_cut_solution.wire_cuts[0]
+        settings = VariantSettings.build({}, {cut.identifier(): "minus"}, {})
+        with pytest.raises(CuttingError):
+            builders[1].build(settings, "probability")
+
+    def test_unknown_mode_rejected(self, chain_wire_cut_solution):
+        builders = _builders(chain_wire_cut_solution)
+        with pytest.raises(CuttingError):
+            builders[0].build(VariantSettings.build({"w1_5": "Z"}, {}, {}), "density")
+
+    def test_probability_mode_measures_all_output_qubits(self, chain_wire_cut_solution):
+        builders = _builders(chain_wire_cut_solution)
+        cut = chain_wire_cut_solution.wire_cuts[0]
+        settings = VariantSettings.build({}, {cut.identifier(): "zero"}, {})
+        variant = builders[1].build(settings, "probability")
+        tags = {op.tag for op in variant.circuit if op.is_measurement}
+        assert {"out:1", "out:2"} <= tags
+
+    def test_expectation_mode_measures_only_term_qubits(self, chain_wire_cut_solution):
+        builders = _builders(chain_wire_cut_solution)
+        cut = chain_wire_cut_solution.wire_cuts[0]
+        settings = VariantSettings.build({}, {cut.identifier(): "zero"}, {})
+        term = PauliString.from_dict({2: "Z"})
+        variant = builders[1].build(settings, "expectation", term)
+        tags = {op.tag for op in variant.circuit if op.is_measurement}
+        assert "signed:out:2" in tags
+        assert not any(tag and tag.endswith("out:1") for tag in tags)
+
+
+class TestGateCutVariants:
+    def test_measurement_instance_adds_signed_gate_measurement(self, gate_cut_solution):
+        builders = _builders(gate_cut_solution)
+        settings = VariantSettings.build({}, {}, {2: 3})  # instance 3 measures the top side
+        variant = builders[0].build(settings, "expectation", PauliString((), 1.0))
+        tags = [op.tag for op in variant.circuit if op.is_measurement]
+        assert any(tag.startswith("signed:gate:2") for tag in tags)
+
+    def test_unitary_instance_has_no_gate_measurement(self, gate_cut_solution):
+        builders = _builders(gate_cut_solution)
+        settings = VariantSettings.build({}, {}, {2: 1})
+        variant = builders[0].build(settings, "expectation", PauliString((), 1.0))
+        assert not any(
+            op.is_measurement and op.tag and op.tag.startswith("signed:gate")
+            for op in variant.circuit
+        )
+
+    def test_variant_circuit_width_matches_spec(self, gate_cut_solution):
+        specs = extract_subcircuits(gate_cut_solution)
+        for spec in specs:
+            builder = VariantBuilder(gate_cut_solution, spec)
+            variant = builder.build(VariantSettings.build({}, {}, {2: 1}), "probability")
+            assert variant.circuit.num_qubits == max(spec.num_wires, 1)
+
+
+class TestReuseVariants:
+    def test_reused_wire_gets_reset_between_fragments(self):
+        circuit = Circuit(3)
+        circuit.h(0)        # 0
+        circuit.cx(0, 1)    # 1
+        circuit.rz(0.1, 1)  # 2
+        circuit.cx(1, 2)    # 3
+        circuit.h(2)        # 4
+        solution = CutSolution(
+            circuit=circuit,
+            op_subcircuit={0: 0, 1: 0, 2: 1, 3: 1, 4: 1},
+            wire_cuts=[WireCut(qubit=1, downstream_op=2)],
+        )
+        specs = {s.index: s for s in extract_subcircuits(solution, enable_reuse=True)}
+        # Subcircuit 0 only holds qubit 0 and the start of qubit 1 (2 wires);
+        # subcircuit 1 holds the rest.
+        builder = VariantBuilder(solution, specs[1])
+        cut = solution.wire_cuts[0]
+        settings = VariantSettings.build({}, {cut.identifier(): "plus"}, {})
+        variant = builder.build(settings, "probability")
+        result = simulate_dynamic(variant.circuit)
+        assert np.isclose(result.total_probability(), 1.0)

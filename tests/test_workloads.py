@@ -1,0 +1,259 @@
+"""Tests for the benchmark circuit generators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.exceptions import WorkloadError
+from repro.simulator import exact_expectation, simulate_statevector
+from repro.utils.pauli import PauliObservable
+from repro.workloads import (
+    EXPECTATION_BENCHMARKS,
+    PROBABILITY_BENCHMARKS,
+    Workload,
+    WorkloadKind,
+    adder_qubit_count,
+    aqft_circuit,
+    available_benchmarks,
+    barabasi_albert_graph,
+    erdos_renyi_graph,
+    grid_graph,
+    make_workload,
+    maxcut_observable,
+    qaoa_circuit,
+    qft_circuit,
+    regular_graph,
+    ripple_carry_adder,
+    supremacy_circuit,
+    two_local_ansatz,
+)
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_registered(self):
+        names = available_benchmarks()
+        for acronym in PROBABILITY_BENCHMARKS + EXPECTATION_BENCHMARKS:
+            assert acronym in names
+
+    @pytest.mark.parametrize("acronym", PROBABILITY_BENCHMARKS)
+    def test_probability_benchmarks_have_no_observable(self, acronym):
+        workload = make_workload(acronym, 6)
+        assert workload.kind == WorkloadKind.PROBABILITY
+        assert workload.observable is None
+        assert not workload.allows_gate_cutting
+
+    @pytest.mark.parametrize("acronym", EXPECTATION_BENCHMARKS)
+    def test_expectation_benchmarks_have_observables(self, acronym):
+        workload = make_workload(acronym, 6)
+        assert workload.kind == WorkloadKind.EXPECTATION
+        assert workload.observable is not None
+        assert workload.allows_gate_cutting
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(WorkloadError):
+            make_workload("XYZ", 6)
+
+    def test_workload_describe_mentions_acronym(self):
+        assert "QFT" in make_workload("QFT", 5).describe()
+
+    def test_expectation_workload_requires_observable(self):
+        with pytest.raises(WorkloadError):
+            Workload("x", "X", Circuit(2), WorkloadKind.EXPECTATION)
+
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload("x", "X", Circuit(2), "other")
+
+
+class TestQft:
+    def test_qft_matrix_matches_dft(self):
+        """The QFT unitary equals the DFT matrix in the bit-reversed integer convention."""
+        n = 4
+        circuit = qft_circuit(n, include_swaps=True)
+        unitary = circuit.unitary()
+        dim = 2**n
+        omega = np.exp(2j * math.pi / dim)
+        dft = np.array([[omega ** (j * k) for k in range(dim)] for j in range(dim)]) / math.sqrt(dim)
+        # The textbook circuit treats qubit 0 as the *most* significant bit of the
+        # transformed integer, while the simulator indexes qubit 0 as the least
+        # significant bit, so the unitary is the DFT conjugated by bit reversal.
+        reversal = np.zeros((dim, dim))
+        for index in range(dim):
+            reversed_index = int(format(index, f"0{n}b")[::-1], 2)
+            reversal[reversed_index, index] = 1.0
+        assert np.allclose(unitary, reversal @ dft @ reversal, atol=1e-9)
+
+    def test_qft_is_all_to_all(self):
+        circuit = qft_circuit(6)
+        assert circuit.num_nonlocal_pairs == 15
+
+    def test_aqft_drops_long_range_rotations(self):
+        full = qft_circuit(8)
+        approx = aqft_circuit(8, degree=3)
+        assert approx.num_two_qubit_gates < full.num_two_qubit_gates
+        assert aqft_circuit(8, degree=8).num_two_qubit_gates == full.num_two_qubit_gates
+
+    def test_minimum_sizes_enforced(self):
+        with pytest.raises(WorkloadError):
+            qft_circuit(1)
+        with pytest.raises(WorkloadError):
+            aqft_circuit(4, degree=0)
+
+
+class TestSupremacy:
+    def test_deterministic_given_seed(self):
+        a = supremacy_circuit(6, depth=5, seed=3)
+        b = supremacy_circuit(6, depth=5, seed=3)
+        assert a == b
+
+    def test_different_seed_changes_circuit(self):
+        assert supremacy_circuit(6, depth=5, seed=3) != supremacy_circuit(6, depth=5, seed=4)
+
+    def test_connectivity_is_grid_local(self):
+        circuit = supremacy_circuit(9, depth=8, rows=3)
+        for op in circuit:
+            if op.is_two_qubit:
+                a, b = op.qubits
+                row_a, col_a = divmod(a, 3)
+                row_b, col_b = divmod(b, 3)
+                assert abs(row_a - row_b) + abs(col_a - col_b) == 1
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            supremacy_circuit(1)
+        with pytest.raises(WorkloadError):
+            supremacy_circuit(6, depth=0)
+        with pytest.raises(WorkloadError):
+            supremacy_circuit(6, rows=4)
+
+
+class TestAdder:
+    def test_qubit_count_formula(self):
+        assert adder_qubit_count(3) == 8
+        assert make_workload("ADD", 10).circuit.num_qubits == 10
+
+    @settings(max_examples=12, deadline=None)
+    @given(a=st.integers(0, 7), b=st.integers(0, 7))
+    def test_adder_computes_sum(self, a, b):
+        circuit = ripple_carry_adder(3, a_value=a, b_value=b)
+        state = simulate_statevector(circuit)
+        index = int(np.argmax(state.probabilities()))
+        b_bits = [(index >> (1 + 2 * i)) & 1 for i in range(3)]
+        carry = (index >> (circuit.num_qubits - 1)) & 1
+        result = sum(bit << i for i, bit in enumerate(b_bits)) + (carry << 3)
+        assert result == a + b
+
+    def test_a_register_restored(self):
+        circuit = ripple_carry_adder(3, a_value=5, b_value=6)
+        state = simulate_statevector(circuit)
+        index = int(np.argmax(state.probabilities()))
+        a_bits = [(index >> (2 + 2 * i)) & 1 for i in range(3)]
+        assert sum(bit << i for i, bit in enumerate(a_bits)) == 5
+
+    def test_out_of_range_input_rejected(self):
+        with pytest.raises(WorkloadError):
+            ripple_carry_adder(2, a_value=4, b_value=0)
+
+    def test_too_small_workload_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_workload("ADD", 3)
+
+
+class TestGraphs:
+    def test_regular_graph_degree(self):
+        graph = regular_graph(10, degree=3, seed=1)
+        assert all(d == 3 for _, d in graph.degree)
+
+    def test_regular_graph_parity_check(self):
+        with pytest.raises(WorkloadError):
+            regular_graph(7, degree=3)
+
+    def test_erdos_renyi_has_no_isolated_nodes(self):
+        graph = erdos_renyi_graph(20, probability=0.05, seed=2)
+        assert all(d > 0 for _, d in graph.degree)
+
+    def test_erdos_renyi_probability_validation(self):
+        with pytest.raises(WorkloadError):
+            erdos_renyi_graph(10, probability=0.0)
+
+    def test_barabasi_albert_size_check(self):
+        with pytest.raises(WorkloadError):
+            barabasi_albert_graph(3, attachment=3)
+
+    def test_grid_graph_next_nearest_adds_diagonals(self):
+        nearest = grid_graph(9)
+        with_diagonals = grid_graph(9, next_nearest=True)
+        assert with_diagonals.number_of_edges() > nearest.number_of_edges()
+
+
+class TestQaoa:
+    def test_maxcut_observable_counts_edges(self):
+        graph = regular_graph(6, degree=2, seed=0)
+        observable = maxcut_observable(graph)
+        assert len(observable) == 2 * graph.number_of_edges()
+
+    def test_maxcut_expectation_equals_cut_size_on_basis_state(self):
+        """For a computational basis state, <H_maxcut> is exactly the cut value."""
+        graph = regular_graph(6, degree=3, seed=4)
+        assignment = [0, 1, 0, 1, 1, 0]
+        circuit = Circuit(6)
+        for qubit, bit in enumerate(assignment):
+            if bit:
+                circuit.x(qubit)
+        cut_value = sum(1 for u, v in graph.edges if assignment[u] != assignment[v])
+        energy = exact_expectation(circuit, maxcut_observable(graph))
+        assert np.isclose(energy, cut_value, atol=1e-10)
+
+    def test_qaoa_structure(self):
+        graph = regular_graph(6, degree=3, seed=4)
+        circuit = qaoa_circuit(graph, layers=2)
+        counts = circuit.count_ops()
+        assert counts["h"] == 6
+        assert counts["rzz"] == 2 * graph.number_of_edges()
+        assert counts["rx"] == 12
+
+    def test_qaoa_angle_validation(self):
+        graph = regular_graph(6, degree=3, seed=4)
+        with pytest.raises(WorkloadError):
+            qaoa_circuit(graph, layers=2, gammas=[0.1], betas=[0.1, 0.2])
+        with pytest.raises(WorkloadError):
+            qaoa_circuit(graph, layers=0)
+
+
+class TestHamiltonianAndVqe:
+    @pytest.mark.parametrize("acronym", ["IS", "XY", "HS"])
+    def test_next_nearest_variant_is_denser(self, acronym):
+        base = make_workload(acronym, 9)
+        dense = make_workload(f"{acronym}-n", 9)
+        assert dense.circuit.num_two_qubit_gates > base.circuit.num_two_qubit_gates
+
+    def test_trotter_model_validation(self):
+        from repro.workloads import trotter_circuit
+
+        with pytest.raises(WorkloadError):
+            trotter_circuit(grid_graph(4), "bogus")
+        with pytest.raises(WorkloadError):
+            trotter_circuit(grid_graph(4), "ising", steps=0)
+
+    def test_vqe_ansatz_structure(self):
+        circuit = two_local_ansatz(5, layers=3)
+        counts = circuit.count_ops()
+        assert counts["ry"] == 5 * 4
+        assert counts["cx"] == 4 * 3
+        # Linear entanglement only couples neighbours.
+        for op in circuit:
+            if op.is_two_qubit:
+                assert abs(op.qubits[0] - op.qubits[1]) == 1
+
+    def test_vqe_angle_count_validation(self):
+        with pytest.raises(WorkloadError):
+            two_local_ansatz(4, layers=2, angles=[0.1])
+
+    def test_vqe_observable_is_real_valued(self):
+        workload = make_workload("VQE", 5)
+        value = exact_expectation(workload.circuit, workload.observable)
+        assert isinstance(value, float) and np.isfinite(value)
