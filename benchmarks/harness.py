@@ -13,8 +13,10 @@ shows the reproduced rows) and archives it as JSON under ``benchmarks/results/``
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
+import sys
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -26,6 +28,42 @@ SCALE = os.environ.get("QRCC_BENCH_SCALE", "small")
 #: Wall-clock limit per ILP solve, mirroring the paper's 1800 s Gurobi limit but
 #: scaled to the reduced problem sizes.
 SOLVER_TIME_LIMIT = float(os.environ.get("QRCC_BENCH_TIME_LIMIT", "30" if SCALE == "small" else "1800"))
+
+#: Parallel workers for variant batch execution (the engine's ``max_workers``).
+#: Harnesses read this through :func:`bench_jobs`; under pytest (where custom
+#: argv is awkward) set ``QRCC_BENCH_JOBS`` instead of ``--jobs``.
+DEFAULT_JOBS = int(os.environ.get("QRCC_BENCH_JOBS", "4"))
+
+
+def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared execution-engine options to a benchmark CLI parser."""
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=DEFAULT_JOBS,
+        help="parallel engine workers for variant execution (1 = serial; "
+        "default from QRCC_BENCH_JOBS or 4)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="variant requests per worker task (default: auto, ~4 chunks/worker)",
+    )
+    return parser
+
+
+def bench_jobs(argv: Optional[Sequence[str]] = None) -> int:
+    """The ``--jobs`` value for a harness, whether run as a script or under pytest.
+
+    Direct script runs parse ``--jobs`` from the command line; pytest-benchmark
+    runs (no custom argv) fall back to the ``QRCC_BENCH_JOBS`` environment
+    variable, then to the default of 4.
+    """
+    parser = argparse.ArgumentParser(add_help=False)
+    add_engine_arguments(parser)
+    args, _ = parser.parse_known_args(sys.argv[1:] if argv is None else argv)
+    return max(1, args.jobs)
 
 
 def is_paper_scale() -> bool:

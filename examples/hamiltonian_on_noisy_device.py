@@ -73,7 +73,7 @@ def main() -> None:
         f"QRCC on {small_device.name} + post-processing: {qrcc_value:+.4f} "
         f"(accuracy {100 * expectation_accuracy(qrcc_value, exact):.1f}%)"
     )
-    print(f"subcircuit executions (incl. noise trajectories): {executor.executions}")
+    print(f"unique subcircuit variants executed: {executor.executions}")
 
 
 if __name__ == "__main__":

@@ -39,7 +39,9 @@ def main() -> None:
     print(f"largest subcircuit   : {plan.max_width} qubits (device has {config.device_size})")
     print(f"qubit reuses         : {plan.total_reuses}")
     print(f"post-processing terms: {plan.postprocessing_branches:.0f}")
-    print(f"subcircuit runs      : {result.num_variant_evaluations}")
+    print(f"unique variant runs  : {result.num_variant_evaluations}")
+    timings = ", ".join(f"{stage} {seconds:.3f}s" for stage, seconds in result.timings.items())
+    print(f"stage timings        : {timings}")
 
     print("\n--- reconstruction ---")
     print(f"reconstructed <H>    : {result.expectation_value:+.6f}")

@@ -19,6 +19,7 @@ Subpackages:
 * :mod:`repro.workloads` — the paper's benchmark circuit generators,
 * :mod:`repro.reuse` — CaQR-style qubit-reuse analysis and scheduling,
 * :mod:`repro.cutting` — wire/gate cutting, subcircuit extraction, reconstruction,
+* :mod:`repro.engine` — batched, parallel variant execution (dedup, cache, pools),
 * :mod:`repro.core` — the QRCC ILP formulation, pipeline and baselines,
 * :mod:`repro.analysis` — overhead models and scalability studies.
 """
@@ -26,6 +27,7 @@ Subpackages:
 from .core import (
     CutConfig,
     CutPlan,
+    EngineConfig,
     EvaluationResult,
     QRCC_B,
     QRCC_C,
@@ -33,6 +35,7 @@ from .core import (
     cut_circuit_cutqc,
     evaluate_workload,
 )
+from .engine import ParallelEngine
 from .exceptions import (
     CircuitError,
     CuttingError,
@@ -53,9 +56,11 @@ __all__ = [
     "CutConfig",
     "CutPlan",
     "CuttingError",
+    "EngineConfig",
     "EvaluationResult",
     "InfeasibleError",
     "ModelError",
+    "ParallelEngine",
     "QRCC_B",
     "QRCC_C",
     "ReconstructionError",

@@ -1,6 +1,6 @@
 """QRCC core: QR-aware DAG, ILP formulation, pipeline, baselines."""
 
-from .config import QRCC_B, QRCC_C, CutConfig
+from .config import QRCC_B, QRCC_C, CutConfig, EngineConfig
 from .formulation import CuttingFormulation, FormulationStatistics
 from .greedy import GreedyCutter, partition_qubits
 from .pipeline import (
@@ -17,6 +17,7 @@ __all__ = [
     "CutConfig",
     "CutPlan",
     "CuttingFormulation",
+    "EngineConfig",
     "EvaluationResult",
     "FormulationStatistics",
     "GreedyCutter",

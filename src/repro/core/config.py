@@ -5,6 +5,17 @@ circuit, ``D`` is the device size, ``[C_min, C_max]`` bounds the number of
 subcircuits, ``W_max`` / ``G_max`` bound the cut counts, ``delta`` trades
 post-processing overhead against the fidelity proxy, and ``alpha`` / ``beta`` are the
 linearised per-cut costs (3.25 and 4.2 in the paper, valid below 240 total cuts).
+
+Execution-side knobs live in :class:`~repro.engine.EngineConfig` (re-exported here
+for convenience): ``max_workers`` is the parallel worker count for variant batch
+execution (the benchmark harnesses expose it as ``--jobs``; ``1`` = serial,
+``None`` = all cores), ``use_threads`` swaps the default process pool for a thread
+pool, ``chunk_size`` sets requests per worker task (``None`` auto-sizes to about
+four chunks per worker), ``cache_size`` bounds the shared LRU variant-result cache
+(``0`` disables caching), and ``fallback_to_serial`` degrades gracefully on
+platforms without worker-pool support.  Engine settings never change the numbers —
+the same cut plan replayed under any :class:`~repro.engine.EngineConfig` produces
+bit-identical results — only the wall clock.
 """
 
 from __future__ import annotations
@@ -12,9 +23,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..engine.config import EngineConfig
 from ..exceptions import ModelError
 
-__all__ = ["CutConfig", "QRCC_C", "QRCC_B"]
+__all__ = ["CutConfig", "EngineConfig", "QRCC_C", "QRCC_B"]
 
 #: Linearised post-processing weight of one wire cut (paper Section 4.2.5).
 DEFAULT_ALPHA = 3.25

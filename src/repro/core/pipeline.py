@@ -23,13 +23,13 @@ from ..circuits import Circuit
 from ..cutting import (
     CutReconstructor,
     CutSolution,
-    ExactExecutor,
     SubcircuitSpec,
     VariantExecutor,
     effective_wire_cuts,
     extract_subcircuits,
     postprocessing_cost,
 )
+from ..engine import EngineConfig, EngineStats, ParallelEngine
 from ..exceptions import CuttingError, InfeasibleError
 from ..simulator import simulate_statevector
 from ..utils.pauli import PauliObservable
@@ -113,7 +113,20 @@ class CutPlan:
 
 @dataclass
 class EvaluationResult:
-    """A cut plan together with the reconstructed output and its accuracy."""
+    """A cut plan together with the reconstructed output and its accuracy.
+
+    ``num_variant_evaluations`` comes from the engine's dedup-aware counter (the
+    single authoritative source): it is the number of *unique* subcircuit variant
+    circuits actually executed for this evaluation (a per-call delta, even on a
+    shared engine), comparable across exact and noisy executors.  ``timings``
+    breaks the end-to-end wall clock into stages: ``cut`` (DAG + ILP/greedy solve
+    + subcircuit extraction), ``execute`` (variant batch execution inside the
+    engine), ``reconstruct`` (enumeration and contraction outside the engine),
+    ``reference`` (uncut statevector simulation, when requested) and ``total``
+    (their sum).  ``engine_stats`` is the engine's *lifetime* snapshot at the end
+    of the call — cumulative across evaluations when an engine is shared, unlike
+    the per-call fields above.
+    """
 
     plan: CutPlan
     expectation_value: Optional[float] = None
@@ -121,6 +134,8 @@ class EvaluationResult:
     reference_expectation: Optional[float] = None
     reference_probabilities: Optional[np.ndarray] = None
     num_variant_evaluations: int = 0
+    timings: Dict[str, float] = field(default_factory=dict)
+    engine_stats: Optional[EngineStats] = None
 
     @property
     def expectation_error(self) -> Optional[float]:
@@ -195,6 +210,8 @@ def evaluate_workload(
     compute_reference: bool = True,
     force_ilp: bool = False,
     force_greedy: bool = False,
+    engine: Optional[ParallelEngine] = None,
+    engine_config: Optional[EngineConfig] = None,
 ) -> EvaluationResult:
     """Cut, execute and reconstruct a workload end-to-end.
 
@@ -202,29 +219,71 @@ def evaluate_workload(
     workloads reconstruct the observable's expectation value.  ``compute_reference``
     additionally simulates the uncut circuit (only feasible for small N) so accuracy
     can be reported.
+
+    Variant execution is batched through a :class:`~repro.engine.ParallelEngine`:
+    pass ``engine`` to reuse one (its pool and result cache survive across calls),
+    or ``engine_config`` (e.g. ``EngineConfig(max_workers=4)``) to have one built
+    around ``executor`` for this evaluation.  ``num_variant_evaluations`` and
+    ``timings`` are per-call deltas, so a shared engine still yields per-workload
+    numbers; ``engine_stats`` is the engine's cumulative lifetime snapshot.
     """
     if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
         raise CuttingError(
             "gate cutting cannot be used for probability-vector workloads (Section 2.3.2)"
         )
-    plan = cut_circuit(
-        workload.circuit, config, force_ilp=force_ilp, force_greedy=force_greedy
-    )
-    reconstructor = CutReconstructor(
-        plan.solution, specs=plan.subcircuits, executor=executor or ExactExecutor()
-    )
-    result = EvaluationResult(plan=plan)
-    if workload.kind == WorkloadKind.EXPECTATION:
-        result.expectation_value = reconstructor.reconstruct_expectation(workload.observable)
-        if compute_reference:
-            result.reference_expectation = simulate_statevector(workload.circuit).expectation(
+    if engine is not None and (executor is not None or engine_config is not None):
+        raise CuttingError(
+            "pass either a prebuilt engine or executor/engine_config, not both"
+        )
+    owns_engine = engine is None
+    if engine is None:
+        # Pass executor=None through so engine_config.cache_size can size the
+        # default executor's cache; an explicit executor keeps its own cache.
+        engine = ParallelEngine(executor, engine_config)
+    try:
+        cut_start = time.perf_counter()
+        plan = cut_circuit(
+            workload.circuit, config, force_ilp=force_ilp, force_greedy=force_greedy
+        )
+        cut_seconds = time.perf_counter() - cut_start
+        reconstructor = CutReconstructor(
+            plan.solution, specs=plan.subcircuits, engine=engine
+        )
+        executions_before = engine.executions
+        execute_before = engine.stats.execute_seconds
+        result = EvaluationResult(plan=plan)
+        reconstruct_start = time.perf_counter()
+        if workload.kind == WorkloadKind.EXPECTATION:
+            result.expectation_value = reconstructor.reconstruct_expectation(
                 workload.observable
             )
-    else:
-        result.probabilities = reconstructor.reconstruct_probabilities()
+        else:
+            result.probabilities = reconstructor.reconstruct_probabilities()
+        reconstruct_seconds = time.perf_counter() - reconstruct_start
+        reference_seconds = 0.0
         if compute_reference:
-            result.reference_probabilities = simulate_statevector(
-                workload.circuit
-            ).probabilities()
-    result.num_variant_evaluations = reconstructor.num_variant_evaluations
-    return result
+            reference_start = time.perf_counter()
+            if workload.kind == WorkloadKind.EXPECTATION:
+                result.reference_expectation = simulate_statevector(
+                    workload.circuit
+                ).expectation(workload.observable)
+            else:
+                result.reference_probabilities = simulate_statevector(
+                    workload.circuit
+                ).probabilities()
+            reference_seconds = time.perf_counter() - reference_start
+        execute_seconds = engine.stats.execute_seconds - execute_before
+        result.num_variant_evaluations = engine.executions - executions_before
+        result.engine_stats = engine.stats
+        result.timings = {
+            "cut": cut_seconds,
+            "execute": execute_seconds,
+            "reconstruct": max(0.0, reconstruct_seconds - execute_seconds),
+            "total": cut_seconds + reconstruct_seconds + reference_seconds,
+        }
+        if compute_reference:
+            result.timings["reference"] = reference_seconds
+        return result
+    finally:
+        if owns_engine:
+            engine.close()

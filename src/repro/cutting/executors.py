@@ -9,6 +9,16 @@ Reconstruction needs two quantities per variant:
 * ``quasi_distribution(variant)`` — the sign-weighted distribution over the
   variant's original-output qubits.
 
+Executors are *batch-capable backends* behind the execution engine
+(:mod:`repro.engine`): :meth:`VariantExecutor.run_batch` dedups requests by
+fingerprint, satisfies repeats from the shared bounded
+:class:`~repro.engine.cache.ResultCache`, and executes only the unique misses —
+in-process by default, or through whatever ``dispatch`` callable a
+:class:`~repro.engine.ParallelEngine` supplies (chunked worker pools).  The
+single-variant convenience API is kept and routed through the same path, so the
+dedup-aware ``executions`` counter is authoritative however the executor is
+driven.
+
 Two executors are provided:
 
 * :class:`ExactExecutor` — exact branching simulation (the default; makes the
@@ -16,23 +26,40 @@ Two executors are provided:
 * :class:`NoisyExecutor` — the "small quantum device" of the Table 3 experiment: the
   variant is compiled to the device basis, Pauli noise is injected stochastically
   per trajectory, and finite-shot statistical noise is emulated; results are averaged
-  over trajectories.
+  over trajectories.  Each request is seeded deterministically from its fingerprint,
+  so serial and parallel batch runs are bit-identical, and results are cached under
+  seed-aware keys.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..circuits import Circuit, decompose_to_basis
+from ..engine.cache import ResultCache
+from ..engine.requests import (
+    VariantResult,
+    request_key,
+    seed_from_fingerprint,
+)
 from ..exceptions import CuttingError
 from ..simulator.dynamic import BranchedResult, BranchingSimulator
-from ..simulator.noise import DeviceModel
+from ..simulator.noise import DeviceModel, inject_pauli_noise
 from .variants import SubcircuitVariant
 
 __all__ = ["VariantExecutor", "ExactExecutor", "NoisyExecutor"]
+
+#: A dispatch backend: receives the executor and the unique cache-miss requests
+#: ``[(fingerprint, variant, seed), ...]`` and returns ``[(fingerprint, result)]``.
+DispatchFn = Callable[["VariantExecutor", Sequence[Tuple]], Iterable[Tuple[str, VariantResult]]]
+
+
+def _unpickled_executor(executor: "VariantExecutor") -> "VariantExecutor":
+    """Default spawn factory: the executor itself travels by pickle."""
+    return executor
 
 
 def _signed_value(result: BranchedResult) -> float:
@@ -58,47 +85,160 @@ def _signed_distribution(result: BranchedResult, variant: SubcircuitVariant) -> 
 
 
 class VariantExecutor(ABC):
-    """Strategy object evaluating subcircuit variants."""
+    """Batch-capable strategy object evaluating subcircuit variants."""
 
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self._cache = cache if cache is not None else ResultCache()
+        self._executions = 0
+        self._requests = 0
+        self._dedup_hits = 0
+        self._cache_hits = 0
+
+    # ------------------------------------------------------------------ protocol
     @abstractmethod
+    def execute_variant(
+        self, variant: SubcircuitVariant, seed: Optional[Tuple[int, ...]] = None
+    ) -> VariantResult:
+        """Run one variant circuit and return its result payload.
+
+        ``seed`` is the engine's deterministic per-request seed material (``None``
+        for deterministic executors); implementations must depend only on
+        ``(variant, seed)`` so that batches parallelise reproducibly.
+        """
+
+    def seed_for(self, fingerprint: str) -> Optional[Tuple[int, ...]]:
+        """Per-request seed material; None for deterministic executors."""
+        return None
+
+    def cache_namespace(self) -> str:
+        """Key prefix isolating this executor's results in a shared cache."""
+        return type(self).__name__
+
+    def spawn_spec(self) -> Tuple[Callable, Tuple]:
+        """(factory, args) rebuilding an equivalent executor in a worker process.
+
+        The default pickles this instance (minus cached results, see
+        ``__getstate__``), so subclasses with constructor arguments behave
+        correctly in process pools without overriding anything.  Executors with
+        cheap, explicit constructor state may override to avoid pickling
+        themselves (see :meth:`NoisyExecutor.spawn_spec`).
+        """
+        return _unpickled_executor, (self,)
+
+    def __getstate__(self) -> Dict:
+        """Pickle support: ship configuration, never the cached result payloads."""
+        state = dict(self.__dict__)
+        state["_cache"] = ResultCache(self._cache.maxsize)
+        return state
+
+    # ------------------------------------------------------------------ batch API
+    def run_batch(
+        self,
+        variants: Iterable[SubcircuitVariant],
+        dispatch: Optional[DispatchFn] = None,
+    ) -> Dict[str, VariantResult]:
+        """Execute a batch of variants; return ``fingerprint -> VariantResult``.
+
+        Requests are deduped by fingerprint and satisfied from the shared cache
+        where possible; only the unique misses are executed (serially, or by the
+        supplied ``dispatch`` backend).  The ``executions`` counter advances by
+        exactly the number of unique misses.
+        """
+        namespace = self.cache_namespace()
+        table: Dict[str, VariantResult] = {}
+        pending: List[Tuple[str, SubcircuitVariant, Optional[Tuple[int, ...]]]] = []
+        scheduled: set = set()
+        for variant in variants:
+            self._requests += 1
+            key = request_key(variant)
+            if key in table or key in scheduled:
+                self._dedup_hits += 1
+                continue
+            cached = self._cache.get((namespace, key))
+            if cached is not None:
+                self._cache_hits += 1
+                table[key] = cached
+                continue
+            pending.append((key, variant, self.seed_for(key)))
+            scheduled.add(key)
+        if pending:
+            if dispatch is None:
+                results: Iterable[Tuple[str, VariantResult]] = [
+                    (key, self.execute_variant(variant, seed=seed))
+                    for key, variant, seed in pending
+                ]
+            else:
+                results = dispatch(self, pending)
+            for key, result in results:
+                self._cache.put((namespace, key), result)
+                table[key] = result
+            self._executions += len(pending)
+        return table
+
+    # ------------------------------------------------------------------ single API
     def expectation_value(self, variant: SubcircuitVariant) -> float:
         """Sign-weighted expectation of the variant."""
+        result = self.run_batch([variant])[request_key(variant)]
+        if result.value is None:
+            raise CuttingError(
+                f"executor {type(self).__name__} produced no expectation value for a "
+                f"{variant.mode!r}-mode variant"
+            )
+        return result.value
 
-    @abstractmethod
     def quasi_distribution(self, variant: SubcircuitVariant) -> np.ndarray:
-        """Sign-weighted distribution over the variant's output qubits."""
+        """Sign-weighted distribution over the variant's output qubits.
+
+        Returns a private copy: the underlying array lives in the shared result
+        cache, which must never be mutated through a caller's handle.
+        """
+        result = self.run_batch([variant])[request_key(variant)]
+        if result.distribution is None:
+            raise CuttingError(
+                f"executor {type(self).__name__} produced no distribution for a "
+                f"{variant.mode!r}-mode variant (distributions require probability mode)"
+            )
+        return result.distribution.copy()
+
+    # ------------------------------------------------------------------ accounting
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
 
     @property
     def executions(self) -> int:
-        """Number of variant circuits this executor has evaluated (for reporting)."""
-        return getattr(self, "_executions", 0)
+        """Unique variant circuits executed (dedup-aware, for overhead reporting)."""
+        return self._executions
 
-    def _count(self) -> None:
-        self._executions = getattr(self, "_executions", 0) + 1
+    @property
+    def requests(self) -> int:
+        """Total variant requests received (including dedup and cache hits)."""
+        return self._requests
+
+    @property
+    def dedup_hits(self) -> int:
+        return self._dedup_hits
+
+    @property
+    def cache_hits(self) -> int:
+        return self._cache_hits
 
 
 class ExactExecutor(VariantExecutor):
     """Exact, noise-free evaluation through the branching simulator."""
 
-    def __init__(self) -> None:
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        super().__init__(cache)
         self._simulator = BranchingSimulator()
-        self._cache: Dict[Tuple[int, object, str], BranchedResult] = {}
 
-    def _run(self, variant: SubcircuitVariant) -> BranchedResult:
-        key = (variant.subcircuit_index, variant.settings, str(variant.pauli_term))
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        self._count()
+    def execute_variant(
+        self, variant: SubcircuitVariant, seed: Optional[Tuple[int, ...]] = None
+    ) -> VariantResult:
         result = self._simulator.run(variant.circuit)
-        self._cache[key] = result
-        return result
-
-    def expectation_value(self, variant: SubcircuitVariant) -> float:
-        return _signed_value(self._run(variant))
-
-    def quasi_distribution(self, variant: SubcircuitVariant) -> np.ndarray:
-        return _signed_distribution(self._run(variant), variant)
+        distribution = (
+            _signed_distribution(result, variant) if variant.mode == "probability" else None
+        )
+        return VariantResult(value=_signed_value(result), distribution=distribution)
 
 
 class NoisyExecutor(VariantExecutor):
@@ -110,6 +250,11 @@ class NoisyExecutor(VariantExecutor):
     independent noise realisations are simulated exactly and averaged; when ``shots``
     is given, zero-mean Gaussian noise with the binomial standard error of the shot
     budget is added to expectation-type values.
+
+    Every request draws its own RNG seeded from ``(seed, fingerprint)``, so results
+    are independent of execution order (serial == parallel, bit for bit) and can be
+    cached under seed-aware keys.  ``executions`` counts *variants*, not
+    trajectories, making overhead reports comparable with :class:`ExactExecutor`.
     """
 
     def __init__(
@@ -118,28 +263,37 @@ class NoisyExecutor(VariantExecutor):
         shots: Optional[int] = 16384,
         trajectories: int = 25,
         seed: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
     ) -> None:
         if trajectories < 1:
             raise CuttingError("trajectories must be >= 1")
+        super().__init__(cache)
         self._device = device
         self._shots = shots
         self._trajectories = trajectories
-        self._rng = np.random.default_rng(seed)
+        if seed is None:
+            # Draw a base seed once so the instance is self-consistent (and
+            # shippable to worker processes) even without an explicit seed.
+            seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF
+        self._base_seed = int(seed)
         self._simulator = BranchingSimulator()
 
-    def _noisy_circuit(self, circuit: Circuit) -> Circuit:
-        noise = self._device.noise
-        noisy = Circuit(circuit.num_qubits, f"{circuit.name}_noisy")
-        for op in circuit:
-            noisy.append(op)
-            if not op.is_unitary or op.is_identity:
-                continue
-            rate = noise.two_qubit_error if op.is_two_qubit else noise.single_qubit_error
-            for qubit in op.qubits:
-                if self._rng.random() < rate:
-                    noisy.add(("x", "y", "z")[self._rng.integers(0, 3)], [qubit])
-        return noisy
+    # ------------------------------------------------------------------ protocol
+    def seed_for(self, fingerprint: str) -> Tuple[int, ...]:
+        return seed_from_fingerprint(fingerprint, self._base_seed)
 
+    def cache_namespace(self) -> str:
+        noise = self._device.noise
+        return (
+            f"noisy:{self._device.name}:{self._device.num_qubits}"
+            f":{noise.two_qubit_error}:{noise.single_qubit_error}"
+            f":{self._shots}:{self._trajectories}:seed={self._base_seed}"
+        )
+
+    def spawn_spec(self) -> Tuple[Type["NoisyExecutor"], Tuple]:
+        return NoisyExecutor, (self._device, self._shots, self._trajectories, self._base_seed)
+
+    # ------------------------------------------------------------------ execution
     def _prepare(self, variant: SubcircuitVariant) -> Circuit:
         if variant.num_wires > self._device.num_qubits:
             raise CuttingError(
@@ -148,27 +302,31 @@ class NoisyExecutor(VariantExecutor):
             )
         return decompose_to_basis(variant.circuit)
 
-    def expectation_value(self, variant: SubcircuitVariant) -> float:
+    def execute_variant(
+        self, variant: SubcircuitVariant, seed: Optional[Tuple[int, ...]] = None
+    ) -> VariantResult:
+        if seed is None:
+            seed = self.seed_for(request_key(variant))
+        rng = np.random.default_rng(seed)
         compiled = self._prepare(variant)
-        values = []
+        values: List[float] = []
+        distribution_total: Optional[np.ndarray] = None
+        if variant.mode == "probability":
+            distribution_total = np.zeros(2 ** len(variant.output_qubit_order))
         for _ in range(self._trajectories):
-            self._count()
-            result = self._simulator.run(self._noisy_circuit(compiled))
+            result = self._simulator.run(
+                inject_pauli_noise(compiled, self._device.noise, rng)
+            )
             values.append(_signed_value(result))
+            if distribution_total is not None:
+                distribution_total += _signed_distribution(result, variant)
         value = float(np.mean(values))
+        distribution: Optional[np.ndarray] = None
+        if distribution_total is not None:
+            distribution = distribution_total / self._trajectories
         if self._shots:
-            value += float(self._rng.normal(0.0, 1.0 / np.sqrt(self._shots)))
-        return value
-
-    def quasi_distribution(self, variant: SubcircuitVariant) -> np.ndarray:
-        compiled = self._prepare(variant)
-        total = np.zeros(2 ** len(variant.output_qubit_order))
-        for _ in range(self._trajectories):
-            self._count()
-            result = self._simulator.run(self._noisy_circuit(compiled))
-            total += _signed_distribution(result, variant)
-        distribution = total / self._trajectories
-        if self._shots:
-            noise = self._rng.normal(0.0, 1.0 / np.sqrt(self._shots), size=distribution.shape)
-            distribution = distribution + noise
-        return distribution
+            sigma = 1.0 / np.sqrt(self._shots)
+            value += float(rng.normal(0.0, sigma))
+            if distribution is not None:
+                distribution = distribution + rng.normal(0.0, sigma, size=distribution.shape)
+        return VariantResult(value=value, distribution=distribution)

@@ -12,19 +12,27 @@ Two reconstruction modes mirror Section 4.3 of the paper:
   Pauli term of the observable, with every gate cut additionally summed over its six
   Mitarai–Fujii instances weighted by the instance coefficients (Eq. 4 / 19).
 
-The contraction enumerates every subcircuit's *local* setting combinations once and
-caches them, then sums coefficient-weighted products over the global assignments, so
-the exponential cost is ``4^k * 6^m`` scalar work plus
-``prod_S 4^(cuts touching S) * 6^(gate cuts touching S)`` subcircuit evaluations.
+Reconstruction is **two-phase**.  Phase one *enumerates*: the contraction loops are
+walked once without executing anything, collecting every ``(subcircuit, settings,
+pauli_term)`` variant the contraction will need into one batch (per-subcircuit
+*plans* — weighted variant lists — are memoised along the way).  The batch goes to
+the execution engine (:mod:`repro.engine`), which dedups it by fingerprint,
+satisfies repeats from the shared cache and runs the unique requests, serially or
+across a worker pool.  Phase two *contracts*: the same loops are walked again,
+reading every subcircuit value from the results table — no executor calls happen
+inside the contraction.  The exponential cost is ``4^k * 6^m`` scalar work plus
+``prod_S 4^(cuts touching S) * 6^(gate cuts touching S)`` subcircuit evaluations,
+and the evaluations are now batchable and parallelisable.
 """
 
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..engine import ParallelEngine, VariantResult, request_key
 from ..exceptions import ReconstructionError
 from ..utils.pauli import PauliObservable, PauliString
 from .cuts import CutSolution
@@ -33,6 +41,7 @@ from .fragments import SubcircuitSpec, extract_subcircuits
 from .gate_cut import decompose_gate_cut
 from .variants import (
     WIRE_CUT_MEASUREMENT_BASES,
+    SubcircuitVariant,
     VariantBuilder,
     VariantSettings,
 )
@@ -48,9 +57,18 @@ INIT_STATE_DECOMPOSITION: Dict[str, Tuple[Tuple[str, float], ...]] = {
     "Y": (("plus_i", 2.0), ("zero", -1.0), ("one", -1.0)),
 }
 
+#: A plan: the weighted variants whose results combine into one effective
+#: subcircuit value (the downstream-decomposition sum of Eq. 3).
+Plan = List[Tuple[float, SubcircuitVariant]]
+
 
 class CutReconstructor:
-    """Reconstructs the original circuit's output from a cut solution."""
+    """Reconstructs the original circuit's output from a cut solution.
+
+    Execution is delegated to an engine: pass ``engine`` to control batching and
+    parallelism, or ``executor`` to keep the legacy single-backend interface (a
+    serial engine is wrapped around it).
+    """
 
     def __init__(
         self,
@@ -58,12 +76,20 @@ class CutReconstructor:
         specs: Optional[Sequence[SubcircuitSpec]] = None,
         executor: Optional[VariantExecutor] = None,
         enable_reuse: bool = True,
+        engine: Optional[ParallelEngine] = None,
     ) -> None:
         self.solution = solution
         self.specs: List[SubcircuitSpec] = list(
             specs if specs is not None else extract_subcircuits(solution, enable_reuse)
         )
-        self.executor = executor or ExactExecutor()
+        if engine is None:
+            engine = ParallelEngine(executor or ExactExecutor())
+        elif executor is not None and engine.executor is not executor:
+            raise ReconstructionError(
+                "pass either an executor or an engine, not two different backends"
+            )
+        self.engine = engine
+        self.executor = engine.executor
         self._builders: Dict[int, VariantBuilder] = {
             spec.index: VariantBuilder(solution, spec) for spec in self.specs
         }
@@ -73,31 +99,60 @@ class CutReconstructor:
             self._gate_cut_instances[cut.op_index] = tuple(
                 instance.coefficient for instance in decomposition.instances
             )
+        self._variant_memo: Dict[Tuple, SubcircuitVariant] = {}
+        self._distribution_plans: Dict[Tuple, Plan] = {}
+        self._expectation_plans: Dict[Tuple, Plan] = {}
         self._probability_cache: Dict[Tuple, np.ndarray] = {}
         self._expectation_cache: Dict[Tuple, float] = {}
 
     # ------------------------------------------------------------------ public API
     @property
     def num_variant_evaluations(self) -> int:
-        """Subcircuit circuit executions performed so far (for overhead reporting)."""
-        return self.executor.executions
+        """Unique subcircuit circuit executions performed so far (dedup-aware)."""
+        return self.engine.executions
 
-    def reconstruct_probabilities(self) -> np.ndarray:
-        """Full probability vector of the original circuit (wire cuts only)."""
+    def enumerate_probability_requests(self) -> List[SubcircuitVariant]:
+        """Phase one of probability reconstruction: every variant the contraction needs.
+
+        The returned batch may contain duplicates across plans; the engine dedups
+        by fingerprint.  Benchmarks use this to drive :meth:`ParallelEngine.run_batch`
+        directly.
+        """
         if self.solution.gate_cuts:
             raise ReconstructionError(
                 "probability vectors cannot be reconstructed after gate cutting; "
                 "gate cuts only support expectation values (Section 2.3.2)"
             )
-        cuts = list(self.solution.wire_cuts)
+        batch: List[SubcircuitVariant] = []
+        scheduled: set = set()
+        for assignment in self._wire_cut_assignments():
+            for spec in self.specs:
+                key, plan = self._distribution_plan(spec, assignment)
+                if key not in scheduled:
+                    scheduled.add(key)
+                    batch.extend(variant for _, variant in plan)
+        return batch
+
+    def enumerate_expectation_requests(
+        self, observable: PauliObservable
+    ) -> List[SubcircuitVariant]:
+        """Phase one of expectation reconstruction for every term of ``observable``."""
+        batch: List[SubcircuitVariant] = []
+        scheduled: set = set()
+        for term in observable.terms:
+            self._enumerate_term(term, batch, scheduled)
+        return batch
+
+    def reconstruct_probabilities(self) -> np.ndarray:
+        """Full probability vector of the original circuit (wire cuts only)."""
+        table = self.engine.run_batch(self.enumerate_probability_requests())
         num_qubits = self.solution.circuit.num_qubits
         total = np.zeros(2**num_qubits)
-        coefficient_per_assignment = 0.5 ** len(cuts)
-        for bases in itertools.product(WIRE_CUT_MEASUREMENT_BASES, repeat=len(cuts)):
-            assignment = {cut.identifier(): basis for cut, basis in zip(cuts, bases)}
+        coefficient_per_assignment = 0.5 ** len(self.solution.wire_cuts)
+        for assignment in self._wire_cut_assignments():
             vectors, orders = [], []
             for spec in self.specs:
-                vectors.append(self._effective_distribution(spec, assignment))
+                vectors.append(self._effective_distribution(spec, assignment, table))
                 orders.append(list(spec.output_qubits))
             combined, order_lsb = _combine_subcircuit_vectors(vectors, orders)
             _scatter_into(total, combined, order_lsb, coefficient_per_assignment, num_qubits)
@@ -105,13 +160,67 @@ class CutReconstructor:
 
     def reconstruct_expectation(self, observable: PauliObservable) -> float:
         """Expectation value of ``observable`` on the original circuit's output."""
+        table = self.engine.run_batch(self.enumerate_expectation_requests(observable))
         return float(
-            sum(term.coefficient * self._term_value(term) for term in observable.terms)
+            sum(term.coefficient * self._term_value(term, table) for term in observable.terms)
         )
 
-    # ------------------------------------------------------------------ internals
+    # ------------------------------------------------------------------ enumeration
+    def _wire_cut_assignments(self) -> Iterator[Dict[str, str]]:
+        """Every global measurement-basis assignment, in a deterministic order."""
+        cuts = list(self.solution.wire_cuts)
+        for bases in itertools.product(WIRE_CUT_MEASUREMENT_BASES, repeat=len(cuts)):
+            yield {cut.identifier(): basis for cut, basis in zip(cuts, bases)}
+
+    def _gate_cut_instance_maps(self) -> Iterator[Tuple[Dict[int, int], float]]:
+        """Every gate-cut instance combination with its coefficient product."""
+        gate_cuts = list(self.solution.gate_cuts)
+        iterator = (
+            itertools.product(range(1, 7), repeat=len(gate_cuts)) if gate_cuts else [()]
+        )
+        for instances in iterator:
+            coefficient = 1.0
+            for cut, instance in zip(gate_cuts, instances):
+                coefficient *= self._gate_cut_instances[cut.op_index][instance - 1]
+            yield (
+                {cut.op_index: instance for cut, instance in zip(gate_cuts, instances)},
+                coefficient,
+            )
+
+    def _enumerate_term(
+        self, term: PauliString, batch: List[SubcircuitVariant], scheduled: set
+    ) -> None:
+        """Collect every variant :meth:`_term_value` may need for one Pauli term."""
+        if self._inactive_qubit_factor(term) == 0.0:
+            return
+        for assignment in self._wire_cut_assignments():
+            for instance_map, instance_coefficient in self._gate_cut_instance_maps():
+                if instance_coefficient == 0.0:
+                    continue
+                for spec in self.specs:
+                    key, plan = self._expectation_plan(spec, term, assignment, instance_map)
+                    if key not in scheduled:
+                        scheduled.add(key)
+                        batch.extend(variant for _, variant in plan)
+
+    # ------------------------------------------------------------------ plans
     def _builder(self, spec: SubcircuitSpec) -> VariantBuilder:
         return self._builders[spec.index]
+
+    def _built_variant(
+        self,
+        spec: SubcircuitSpec,
+        settings: VariantSettings,
+        mode: str,
+        term: Optional[PauliString],
+    ) -> SubcircuitVariant:
+        """Build (or reuse) the concrete circuit for one setting combination."""
+        memo_key = (spec.index, settings, mode, term.paulis if term is not None else None)
+        variant = self._variant_memo.get(memo_key)
+        if variant is None:
+            variant = self._builder(spec).build(settings, mode, term)
+            self._variant_memo[memo_key] = variant
+        return variant
 
     def _restricted_assignment(
         self, spec: SubcircuitSpec, assignment: Mapping[str, str]
@@ -122,72 +231,52 @@ class CutReconstructor:
         }
         return upstream, downstream_basis
 
-    def _effective_distribution(
+    def _downstream_choices(
+        self, downstream_basis: Mapping[str, str], identifiers: Sequence[str]
+    ) -> Iterator[Tuple[Dict[str, str], float]]:
+        """Init-label choices for the downstream cut ends, with their weights."""
+        iterator = (
+            itertools.product(
+                *[INIT_STATE_DECOMPOSITION[downstream_basis[i]] for i in identifiers]
+            )
+            if identifiers
+            else [()]
+        )
+        for choice in iterator:
+            labels = {i: label for i, (label, _) in zip(identifiers, choice)}
+            weight = 1.0
+            for _, coefficient in choice:
+                weight *= coefficient
+            yield labels, weight
+
+    def _distribution_plan(
         self, spec: SubcircuitSpec, assignment: Mapping[str, str]
-    ) -> np.ndarray:
-        """Downstream-decomposition-weighted quasi-distribution for one subcircuit."""
+    ) -> Tuple[Tuple, Plan]:
+        """Weighted variants forming one subcircuit's effective distribution."""
         upstream, downstream_basis = self._restricted_assignment(spec, assignment)
         cache_key = (
             spec.index,
             tuple(sorted(upstream.items())),
             tuple(sorted(downstream_basis.items())),
         )
-        cached = self._probability_cache.get(cache_key)
-        if cached is not None:
-            return cached
+        plan = self._distribution_plans.get(cache_key)
+        if plan is None:
+            identifiers = [cut.identifier() for cut in spec.downstream_cuts]
+            plan = []
+            for labels, weight in self._downstream_choices(downstream_basis, identifiers):
+                settings = VariantSettings.build(upstream, labels, {})
+                plan.append((weight, self._built_variant(spec, settings, "probability", None)))
+            self._distribution_plans[cache_key] = plan
+        return cache_key, plan
 
-        builder = self._builder(spec)
-        identifiers = [cut.identifier() for cut in spec.downstream_cuts]
-        total = np.zeros(2 ** len(spec.output_qubits))
-        for choice in itertools.product(
-            *[INIT_STATE_DECOMPOSITION[downstream_basis[i]] for i in identifiers]
-        ) if identifiers else [()]:
-            labels = {i: label for i, (label, _) in zip(identifiers, choice)}
-            weight = 1.0
-            for _, coefficient in choice:
-                weight *= coefficient
-            settings = VariantSettings.build(upstream, labels, {})
-            variant = builder.build(settings, "probability")
-            total = total + weight * self.executor.quasi_distribution(variant)
-        self._probability_cache[cache_key] = total
-        return total
-
-    def _term_value(self, term: PauliString) -> float:
-        inactive_factor = self._inactive_qubit_factor(term)
-        if inactive_factor == 0.0:
-            return 0.0
-        wire_cuts = list(self.solution.wire_cuts)
-        gate_cuts = list(self.solution.gate_cuts)
-        value = 0.0
-        base_coefficient = 0.5 ** len(wire_cuts)
-        for bases in itertools.product(WIRE_CUT_MEASUREMENT_BASES, repeat=len(wire_cuts)):
-            assignment = {cut.identifier(): basis for cut, basis in zip(wire_cuts, bases)}
-            for instances in itertools.product(
-                range(1, 7), repeat=len(gate_cuts)
-            ) if gate_cuts else [()]:
-                instance_map = {
-                    cut.op_index: instance for cut, instance in zip(gate_cuts, instances)
-                }
-                coefficient = base_coefficient
-                for cut, instance in zip(gate_cuts, instances):
-                    coefficient *= self._gate_cut_instances[cut.op_index][instance - 1]
-                if coefficient == 0.0:
-                    continue
-                product = 1.0
-                for spec in self.specs:
-                    product *= self._effective_expectation(spec, term, assignment, instance_map)
-                    if product == 0.0:
-                        break
-                value += coefficient * product
-        return value * inactive_factor
-
-    def _effective_expectation(
+    def _expectation_plan(
         self,
         spec: SubcircuitSpec,
         term: PauliString,
         assignment: Mapping[str, str],
         instance_map: Mapping[int, int],
-    ) -> float:
+    ) -> Tuple[Tuple, Plan]:
+        """Weighted variants forming one subcircuit's effective expectation."""
         upstream, downstream_basis = self._restricted_assignment(spec, assignment)
         local_instances = {
             op_index: instance_map[op_index] for op_index in spec.gate_cut_sides
@@ -200,23 +289,96 @@ class CutReconstructor:
             tuple(sorted(local_instances.items())),
             restricted_term.paulis,
         )
+        plan = self._expectation_plans.get(cache_key)
+        if plan is None:
+            identifiers = [cut.identifier() for cut in spec.downstream_cuts]
+            plan = []
+            for labels, weight in self._downstream_choices(downstream_basis, identifiers):
+                settings = VariantSettings.build(upstream, labels, local_instances)
+                plan.append(
+                    (
+                        weight,
+                        self._built_variant(spec, settings, "expectation", restricted_term),
+                    )
+                )
+            self._expectation_plans[cache_key] = plan
+        return cache_key, plan
+
+    # ------------------------------------------------------------------ contraction
+    def _result_for(
+        self, variant: SubcircuitVariant, table: Mapping[str, VariantResult]
+    ) -> VariantResult:
+        result = table.get(request_key(variant))
+        if result is None:
+            # Defensive: a variant that escaped enumeration is executed on demand
+            # through the same engine path (counted, cached), keeping phase two
+            # total even for subclasses with exotic contraction orders.
+            result = self.engine.lookup(variant)
+        return result
+
+    def _effective_distribution(
+        self,
+        spec: SubcircuitSpec,
+        assignment: Mapping[str, str],
+        table: Mapping[str, VariantResult],
+    ) -> np.ndarray:
+        """Downstream-decomposition-weighted quasi-distribution for one subcircuit."""
+        cache_key, plan = self._distribution_plan(spec, assignment)
+        cached = self._probability_cache.get(cache_key)
+        if cached is not None:
+            return cached
+        total = np.zeros(2 ** len(spec.output_qubits))
+        for weight, variant in plan:
+            result = self._result_for(variant, table)
+            if result.distribution is None:
+                raise ReconstructionError(
+                    f"executor returned no distribution for subcircuit {spec.index}"
+                )
+            total = total + weight * result.distribution
+        self._probability_cache[cache_key] = total
+        return total
+
+    def _term_value(self, term: PauliString, table: Mapping[str, VariantResult]) -> float:
+        inactive_factor = self._inactive_qubit_factor(term)
+        if inactive_factor == 0.0:
+            return 0.0
+        value = 0.0
+        base_coefficient = 0.5 ** len(self.solution.wire_cuts)
+        for assignment in self._wire_cut_assignments():
+            for instance_map, instance_coefficient in self._gate_cut_instance_maps():
+                coefficient = base_coefficient * instance_coefficient
+                if coefficient == 0.0:
+                    continue
+                product = 1.0
+                for spec in self.specs:
+                    product *= self._effective_expectation(
+                        spec, term, assignment, instance_map, table
+                    )
+                    if product == 0.0:
+                        break
+                value += coefficient * product
+        return value * inactive_factor
+
+    def _effective_expectation(
+        self,
+        spec: SubcircuitSpec,
+        term: PauliString,
+        assignment: Mapping[str, str],
+        instance_map: Mapping[int, int],
+        table: Mapping[str, VariantResult],
+    ) -> float:
+        cache_key, plan = self._expectation_plan(spec, term, assignment, instance_map)
         cached = self._expectation_cache.get(cache_key)
         if cached is not None:
             return cached
-
-        builder = self._builder(spec)
-        identifiers = [cut.identifier() for cut in spec.downstream_cuts]
         total = 0.0
-        for choice in itertools.product(
-            *[INIT_STATE_DECOMPOSITION[downstream_basis[i]] for i in identifiers]
-        ) if identifiers else [()]:
-            labels = {i: label for i, (label, _) in zip(identifiers, choice)}
-            weight = 1.0
-            for _, coefficient in choice:
-                weight *= coefficient
-            settings = VariantSettings.build(upstream, labels, local_instances)
-            variant = builder.build(settings, "expectation", restricted_term)
-            total += weight * self.executor.expectation_value(variant)
+        for weight, variant in plan:
+            result = self._result_for(variant, table)
+            if result.value is None:
+                raise ReconstructionError(
+                    f"executor returned no expectation value for subcircuit {spec.index}"
+                )
+            total += weight * result.value
         self._expectation_cache[cache_key] = total
         return total
 

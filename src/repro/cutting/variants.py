@@ -91,10 +91,24 @@ class SubcircuitVariant:
     settings: VariantSettings
     mode: str
     pauli_term: Optional[PauliString] = None
+    _fingerprint: Optional[str] = field(default=None, repr=False, compare=False)
 
     @property
     def uses_dynamic_operations(self) -> bool:
         return any(not op.is_unitary for op in self.circuit)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable content hash identifying this request to the execution engine.
+
+        Memoised: variant circuits are immutable once built, so the hash is
+        computed at most once per object however many contraction terms ask.
+        """
+        if self._fingerprint is None:
+            from ..engine.requests import variant_fingerprint
+
+            self._fingerprint = variant_fingerprint(self)
+        return self._fingerprint
 
 
 class VariantBuilder:

@@ -1,0 +1,32 @@
+"""Batched, parallel variant-execution engine.
+
+This subsystem decouples *what* must be executed (every ``(subcircuit, settings,
+pauli_term)`` variant a reconstruction contraction will need) from *how* it is
+executed (serially, or chunked across a process/thread pool, with request-level
+dedup and a shared bounded result cache).  See :mod:`repro.engine.engine` for the
+orchestrator, :mod:`repro.engine.requests` for fingerprints and deterministic
+seeding, and :mod:`repro.engine.config` for the tuning knobs.
+"""
+
+from .cache import DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SIZE, ResultCache
+from .config import EngineConfig
+from .engine import EngineStats, ParallelEngine
+from .requests import (
+    VariantResult,
+    request_key,
+    seed_from_fingerprint,
+    variant_fingerprint,
+)
+
+__all__ = [
+    "DEFAULT_CACHE_BYTES",
+    "DEFAULT_CACHE_SIZE",
+    "EngineConfig",
+    "EngineStats",
+    "ParallelEngine",
+    "ResultCache",
+    "VariantResult",
+    "request_key",
+    "seed_from_fingerprint",
+    "variant_fingerprint",
+]

@@ -1,0 +1,125 @@
+"""A size-bounded LRU result cache shared by all executors behind an engine.
+
+This replaces the former per-executor ad-hoc dictionaries (which grew without
+bound and were invisible to reporting) with one accountable cache: every executor
+namespaces its keys (so an exact result can never be confused with a noisy result
+or with a different noise seed), the capacity is bounded with least-recently-used
+eviction, and hit/miss/eviction counters feed the engine's statistics.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional
+
+from ..exceptions import ReproError
+from .requests import VariantResult
+
+__all__ = ["ResultCache", "DEFAULT_CACHE_SIZE", "DEFAULT_CACHE_BYTES"]
+
+#: Default capacity (entries) of the shared variant-result cache.
+DEFAULT_CACHE_SIZE = 65536
+
+#: Default payload budget (bytes).  Entry counts alone are a poor memory bound —
+#: a probability-mode result holds a ``2^outputs`` float64 vector, so 65536 wide
+#: entries could reach gigabytes.  Eviction therefore also triggers when the
+#: summed payload exceeds this budget (256 MB).
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+#: Approximate bookkeeping cost of an entry with no distribution payload.
+_SCALAR_ENTRY_BYTES = 64
+
+
+def _entry_bytes(result: VariantResult) -> int:
+    if result.distribution is None:
+        return _SCALAR_ENTRY_BYTES
+    return _SCALAR_ENTRY_BYTES + int(result.distribution.nbytes)
+
+
+class ResultCache:
+    """LRU mapping ``(namespace, fingerprint) -> VariantResult``, doubly bounded.
+
+    Eviction triggers on whichever bound is hit first: ``maxsize`` entries or
+    ``max_bytes`` of summed result payload (distributions dominate; scalar
+    results are charged a small bookkeeping constant).  ``maxsize=0`` disables
+    caching entirely (every lookup misses, nothing is stored), which is
+    occasionally useful for memory-constrained sweeps and for testing eviction
+    behaviour.
+    """
+
+    def __init__(
+        self, maxsize: int = DEFAULT_CACHE_SIZE, max_bytes: int = DEFAULT_CACHE_BYTES
+    ) -> None:
+        if maxsize < 0:
+            raise ReproError(f"cache maxsize must be >= 0, got {maxsize}")
+        if max_bytes < 0:
+            raise ReproError(f"cache max_bytes must be >= 0, got {max_bytes}")
+        self._maxsize = int(maxsize)
+        self._max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Hashable, VariantResult]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def maxsize(self) -> int:
+        return self._maxsize
+
+    @property
+    def max_bytes(self) -> int:
+        return self._max_bytes
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate bytes of cached result payloads currently held."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def get(self, key: Hashable) -> Optional[VariantResult]:
+        """Return the cached result for ``key`` (refreshing its recency) or None."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Hashable, result: VariantResult) -> None:
+        """Insert ``result``, evicting least-recently-used entries past either bound."""
+        if self._maxsize == 0:
+            return
+        previous = self._entries.get(key)
+        if previous is not None:
+            self._bytes -= _entry_bytes(previous)
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        self._bytes += _entry_bytes(result)
+        while len(self._entries) > 1 and (
+            len(self._entries) > self._maxsize or self._bytes > self._max_bytes
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= _entry_bytes(evicted)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+        self._bytes = 0
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for reporting: size, capacity, bytes, hits, misses, evictions."""
+        return {
+            "size": len(self._entries),
+            "maxsize": self._maxsize,
+            "nbytes": self._bytes,
+            "max_bytes": self._max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }

@@ -1,0 +1,63 @@
+"""Configuration of the batched variant-execution engine.
+
+These are the knobs :func:`repro.core.evaluate_workload`, the benchmark
+harnesses (``--jobs``) and :class:`repro.engine.ParallelEngine` share.  They are
+kept separate from :class:`repro.core.config.CutConfig` because they configure
+*how* variants are executed, not *which* cuts are searched — the same cut plan
+can be replayed under any engine configuration and must produce identical
+numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..exceptions import ReproError
+from .cache import DEFAULT_CACHE_SIZE
+
+__all__ = ["EngineConfig"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Knobs of the batched parallel variant-execution engine.
+
+    Attributes:
+        max_workers: parallel workers for batch execution.  ``1`` (the default)
+            executes in-process with no pool; ``None`` uses ``os.cpu_count()``.
+            Exposed as ``--jobs`` by the benchmark harnesses.
+        use_threads: dispatch chunks to a thread pool instead of a process pool.
+            Process pools are the default because the exact branching simulator
+            is CPU-bound pure Python/NumPy; threads only help when an executor
+            releases the GIL (or for debugging without pickling).
+        chunk_size: requests per worker task.  ``None`` auto-sizes to roughly
+            four chunks per worker, which amortises submission overhead while
+            keeping the pool load-balanced.
+        cache_size: capacity (entries) of the shared LRU result cache; ``0``
+            disables result caching entirely.  Applies when the engine creates
+            its own default executor; an executor you construct yourself keeps
+            the cache it was built with (pass ``cache=ResultCache(n)`` there).
+        fallback_to_serial: when the platform cannot provide a worker pool
+            (restricted sandboxes, missing semaphores), silently execute the
+            batch serially instead of raising.  Results are identical either
+            way; only wall-clock changes.
+    """
+
+    max_workers: Optional[int] = 1
+    use_threads: bool = False
+    chunk_size: Optional[int] = None
+    cache_size: int = DEFAULT_CACHE_SIZE
+    fallback_to_serial: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ReproError(f"max_workers must be >= 1 or None, got {self.max_workers}")
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise ReproError(f"chunk_size must be >= 1 or None, got {self.chunk_size}")
+        if self.cache_size < 0:
+            raise ReproError(f"cache_size must be >= 0, got {self.cache_size}")
+
+    def with_(self, **changes) -> "EngineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **changes)

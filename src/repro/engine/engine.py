@@ -1,0 +1,267 @@
+"""The batched, parallel variant-execution engine.
+
+:class:`ParallelEngine` sits between reconstruction and the executors.  The
+reconstructor *enumerates* every subcircuit variant its contraction will need and
+hands the whole batch over; the engine dedups the batch by fingerprint, satisfies
+repeats from the shared LRU cache, and dispatches the remaining unique requests —
+serially in-process when ``max_workers == 1``, otherwise chunked across a
+``concurrent.futures`` pool (processes by default, threads on request).
+
+Determinism is a hard guarantee: stochastic executors are seeded per request from
+the request fingerprint (see :func:`repro.engine.requests.seed_from_fingerprint`),
+so a batch produces bit-identical results regardless of worker count, chunking or
+completion order.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import warnings
+from concurrent.futures import Executor as _PoolBase
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .cache import ResultCache
+from .config import EngineConfig
+from .requests import VariantResult
+
+__all__ = ["EngineStats", "ParallelEngine"]
+
+#: A pending request as handed to a dispatch backend: (fingerprint, variant, seed).
+PendingRequest = Tuple[str, object, Optional[Tuple[int, ...]]]
+
+
+def _execute_chunk(executor_cls, spawn_args, chunk: Sequence[PendingRequest]):
+    """Process-pool worker: rebuild the executor from its spawn spec, run a chunk."""
+    executor = executor_cls(*spawn_args)
+    return [(key, executor.execute_variant(variant, seed=seed)) for key, variant, seed in chunk]
+
+
+def _execute_chunk_shared(executor, chunk: Sequence[PendingRequest]):
+    """Thread-pool worker: run a chunk directly on the shared executor."""
+    return [(key, executor.execute_variant(variant, seed=seed)) for key, variant, seed in chunk]
+
+
+@dataclass(frozen=True)
+class EngineStats:
+    """Aggregate counters of an engine's lifetime (all batches so far).
+
+    ``unique_executions`` is the dedup-aware execution count — the single
+    authoritative source for ``EvaluationResult.num_variant_evaluations``.
+    """
+
+    requests: int
+    unique_executions: int
+    dedup_hits: int
+    cache_hits: int
+    batches: int
+    execute_seconds: float
+    cache: Dict[str, int]
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary for benchmark tables."""
+        return {
+            "requests": self.requests,
+            "unique_executions": self.unique_executions,
+            "dedup_hits": self.dedup_hits,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "execute_seconds": round(self.execute_seconds, 4),
+        }
+
+
+class ParallelEngine:
+    """Batched variant execution with dedup, shared caching and worker pools.
+
+    The engine wraps a :class:`~repro.cutting.executors.VariantExecutor` backend.
+    ``run_batch`` is the one entry point; single-variant convenience calls on the
+    executor itself also flow through the same dedup/cache path, so counters stay
+    consistent however the backend is driven.
+    """
+
+    def __init__(self, executor=None, config: Optional[EngineConfig] = None) -> None:
+        self._config = config or EngineConfig()
+        if executor is None:
+            from ..cutting.executors import ExactExecutor
+
+            executor = ExactExecutor(cache=ResultCache(self._config.cache_size))
+        # A caller-supplied executor keeps whatever cache it was built with:
+        # config.cache_size only sizes the cache of engine-created executors,
+        # so an explicit memory bound is never silently replaced.
+        self._executor = executor
+        self._pool: Optional[_PoolBase] = None
+        self._pool_broken = False
+        self._batches = 0
+        self._execute_seconds = 0.0
+
+    # ------------------------------------------------------------------ accessors
+    @property
+    def executor(self):
+        return self._executor
+
+    @property
+    def config(self) -> EngineConfig:
+        return self._config
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._executor.cache
+
+    @property
+    def executions(self) -> int:
+        """Dedup-aware count of variant circuits actually executed."""
+        return self._executor.executions
+
+    @property
+    def stats(self) -> EngineStats:
+        return EngineStats(
+            requests=self._executor.requests,
+            unique_executions=self._executor.executions,
+            dedup_hits=self._executor.dedup_hits,
+            cache_hits=self._executor.cache_hits,
+            batches=self._batches,
+            execute_seconds=self._execute_seconds,
+            cache=self._executor.cache.stats(),
+        )
+
+    # ------------------------------------------------------------------ execution
+    def run_batch(self, variants: Iterable) -> Dict[str, VariantResult]:
+        """Execute a batch of variants; return ``fingerprint -> VariantResult``.
+
+        The returned table covers every distinct fingerprint in ``variants``
+        (deduped requests map to the single shared result).
+        """
+        start = time.perf_counter()
+        dispatch = self._dispatch if self._effective_workers() > 1 else None
+        table = self._executor.run_batch(variants, dispatch=dispatch)
+        self._execute_seconds += time.perf_counter() - start
+        self._batches += 1
+        return table
+
+    def lookup(self, variant) -> VariantResult:
+        """Result for one variant, executing it on demand if it was never batched."""
+        from .requests import request_key
+
+        return self.run_batch([variant])[request_key(variant)]
+
+    # ------------------------------------------------------------------ dispatch
+    def _effective_workers(self) -> int:
+        workers = self._config.max_workers
+        if workers is None:
+            import os
+
+            workers = os.cpu_count() or 1
+        return max(1, workers)
+
+    def _chunked(self, pending: Sequence[PendingRequest]) -> List[List[PendingRequest]]:
+        size = self._config.chunk_size
+        if size is None:
+            size = max(1, math.ceil(len(pending) / (self._effective_workers() * 4)))
+        return [list(pending[i : i + size]) for i in range(0, len(pending), size)]
+
+    def _dispatch(self, executor, pending: Sequence[PendingRequest]):
+        """Run unique cache-miss requests across the worker pool (or serially)."""
+        chunks = self._chunked(pending)
+        pool = None
+        spawn_cls = spawn_args = None
+        if len(chunks) > 1:
+            if not self._config.use_threads:
+                spawn_cls, spawn_args = self._spawnable(executor)
+            if self._config.use_threads or spawn_cls is not None:
+                pool = self._ensure_pool()
+        if pool is None:
+            return _execute_chunk_shared(executor, pending)
+        try:
+            if self._config.use_threads:
+                futures = [pool.submit(_execute_chunk_shared, executor, c) for c in chunks]
+            else:
+                futures = [
+                    pool.submit(_execute_chunk, spawn_cls, spawn_args, c) for c in chunks
+                ]
+            results: List[Tuple[str, VariantResult]] = []
+            for future in futures:
+                results.extend(future.result())
+            return results
+        except (OSError, RuntimeError, BrokenPipeError) as error:
+            # Pool breakage (BrokenProcessPool is a RuntimeError).  Executor
+            # pickling is pre-flighted in _spawnable, so failures here are
+            # infrastructure, not payload; the serial rerun reproduces any
+            # genuine execution error with a clean traceback.
+            if not self._config.fallback_to_serial:
+                raise
+            warnings.warn(
+                f"parallel dispatch failed ({error!r}); falling back to serial execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._teardown_pool(broken=True)
+            return _execute_chunk_shared(executor, pending)
+
+    def _spawnable(self, executor):
+        """Pre-flight the executor's spawn spec for process-pool transport.
+
+        Pickling is checked *before* anything is submitted: a task that fails to
+        pickle inside the pool's management thread can leave the pool in a state
+        that hangs shutdown, so unpicklable executors never reach it.  Returns
+        ``(None, None)`` (serial fallback) when the spec cannot cross the
+        process boundary.
+        """
+        import pickle
+
+        spec = executor.spawn_spec()
+        try:
+            pickle.dumps(spec)
+            return spec
+        except Exception as error:
+            if not self._config.fallback_to_serial:
+                raise
+            warnings.warn(
+                f"executor cannot be shipped to worker processes ({error!r}); "
+                "running serially (consider EngineConfig(use_threads=True) or a "
+                "custom spawn_spec)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None, None
+
+    def _ensure_pool(self) -> Optional[_PoolBase]:
+        if self._pool is not None or self._pool_broken:
+            return self._pool
+        workers = self._effective_workers()
+        try:
+            if self._config.use_threads:
+                self._pool = ThreadPoolExecutor(max_workers=workers)
+            else:
+                self._pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, ValueError, PermissionError, ImportError) as error:
+            if not self._config.fallback_to_serial:
+                raise
+            warnings.warn(
+                f"could not start a worker pool ({error!r}); running serially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._pool_broken = True
+            self._pool = None
+        return self._pool
+
+    def _teardown_pool(self, broken: bool = False) -> None:
+        if self._pool is not None:
+            # Never join a possibly-broken pool (wait=True can deadlock on a
+            # half-shut management thread); cancel queued work and move on.
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+        self._pool_broken = broken
+
+    # ------------------------------------------------------------------ lifecycle
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent; the engine stays usable serially)."""
+        self._teardown_pool(broken=False)
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

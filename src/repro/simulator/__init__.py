@@ -8,7 +8,13 @@ from .expectation import (
     expectation_from_distribution,
     sampled_expectation,
 )
-from .noise import DeviceModel, NoiseModel, NoisySimulator, lagos_like_device
+from .noise import (
+    DeviceModel,
+    NoiseModel,
+    NoisySimulator,
+    inject_pauli_noise,
+    lagos_like_device,
+)
 from .sampler import (
     counts_to_distribution,
     distribution_to_counts,
@@ -34,6 +40,7 @@ __all__ = [
     "exact_expectation",
     "expectation_from_counts",
     "expectation_from_distribution",
+    "inject_pauli_noise",
     "lagos_like_device",
     "sample_circuit",
     "sample_counts",

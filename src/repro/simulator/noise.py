@@ -30,7 +30,13 @@ from .expectation import basis_rotation_circuit, diagonalized_term
 from .sampler import expectation_from_counts, sample_counts
 from .statevector import simulate_statevector
 
-__all__ = ["NoiseModel", "DeviceModel", "lagos_like_device", "NoisySimulator"]
+__all__ = [
+    "NoiseModel",
+    "DeviceModel",
+    "lagos_like_device",
+    "NoisySimulator",
+    "inject_pauli_noise",
+]
 
 #: IBM Lagos / Falcon r5.11H heavy-hex style 7-qubit coupling (H shape).
 LAGOS_COUPLING: Tuple[Tuple[int, int], ...] = (
@@ -105,6 +111,27 @@ def lagos_like_device(noise: Optional[NoiseModel] = None) -> DeviceModel:
     return DeviceModel(7, LAGOS_COUPLING, noise or NoiseModel(), name="lagos-sim")
 
 
+def inject_pauli_noise(
+    circuit: Circuit, noise: NoiseModel, rng: np.random.Generator
+) -> Circuit:
+    """One stochastic noise realisation: random Pauli errors interleaved after gates.
+
+    This is the trajectory primitive shared by :class:`NoisySimulator` and the
+    noisy variant executor: after every (non-identity) unitary, each operand qubit
+    independently suffers an X, Y or Z error with the model's per-gate probability.
+    """
+    noisy = Circuit(circuit.num_qubits, f"{circuit.name}_noisy")
+    for op in circuit:
+        noisy.append(op)
+        if not op.is_unitary or op.is_identity:
+            continue
+        error_rate = noise.two_qubit_error if op.is_two_qubit else noise.single_qubit_error
+        for qubit in op.qubits:
+            if rng.random() < error_rate:
+                noisy.add(("x", "y", "z")[rng.integers(0, 3)], [qubit])
+    return noisy
+
+
 class NoisySimulator:
     """Trajectory (Monte-Carlo Pauli injection) simulation of a noisy device."""
 
@@ -133,21 +160,7 @@ class NoisySimulator:
     # ------------------------------------------------------------------ execution
     def _noisy_trajectory(self, circuit: Circuit) -> Circuit:
         """One noise realisation: randomly interleave Pauli errors after gates."""
-        noisy = Circuit(circuit.num_qubits, f"{circuit.name}_noisy")
-        noise = self._device.noise
-        for op in circuit:
-            noisy.append(op)
-            if not op.is_unitary or op.is_identity:
-                continue
-            error_rate = (
-                noise.two_qubit_error if op.is_two_qubit else noise.single_qubit_error
-            )
-            for qubit in op.qubits:
-                if self._rng.random() < error_rate:
-                    pauli = self._rng.integers(0, 3)
-                    name = ("x", "y", "z")[pauli]
-                    noisy.add(name, [qubit])
-        return noisy
+        return inject_pauli_noise(circuit, self._device.noise, self._rng)
 
     def _apply_readout_error(self, counts: Dict[str, int]) -> Dict[str, int]:
         error = self._device.noise.readout_error

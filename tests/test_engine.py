@@ -1,0 +1,441 @@
+"""Tests for the batched parallel execution engine (repro.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit
+from repro.core import CutConfig, EngineConfig, evaluate_workload
+from repro.cutting import (
+    CutReconstructor,
+    CutSolution,
+    ExactExecutor,
+    GateCut,
+    NoisyExecutor,
+    WireCut,
+    extract_subcircuits,
+)
+from repro.cutting.variants import VariantBuilder, VariantSettings
+from repro.engine import (
+    ParallelEngine,
+    ResultCache,
+    VariantResult,
+    request_key,
+    seed_from_fingerprint,
+    variant_fingerprint,
+)
+from repro.exceptions import CuttingError, ReproError
+from repro.simulator import DeviceModel, NoiseModel, simulate_statevector
+from repro.utils.pauli import PauliObservable, PauliString
+from repro.workloads import make_workload
+
+
+@pytest.fixture
+def combined_cut_solution():
+    """A 4-qubit circuit with one wire cut and one gate cut (paper Eq. 4 setting)."""
+    circuit = Circuit(4)
+    circuit.h(0).h(1).ry(0.3, 2).rx(0.6, 3)
+    circuit.cx(0, 1)    # 4
+    circuit.rz(0.2, 1)  # 5
+    circuit.cz(1, 2)    # 6: gate cut
+    circuit.rz(0.5, 2)  # 7
+    circuit.cx(2, 3)    # 8
+    circuit.ry(0.4, 3)  # 9
+    return CutSolution(
+        circuit=circuit,
+        op_subcircuit={0: 0, 1: 0, 2: 1, 3: 1, 4: 0, 5: 0, 7: 1, 8: 1, 9: 1},
+        wire_cuts=[],
+        gate_cuts=[GateCut(6)],
+        gate_cut_placement={6: (0, 1)},
+    )
+
+
+@pytest.fixture
+def combined_observable():
+    return PauliObservable.from_terms(
+        [
+            PauliString.from_dict({0: "Z", 3: "Z"}, 1.0),
+            PauliString.from_dict({1: "Z", 2: "Z"}, 0.5),
+            PauliString.from_dict({2: "X"}, 0.2),
+            PauliString.from_dict({}, 0.3),
+        ]
+    )
+
+
+def _some_variants(solution, count=3):
+    """Distinct runnable variants of the chain fixture's upstream subcircuit.
+
+    Subcircuit 0 owns the measured end of the wire cut, so varying the
+    measurement basis yields genuinely different variant circuits.
+    """
+    specs = {spec.index: spec for spec in extract_subcircuits(solution)}
+    spec = specs[0]
+    assert spec.upstream_cuts, "fixture changed: need the measured side of the cut"
+    builder = VariantBuilder(solution, spec)
+    variants = []
+    for basis in ("I", "X", "Y", "Z")[:count]:
+        settings = VariantSettings.build(
+            {cut.identifier(): basis for cut in spec.upstream_cuts},
+            {cut.identifier(): "zero" for cut in spec.downstream_cuts},
+            {},
+        )
+        variants.append(builder.build(settings, "expectation", PauliString((), 1.0)))
+    return variants
+
+
+class TestResultCache:
+    def test_bounded_eviction_is_lru(self):
+        cache = ResultCache(maxsize=2)
+        cache.put("a", VariantResult(value=1.0))
+        cache.put("b", VariantResult(value=2.0))
+        assert cache.get("a").value == 1.0  # refresh "a": now "b" is LRU
+        cache.put("c", VariantResult(value=3.0))
+        assert len(cache) == 2
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.get("c") is not None
+        assert cache.evictions == 1
+
+    def test_zero_capacity_disables_caching(self):
+        cache = ResultCache(maxsize=0)
+        cache.put("a", VariantResult(value=1.0))
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ReproError):
+            ResultCache(maxsize=-1)
+
+    def test_stats_counters(self):
+        cache = ResultCache(maxsize=4)
+        cache.put("a", VariantResult(value=1.0))
+        cache.get("a")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1 and stats["size"] == 1
+
+    def test_byte_budget_evicts_before_entry_cap(self):
+        wide = VariantResult(distribution=np.zeros(1024))  # 8 KB payload each
+        cache = ResultCache(maxsize=1000, max_bytes=20 * 1024)
+        for index in range(5):
+            cache.put(index, VariantResult(distribution=np.zeros(1024)))
+        assert len(cache) < 5  # payload bound bit long before the entry cap
+        assert cache.nbytes <= cache.max_bytes
+        assert cache.get(4) is not None  # most recent entries survive
+        del wide
+
+    def test_single_oversized_entry_is_retained(self):
+        cache = ResultCache(maxsize=10, max_bytes=1024)
+        cache.put("big", VariantResult(distribution=np.zeros(4096)))
+        assert cache.get("big") is not None  # never evict the only entry
+
+
+class TestFingerprints:
+    def test_identical_variants_share_a_fingerprint(self, chain_wire_cut_solution):
+        first = _some_variants(chain_wire_cut_solution, count=1)[0]
+        second = _some_variants(chain_wire_cut_solution, count=1)[0]
+        assert first is not second
+        assert variant_fingerprint(first) == variant_fingerprint(second)
+        assert request_key(first) == first.fingerprint
+
+    def test_different_settings_differ(self, chain_wire_cut_solution):
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        keys = {variant_fingerprint(variant) for variant in variants}
+        assert len(keys) == len(variants)
+
+    def test_seed_derivation_is_deterministic(self):
+        fingerprint = "ab" * 20
+        assert seed_from_fingerprint(fingerprint, 7) == seed_from_fingerprint(fingerprint, 7)
+        assert seed_from_fingerprint(fingerprint, 7) != seed_from_fingerprint(fingerprint, 8)
+        assert seed_from_fingerprint(fingerprint) != seed_from_fingerprint("cd" * 20)
+
+
+class TestDedupAndCounting:
+    def test_execution_count_equals_unique_variants(self, chain_wire_cut_solution):
+        executor = ExactExecutor()
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        batch = variants + variants + [variants[0]]  # 7 requests, 3 unique
+        table = executor.run_batch(batch)
+        assert executor.executions == 3
+        assert executor.requests == 7
+        assert executor.dedup_hits == 4
+        assert set(table) == {request_key(variant) for variant in variants}
+
+    def test_repeat_batches_hit_the_cache(self, chain_wire_cut_solution):
+        executor = ExactExecutor()
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        executor.run_batch(variants)
+        executor.run_batch(variants)
+        assert executor.executions == 3
+        assert executor.cache_hits == 3
+
+    def test_noisy_executor_counts_variants_not_trajectories(self, chain_wire_cut_solution):
+        device = DeviceModel(4, ((0, 1), (1, 2), (2, 3)), NoiseModel(0.01, 0.001, 0.0))
+        executor = NoisyExecutor(device, shots=None, trajectories=5, seed=1)
+        variants = _some_variants(chain_wire_cut_solution, count=2)
+        executor.run_batch(variants + variants)
+        assert executor.executions == 2  # not 2 variants * 5 trajectories
+
+    def test_noisy_executor_caches_repeated_variants(self, chain_wire_cut_solution):
+        device = DeviceModel(4, ((0, 1), (1, 2), (2, 3)), NoiseModel(0.05, 0.001, 0.0))
+        executor = NoisyExecutor(device, shots=256, trajectories=3, seed=5)
+        variant = _some_variants(chain_wire_cut_solution, count=1)[0]
+        first = executor.expectation_value(variant)
+        second = executor.expectation_value(variant)
+        assert first == second  # cached, not re-sampled
+        assert executor.executions == 1
+
+    def test_eviction_forces_reexecution(self, chain_wire_cut_solution):
+        executor = ExactExecutor(cache=ResultCache(maxsize=1))
+        first, second = _some_variants(chain_wire_cut_solution, count=2)
+        executor.run_batch([first])
+        executor.run_batch([second])  # evicts first
+        executor.run_batch([first])
+        assert executor.executions == 3
+        assert executor.cache.evictions == 2
+
+    def test_seeded_noisy_results_are_reproducible_across_instances(
+        self, chain_wire_cut_solution
+    ):
+        device = DeviceModel(4, ((0, 1), (1, 2), (2, 3)), NoiseModel(0.05, 0.001, 0.0))
+        variant = _some_variants(chain_wire_cut_solution, count=1)[0]
+        value_a = NoisyExecutor(device, shots=128, trajectories=3, seed=9).expectation_value(
+            variant
+        )
+        value_b = NoisyExecutor(device, shots=128, trajectories=3, seed=9).expectation_value(
+            variant
+        )
+        assert value_a == value_b
+
+
+class ScaledExactExecutor(ExactExecutor):
+    """Exact executor with a constructor argument, exercising default spawn_spec."""
+
+    def __init__(self, scale, cache=None):
+        super().__init__(cache)
+        self.scale = scale
+
+    def cache_namespace(self):
+        return f"scaled-exact:{self.scale}"
+
+    def execute_variant(self, variant, seed=None):
+        base = super().execute_variant(variant, seed)
+        return VariantResult(
+            value=None if base.value is None else base.value * self.scale,
+            distribution=None
+            if base.distribution is None
+            else base.distribution * self.scale,
+        )
+
+
+class TestResultSharing:
+    def _probability_variant(self, solution):
+        specs = {spec.index: spec for spec in extract_subcircuits(solution)}
+        spec = specs[0]
+        builder = VariantBuilder(solution, spec)
+        settings = VariantSettings.build(
+            {cut.identifier(): "Z" for cut in spec.upstream_cuts},
+            {cut.identifier(): "zero" for cut in spec.downstream_cuts},
+            {},
+        )
+        return builder.build(settings, "probability")
+
+    def test_cached_distributions_are_frozen(self, chain_wire_cut_solution):
+        executor = ExactExecutor()
+        variant = self._probability_variant(chain_wire_cut_solution)
+        table = executor.run_batch([variant])
+        distribution = table[request_key(variant)].distribution
+        with pytest.raises(ValueError):
+            distribution[0] = 99.0  # mutating a shared cached result must raise
+
+    def test_quasi_distribution_returns_a_private_copy(self, chain_wire_cut_solution):
+        executor = ExactExecutor()
+        variant = self._probability_variant(chain_wire_cut_solution)
+        first = executor.quasi_distribution(variant)
+        first += 123.0  # caller-side mutation must not poison the cache
+        second = executor.quasi_distribution(variant)
+        assert not np.array_equal(first, second)
+
+    def test_unpicklable_executor_falls_back_to_serial(self, chain_wire_cut_solution):
+        class UnpicklableExecutor(ExactExecutor):  # local class: cannot be pickled
+            pass
+
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        serial = ExactExecutor().run_batch(variants)
+        with ParallelEngine(
+            UnpicklableExecutor(), EngineConfig(max_workers=2, chunk_size=1)
+        ) as engine:
+            with pytest.warns(RuntimeWarning, match="running serially"):
+                parallel = engine.run_batch(variants)
+        assert {key: result.value for key, result in parallel.items()} == {
+            key: result.value for key, result in serial.items()
+        }
+        assert engine.executions == len(variants)
+
+    def test_subclass_with_constructor_args_survives_process_pool(
+        self, chain_wire_cut_solution
+    ):
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        serial = ScaledExactExecutor(scale=2.0).run_batch(variants)
+        with ParallelEngine(
+            ScaledExactExecutor(scale=2.0), EngineConfig(max_workers=2, chunk_size=1)
+        ) as engine:
+            parallel = engine.run_batch(variants)
+        assert {key: result.value for key, result in parallel.items()} == {
+            key: result.value for key, result in serial.items()
+        }
+
+
+class TestSerialParallelIdentity:
+    def _reconstruct(self, solution, observable, engine):
+        return CutReconstructor(solution, engine=engine).reconstruct_expectation(observable)
+
+    def test_exact_expectation_identical(self, combined_cut_solution, combined_observable):
+        serial = self._reconstruct(
+            combined_cut_solution, combined_observable, ParallelEngine(ExactExecutor())
+        )
+        with ParallelEngine(
+            ExactExecutor(), EngineConfig(max_workers=2, chunk_size=8)
+        ) as engine:
+            parallel = self._reconstruct(combined_cut_solution, combined_observable, engine)
+        assert parallel == serial  # bit-identical, not just close
+        exact = simulate_statevector(combined_cut_solution.circuit).expectation(
+            combined_observable
+        )
+        assert np.isclose(serial, exact, atol=1e-9)
+
+    def test_noisy_expectation_identical_with_same_seed(
+        self, combined_cut_solution, combined_observable
+    ):
+        def make_executor():
+            device = DeviceModel(5, ((0, 1), (1, 2), (2, 3), (3, 4)), NoiseModel(0.02, 0.001, 0.0))
+            return NoisyExecutor(device, shots=512, trajectories=2, seed=42)
+
+        serial = self._reconstruct(
+            combined_cut_solution, combined_observable, ParallelEngine(make_executor())
+        )
+        with ParallelEngine(
+            make_executor(), EngineConfig(max_workers=2, chunk_size=8)
+        ) as engine:
+            parallel = self._reconstruct(combined_cut_solution, combined_observable, engine)
+        assert parallel == serial
+
+    def test_probabilities_identical(self, chain_wire_cut_solution):
+        serial = CutReconstructor(chain_wire_cut_solution).reconstruct_probabilities()
+        with ParallelEngine(
+            ExactExecutor(), EngineConfig(max_workers=2, chunk_size=4)
+        ) as engine:
+            parallel = CutReconstructor(
+                chain_wire_cut_solution, engine=engine
+            ).reconstruct_probabilities()
+        assert np.array_equal(serial, parallel)
+
+    def test_thread_backend_identical(self, combined_cut_solution, combined_observable):
+        serial = self._reconstruct(
+            combined_cut_solution, combined_observable, ParallelEngine(ExactExecutor())
+        )
+        with ParallelEngine(
+            ExactExecutor(), EngineConfig(max_workers=2, chunk_size=8, use_threads=True)
+        ) as engine:
+            threaded = self._reconstruct(combined_cut_solution, combined_observable, engine)
+        assert threaded == serial
+
+
+class TestTwoPhaseReconstruction:
+    def test_contraction_executes_nothing_after_the_batch(
+        self, combined_cut_solution, combined_observable
+    ):
+        engine = ParallelEngine(ExactExecutor())
+        reconstructor = CutReconstructor(combined_cut_solution, engine=engine)
+        batch = reconstructor.enumerate_expectation_requests(combined_observable)
+        assert batch
+        engine.run_batch(batch)
+        executed_in_phase_one = engine.executions
+        assert executed_in_phase_one > 0
+        reconstructor.reconstruct_expectation(combined_observable)
+        assert engine.executions == executed_in_phase_one
+
+    def test_enumeration_rejects_gate_cuts_for_probabilities(self, gate_cut_solution):
+        from repro.exceptions import ReconstructionError
+
+        with pytest.raises(ReconstructionError):
+            CutReconstructor(gate_cut_solution).enumerate_probability_requests()
+
+    def test_mismatched_executor_and_engine_rejected(self, chain_wire_cut_solution):
+        from repro.exceptions import ReconstructionError
+
+        with pytest.raises(ReconstructionError):
+            CutReconstructor(
+                chain_wire_cut_solution,
+                executor=ExactExecutor(),
+                engine=ParallelEngine(ExactExecutor()),
+            )
+
+
+class TestEngineConfig:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            EngineConfig(max_workers=0)
+        with pytest.raises(ReproError):
+            EngineConfig(chunk_size=0)
+        with pytest.raises(ReproError):
+            EngineConfig(cache_size=-5)
+
+    def test_with_returns_modified_copy(self):
+        config = EngineConfig()
+        assert config.with_(max_workers=8).max_workers == 8
+        assert config.max_workers == 1
+
+    def test_engine_never_replaces_a_callers_cache(self):
+        executor = ExactExecutor(cache=ResultCache(maxsize=7))
+        engine = ParallelEngine(executor, EngineConfig(cache_size=999))
+        assert executor.cache.maxsize == 7  # the explicit bound survives
+        assert engine.cache is executor.cache
+
+    def test_cache_size_applies_to_engine_created_executor(self):
+        engine = ParallelEngine(config=EngineConfig(cache_size=7))
+        assert engine.cache.maxsize == 7
+
+
+class TestPipelineIntegration:
+    def test_parallel_evaluation_matches_serial(self):
+        workload = make_workload("VQE", 6, layers=1)
+        config = CutConfig(device_size=4, max_subcircuits=2, enable_gate_cuts=True)
+        serial = evaluate_workload(workload, config)
+        parallel = evaluate_workload(
+            workload, config, engine_config=EngineConfig(max_workers=2)
+        )
+        assert parallel.expectation_value == serial.expectation_value
+        assert parallel.num_variant_evaluations == serial.num_variant_evaluations
+
+    def test_timings_and_stats_reported(self):
+        workload = make_workload("VQE", 5, layers=1)
+        config = CutConfig(device_size=3, max_subcircuits=2)
+        result = evaluate_workload(workload, config)
+        for stage in ("cut", "execute", "reconstruct", "reference", "total"):
+            assert stage in result.timings
+            assert result.timings[stage] >= 0.0
+        assert result.engine_stats is not None
+        assert result.engine_stats.unique_executions == result.num_variant_evaluations
+        assert result.num_variant_evaluations > 0
+
+    def test_shared_engine_reports_per_call_deltas(self):
+        workload = make_workload("VQE", 5, layers=1)
+        config = CutConfig(device_size=3, max_subcircuits=2)
+        with ParallelEngine(ExactExecutor()) as engine:
+            first = evaluate_workload(workload, config, engine=engine)
+            second = evaluate_workload(workload, config, engine=engine)
+        assert first.num_variant_evaluations > 0
+        # The shared cache satisfies the second evaluation entirely.
+        assert second.num_variant_evaluations == 0
+        assert second.expectation_value == first.expectation_value
+
+    def test_engine_and_executor_are_mutually_exclusive(self):
+        workload = make_workload("VQE", 5, layers=1)
+        config = CutConfig(device_size=3, max_subcircuits=2)
+        with pytest.raises(CuttingError):
+            evaluate_workload(
+                workload,
+                config,
+                executor=ExactExecutor(),
+                engine=ParallelEngine(ExactExecutor()),
+            )
