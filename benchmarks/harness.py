@@ -34,6 +34,13 @@ SOLVER_TIME_LIMIT = float(os.environ.get("QRCC_BENCH_TIME_LIMIT", "30" if SCALE 
 #: argv is awkward) set ``QRCC_BENCH_JOBS`` instead of ``--jobs``.
 DEFAULT_JOBS = int(os.environ.get("QRCC_BENCH_JOBS", "4"))
 
+#: Default total shot budget for finite-shot harnesses (``--shots`` /
+#: ``QRCC_BENCH_SHOTS``); ``0`` means exact (no sampling).
+DEFAULT_SHOTS = int(os.environ.get("QRCC_BENCH_SHOTS", "0"))
+
+#: Default shot-allocation policy (``--allocation`` / ``QRCC_BENCH_ALLOCATION``).
+DEFAULT_ALLOCATION = os.environ.get("QRCC_BENCH_ALLOCATION", "uniform")
+
 
 def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the shared execution-engine options to a benchmark CLI parser."""
@@ -49,6 +56,32 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         type=int,
         default=None,
         help="variant requests per worker task (default: auto, ~4 chunks/worker)",
+    )
+    return parser
+
+
+def add_shot_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared finite-shot sampling options to a benchmark CLI parser."""
+    parser.add_argument(
+        "--shots",
+        type=int,
+        default=DEFAULT_SHOTS,
+        help="total shot budget per evaluation (0 = exact execution; default "
+        "from QRCC_BENCH_SHOTS or 0)",
+    )
+    parser.add_argument(
+        "--allocation",
+        choices=("uniform", "weighted", "variance"),
+        default=DEFAULT_ALLOCATION,
+        help="how the shot budget is split across subcircuit variants "
+        "(default from QRCC_BENCH_ALLOCATION or uniform)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="base seed for the sampling executor (results are bit-identical "
+        "across worker counts at a fixed seed)",
     )
     return parser
 

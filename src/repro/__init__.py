@@ -35,8 +35,9 @@ from .core import (
     cut_circuit_cutqc,
     evaluate_workload,
 )
-from .engine import ParallelEngine
+from .engine import ParallelEngine, ShotAllocation, allocate_shots
 from .exceptions import (
+    AllocationError,
     CircuitError,
     CuttingError,
     InfeasibleError,
@@ -52,6 +53,7 @@ from .exceptions import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AllocationError",
     "CircuitError",
     "CutConfig",
     "CutPlan",
@@ -66,10 +68,12 @@ __all__ = [
     "ReconstructionError",
     "ReproError",
     "SearchTimeoutError",
+    "ShotAllocation",
     "SimulationError",
     "SolverError",
     "WorkloadError",
     "__version__",
+    "allocate_shots",
     "cut_circuit",
     "cut_circuit_cutqc",
     "evaluate_workload",

@@ -13,9 +13,21 @@ execution (the benchmark harnesses expose it as ``--jobs``; ``1`` = serial,
 pool, ``chunk_size`` sets requests per worker task (``None`` auto-sizes to about
 four chunks per worker), ``cache_size`` bounds the shared LRU variant-result cache
 (``0`` disables caching), and ``fallback_to_serial`` degrades gracefully on
-platforms without worker-pool support.  Engine settings never change the numbers —
-the same cut plan replayed under any :class:`~repro.engine.EngineConfig` produces
-bit-identical results — only the wall clock.
+platforms without worker-pool support.  Parallelism settings never change the
+numbers — the same cut plan replayed at any worker count produces bit-identical
+results — only the wall clock.
+
+Finite-shot knobs: ``shots`` sets a total sampling budget per evaluation (the
+Section 2.2 shots-based model — every subcircuit variant becomes a finite-sample
+estimate through a :class:`~repro.cutting.sampling.SamplingExecutor`) and
+``allocation`` picks how that budget is split across the enumerated variants
+(``"uniform"``, ``"weighted"`` by |contraction weight|, or ``"variance"`` for
+the two-pass pilot + Neyman reallocation; see :mod:`repro.engine.allocation`).
+These *do* change the numbers — they become statistical estimates with
+``O(1/sqrt(shots))`` error — but keep the serial/parallel identity: at a fixed
+executor seed the result is bit-identical for any ``max_workers``.
+:func:`~repro.core.pipeline.evaluate_workload` accepts ``shots`` / ``allocation``
+/ ``seed`` per call, overriding the engine-config defaults.
 """
 
 from __future__ import annotations

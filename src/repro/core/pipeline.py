@@ -23,13 +23,22 @@ from ..circuits import Circuit
 from ..cutting import (
     CutReconstructor,
     CutSolution,
+    SamplingExecutor,
     SubcircuitSpec,
     VariantExecutor,
     effective_wire_cuts,
     extract_subcircuits,
     postprocessing_cost,
 )
-from ..engine import EngineConfig, EngineStats, ParallelEngine
+from ..engine import (
+    ALLOCATION_POLICIES,
+    EngineConfig,
+    EngineStats,
+    ParallelEngine,
+    ResultCache,
+    ShotAllocation,
+    allocate_shots,
+)
 from ..exceptions import CuttingError, InfeasibleError
 from ..simulator import simulate_statevector
 from ..utils.pauli import PauliObservable
@@ -123,9 +132,14 @@ class EvaluationResult:
     + subcircuit extraction), ``execute`` (variant batch execution inside the
     engine), ``reconstruct`` (enumeration and contraction outside the engine),
     ``reference`` (uncut statevector simulation, when requested) and ``total``
-    (their sum).  ``engine_stats`` is the engine's *lifetime* snapshot at the end
-    of the call — cumulative across evaluations when an engine is shared, unlike
-    the per-call fields above.
+    (their sum).  Every stage is timed around the call this evaluation itself
+    makes — ``execute`` comes from the engine's per-batch timing, never from
+    deltas of its lifetime counters, so sharing an engine across threads cannot
+    inflate another call's numbers.  ``engine_stats`` is the engine's *lifetime*
+    snapshot at the end of the call — cumulative across evaluations when an
+    engine is shared, unlike the per-call fields above.  ``shot_allocation``
+    records the finite-shot budget split (policy + per-variant shot counts) when
+    the evaluation ran with ``shots``; ``None`` for exact evaluations.
     """
 
     plan: CutPlan
@@ -136,6 +150,7 @@ class EvaluationResult:
     num_variant_evaluations: int = 0
     timings: Dict[str, float] = field(default_factory=dict)
     engine_stats: Optional[EngineStats] = None
+    shot_allocation: Optional[ShotAllocation] = None
 
     @property
     def expectation_error(self) -> Optional[float]:
@@ -199,6 +214,14 @@ def cut_circuit(
 
 def cut_circuit_cutqc(circuit: Circuit, config: CutConfig, **kwargs) -> CutPlan:
     """The CutQC baseline: wire cutting only, no qubit reuse, MIP-style width model."""
+    if "enable_reuse_extraction" in kwargs:
+        # Forwarding it would collide with the pinned value below and surface as
+        # an opaque duplicate-keyword TypeError; reject it with a real message.
+        raise CuttingError(
+            "cut_circuit_cutqc pins enable_reuse_extraction=False (the CutQC "
+            "baseline never reuses qubits); drop the argument or call "
+            "cut_circuit directly"
+        )
     baseline = config.with_(enable_gate_cuts=False, enable_qubit_reuse=False, delta=1.0)
     return cut_circuit(circuit, baseline, enable_reuse_extraction=False, **kwargs)
 
@@ -212,6 +235,9 @@ def evaluate_workload(
     force_greedy: bool = False,
     engine: Optional[ParallelEngine] = None,
     engine_config: Optional[EngineConfig] = None,
+    shots: Optional[int] = None,
+    allocation: Optional[str] = None,
+    seed: Optional[int] = None,
 ) -> EvaluationResult:
     """Cut, execute and reconstruct a workload end-to-end.
 
@@ -224,8 +250,18 @@ def evaluate_workload(
     pass ``engine`` to reuse one (its pool and result cache survive across calls),
     or ``engine_config`` (e.g. ``EngineConfig(max_workers=4)``) to have one built
     around ``executor`` for this evaluation.  ``num_variant_evaluations`` and
-    ``timings`` are per-call deltas, so a shared engine still yields per-workload
-    numbers; ``engine_stats`` is the engine's cumulative lifetime snapshot.
+    ``timings`` are per-call numbers, so a shared engine still yields per-workload
+    values; ``engine_stats`` is the engine's cumulative lifetime snapshot.
+
+    Finite-shot evaluation: pass ``shots`` (or set ``EngineConfig.shots``) to
+    estimate every subcircuit variant from samples instead of exactly.  The
+    budget is split across the enumerated variant batch by ``allocation``
+    (``"uniform"``, ``"weighted"`` or ``"variance"``; defaults to the engine
+    config's policy) and executed through a
+    :class:`~repro.cutting.sampling.SamplingExecutor`, built here with ``seed``
+    when no executor/engine is supplied.  At a fixed seed the result is
+    bit-identical for any ``max_workers``; the chosen policy and per-variant
+    shot counts are reported in ``result.shot_allocation``.
     """
     if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
         raise CuttingError(
@@ -235,11 +271,41 @@ def evaluate_workload(
         raise CuttingError(
             "pass either a prebuilt engine or executor/engine_config, not both"
         )
+    if seed is not None and (engine is not None or executor is not None):
+        raise CuttingError(
+            "seed only applies to the SamplingExecutor evaluate_workload builds "
+            "itself; seed a supplied executor/engine at construction instead"
+        )
+    resolved_config = engine.config if engine is not None else (engine_config or EngineConfig())
+    if shots is None:
+        shots = resolved_config.shots
+    if allocation is None:
+        allocation = resolved_config.allocation
+    if allocation not in ALLOCATION_POLICIES:
+        raise CuttingError(
+            f"allocation must be one of {ALLOCATION_POLICIES}, got {allocation!r}"
+        )
+    if seed is not None and shots is None:
+        raise CuttingError(
+            "seed seeds the finite-shot SamplingExecutor and needs shots "
+            "(exact evaluation has nothing to seed)"
+        )
     owns_engine = engine is None
     if engine is None:
+        if executor is None and shots is not None:
+            # cache_size applies to the executor built here, mirroring the
+            # engine's own default-executor branch below.
+            executor = SamplingExecutor(
+                shots=shots, seed=seed, cache=ResultCache(resolved_config.cache_size)
+            )
         # Pass executor=None through so engine_config.cache_size can size the
         # default executor's cache; an explicit executor keeps its own cache.
         engine = ParallelEngine(executor, engine_config)
+    if shots is not None and not hasattr(engine.executor, "set_allocation"):
+        raise CuttingError(
+            f"shots={shots} needs a sampling-capable executor with per-variant shot "
+            f"allocation (e.g. SamplingExecutor), got {type(engine.executor).__name__}"
+        )
     try:
         cut_start = time.perf_counter()
         plan = cut_circuit(
@@ -250,16 +316,55 @@ def evaluate_workload(
             plan.solution, specs=plan.subcircuits, engine=engine
         )
         executions_before = engine.executions
-        execute_before = engine.stats.execute_seconds
         result = EvaluationResult(plan=plan)
-        reconstruct_start = time.perf_counter()
+
+        # Phase one: enumerate every variant the contraction will need,
+        # accumulating contraction weights in the same walk when the shot
+        # allocator will want them (the loop is the exponential cost).
+        weights = (
+            {} if shots is not None and allocation in ("weighted", "variance") else None
+        )
+        enumerate_start = time.perf_counter()
         if workload.kind == WorkloadKind.EXPECTATION:
-            result.expectation_value = reconstructor.reconstruct_expectation(
-                workload.observable
+            batch = reconstructor.enumerate_expectation_requests(
+                workload.observable, weights_out=weights
             )
         else:
-            result.probabilities = reconstructor.reconstruct_probabilities()
-        reconstruct_seconds = time.perf_counter() - reconstruct_start
+            batch = reconstructor.enumerate_probability_requests(weights_out=weights)
+        enumerate_seconds = time.perf_counter() - enumerate_start
+
+        # Optional shot allocation (finite-shot evaluation only).
+        allocate_seconds = 0.0
+        execute_seconds = 0.0
+        if shots is not None:
+            allocate_start = time.perf_counter()
+            shot_allocation = allocate_shots(
+                batch, shots, allocation, weights=weights, engine=engine
+            )
+            engine.apply_allocation(shot_allocation)
+            result.shot_allocation = shot_allocation
+            # The pilot batch (variance policy) is execution, not allocation math.
+            execute_seconds += shot_allocation.pilot_seconds
+            allocate_seconds = (
+                time.perf_counter() - allocate_start - shot_allocation.pilot_seconds
+            )
+
+        # Execute the batch; timing comes from this call itself, never from
+        # deltas of the engine's lifetime counters (those are inflated by
+        # concurrent batches when an engine is shared across threads).
+        table, batch_seconds = engine.run_batch_timed(batch)
+        execute_seconds += batch_seconds
+
+        # Phase two: contract over the results table (no execution inside).
+        contract_start = time.perf_counter()
+        if workload.kind == WorkloadKind.EXPECTATION:
+            result.expectation_value = reconstructor.reconstruct_expectation(
+                workload.observable, table=table
+            )
+        else:
+            result.probabilities = reconstructor.reconstruct_probabilities(table=table)
+        contract_seconds = time.perf_counter() - contract_start
+
         reference_seconds = 0.0
         if compute_reference:
             reference_start = time.perf_counter()
@@ -272,18 +377,29 @@ def evaluate_workload(
                     workload.circuit
                 ).probabilities()
             reference_seconds = time.perf_counter() - reference_start
-        execute_seconds = engine.stats.execute_seconds - execute_before
+        reconstruct_seconds = enumerate_seconds + contract_seconds
         result.num_variant_evaluations = engine.executions - executions_before
         result.engine_stats = engine.stats
         result.timings = {
             "cut": cut_seconds,
             "execute": execute_seconds,
-            "reconstruct": max(0.0, reconstruct_seconds - execute_seconds),
-            "total": cut_seconds + reconstruct_seconds + reference_seconds,
+            "reconstruct": reconstruct_seconds,
+            "total": cut_seconds
+            + execute_seconds
+            + reconstruct_seconds
+            + allocate_seconds
+            + reference_seconds,
         }
+        if shots is not None:
+            result.timings["allocate"] = allocate_seconds
         if compute_reference:
             result.timings["reference"] = reference_seconds
         return result
     finally:
+        if shots is not None:
+            # Never leave a per-evaluation allocation applied to a (possibly
+            # shared) engine: later batches would sample stale per-variant
+            # counts.  result.engine_stats above snapshotted the policy first.
+            engine.clear_allocation()
         if owns_engine:
             engine.close()

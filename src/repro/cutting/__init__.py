@@ -25,6 +25,7 @@ from .overhead import (
     reconstruction_overhead_curves,
 )
 from .reconstruction import INIT_STATE_DECOMPOSITION, CutReconstructor
+from .sampling import SamplingExecutor
 from .variants import (
     WIRE_CUT_INIT_LABELS,
     WIRE_CUT_MEASUREMENT_BASES,
@@ -46,6 +47,7 @@ __all__ = [
     "INIT_STATE_DECOMPOSITION",
     "NUM_GATE_CUT_INSTANCES",
     "NoisyExecutor",
+    "SamplingExecutor",
     "SubcircuitSpec",
     "SubcircuitVariant",
     "VariantBuilder",

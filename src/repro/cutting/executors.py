@@ -19,10 +19,14 @@ single-variant convenience API is kept and routed through the same path, so the
 dedup-aware ``executions`` counter is authoritative however the executor is
 driven.
 
-Two executors are provided:
+Three executors are provided:
 
 * :class:`ExactExecutor` — exact branching simulation (the default; makes the
   reconstruction identities hold to numerical precision),
+* :class:`~repro.cutting.sampling.SamplingExecutor` (in
+  :mod:`repro.cutting.sampling`) — finite-shot estimation: every variant value is
+  the mean of ``shots`` multinomial samples, with optional per-variant shot
+  allocation (Section 2.2's shots-based model),
 * :class:`NoisyExecutor` — the "small quantum device" of the Table 3 experiment: the
   variant is compiled to the device basis, Pauli noise is injected stochastically
   per trajectory, and finite-shot statistical noise is emulated; results are averaged
@@ -66,21 +70,25 @@ def _signed_value(result: BranchedResult) -> float:
     return result.expectation_of_signs()
 
 
+def branch_output_index(branch, variant: SubcircuitVariant) -> int:
+    """Basis index of a branch's recorded outcomes over the variant's output qubits."""
+    index = 0
+    for position, qubit in enumerate(variant.output_qubit_order):
+        outcome = branch.outcomes.get(f"out:{qubit}")
+        if outcome is None:
+            raise CuttingError(
+                f"variant for subcircuit {variant.subcircuit_index} did not record "
+                f"an outcome for original qubit {qubit}"
+            )
+        index |= outcome << position
+    return index
+
+
 def _signed_distribution(result: BranchedResult, variant: SubcircuitVariant) -> np.ndarray:
     """Quasi-distribution over the variant's output qubits from recorded outcomes."""
-    order = variant.output_qubit_order
-    distribution = np.zeros(2 ** len(order))
+    distribution = np.zeros(2 ** len(variant.output_qubit_order))
     for branch in result.branches:
-        index = 0
-        for position, qubit in enumerate(order):
-            outcome = branch.outcomes.get(f"out:{qubit}")
-            if outcome is None:
-                raise CuttingError(
-                    f"variant for subcircuit {variant.subcircuit_index} did not record "
-                    f"an outcome for original qubit {qubit}"
-                )
-            index |= outcome << position
-        distribution[index] += branch.sign * branch.probability
+        distribution[branch_output_index(branch, variant)] += branch.sign * branch.probability
     return distribution
 
 
@@ -113,6 +121,16 @@ class VariantExecutor(ABC):
     def cache_namespace(self) -> str:
         """Key prefix isolating this executor's results in a shared cache."""
         return type(self).__name__
+
+    def cache_key(self, fingerprint: str) -> str:
+        """Cache key for one request within this executor's namespace.
+
+        Defaults to the fingerprint itself.  Executors whose result depends on
+        per-request state beyond the variant circuit (e.g. a per-variant shot
+        allocation) must fold that state in here, so results taken under
+        different settings never alias in the shared cache.
+        """
+        return fingerprint
 
     def spawn_spec(self) -> Tuple[Callable, Tuple]:
         """(factory, args) rebuilding an equivalent executor in a worker process.
@@ -154,7 +172,7 @@ class VariantExecutor(ABC):
             if key in table or key in scheduled:
                 self._dedup_hits += 1
                 continue
-            cached = self._cache.get((namespace, key))
+            cached = self._cache.get((namespace, self.cache_key(key)))
             if cached is not None:
                 self._cache_hits += 1
                 table[key] = cached
@@ -170,7 +188,7 @@ class VariantExecutor(ABC):
             else:
                 results = dispatch(self, pending)
             for key, result in results:
-                self._cache.put((namespace, key), result)
+                self._cache.put((namespace, self.cache_key(key)), result)
                 table[key] = result
             self._executions += len(pending)
         return table

@@ -111,12 +111,16 @@ class CutReconstructor:
         """Unique subcircuit circuit executions performed so far (dedup-aware)."""
         return self.engine.executions
 
-    def enumerate_probability_requests(self) -> List[SubcircuitVariant]:
+    def enumerate_probability_requests(
+        self, weights_out: Optional[Dict[str, float]] = None
+    ) -> List[SubcircuitVariant]:
         """Phase one of probability reconstruction: every variant the contraction needs.
 
         The returned batch may contain duplicates across plans; the engine dedups
         by fingerprint.  Benchmarks use this to drive :meth:`ParallelEngine.run_batch`
-        directly.
+        directly.  ``weights_out``, when given, accumulates each fingerprint's
+        |contraction weight| during the same walk (for shot allocation), so no
+        second pass over the exponential loop is needed.
         """
         if self.solution.gate_cuts:
             raise ReconstructionError(
@@ -125,27 +129,74 @@ class CutReconstructor:
             )
         batch: List[SubcircuitVariant] = []
         scheduled: set = set()
+        base = 0.5 ** len(self.solution.wire_cuts)
         for assignment in self._wire_cut_assignments():
             for spec in self.specs:
                 key, plan = self._distribution_plan(spec, assignment)
+                if weights_out is not None:
+                    for weight, variant in plan:
+                        fingerprint = request_key(variant)
+                        weights_out[fingerprint] = weights_out.get(fingerprint, 0.0) + abs(
+                            base * weight
+                        )
                 if key not in scheduled:
                     scheduled.add(key)
                     batch.extend(variant for _, variant in plan)
         return batch
 
     def enumerate_expectation_requests(
-        self, observable: PauliObservable
+        self,
+        observable: PauliObservable,
+        weights_out: Optional[Dict[str, float]] = None,
     ) -> List[SubcircuitVariant]:
-        """Phase one of expectation reconstruction for every term of ``observable``."""
+        """Phase one of expectation reconstruction for every term of ``observable``.
+
+        ``weights_out``, when given, accumulates each fingerprint's |contraction
+        weight| during the same walk (see :meth:`enumerate_probability_requests`).
+        """
         batch: List[SubcircuitVariant] = []
         scheduled: set = set()
         for term in observable.terms:
-            self._enumerate_term(term, batch, scheduled)
+            self._enumerate_term(term, batch, scheduled, weights_out)
         return batch
 
-    def reconstruct_probabilities(self) -> np.ndarray:
-        """Full probability vector of the original circuit (wire cuts only)."""
-        table = self.engine.run_batch(self.enumerate_probability_requests())
+    def probability_request_weights(self) -> Dict[str, float]:
+        """Accumulated |contraction weight| per fingerprint for probability mode.
+
+        A variant requested from several contraction terms accumulates the
+        magnitudes of all of them, so the weights are a proxy for how strongly
+        each variant's statistical error propagates into the reconstructed
+        distribution — the ``"weighted"``/``"variance"`` shot-allocation
+        policies split the budget proportionally to these.  Callers that also
+        need the batch should pass ``weights_out`` to
+        :meth:`enumerate_probability_requests` instead of walking twice.
+        """
+        weights: Dict[str, float] = {}
+        self.enumerate_probability_requests(weights_out=weights)
+        return weights
+
+    def expectation_request_weights(self, observable: PauliObservable) -> Dict[str, float]:
+        """Accumulated |contraction weight| per fingerprint for expectation mode.
+
+        See :meth:`probability_request_weights`; callers that also need the
+        batch should pass ``weights_out`` to
+        :meth:`enumerate_expectation_requests` instead of walking twice.
+        """
+        weights: Dict[str, float] = {}
+        self.enumerate_expectation_requests(observable, weights_out=weights)
+        return weights
+
+    def reconstruct_probabilities(
+        self, table: Optional[Mapping[str, VariantResult]] = None
+    ) -> np.ndarray:
+        """Full probability vector of the original circuit (wire cuts only).
+
+        ``table`` lets callers who already executed the enumerated batch (e.g.
+        to apply a shot allocation first) hand the results in directly; by
+        default the batch is enumerated and executed here.
+        """
+        if table is None:
+            table = self.engine.run_batch(self.enumerate_probability_requests())
         num_qubits = self.solution.circuit.num_qubits
         total = np.zeros(2**num_qubits)
         coefficient_per_assignment = 0.5 ** len(self.solution.wire_cuts)
@@ -158,9 +209,18 @@ class CutReconstructor:
             _scatter_into(total, combined, order_lsb, coefficient_per_assignment, num_qubits)
         return total
 
-    def reconstruct_expectation(self, observable: PauliObservable) -> float:
-        """Expectation value of ``observable`` on the original circuit's output."""
-        table = self.engine.run_batch(self.enumerate_expectation_requests(observable))
+    def reconstruct_expectation(
+        self,
+        observable: PauliObservable,
+        table: Optional[Mapping[str, VariantResult]] = None,
+    ) -> float:
+        """Expectation value of ``observable`` on the original circuit's output.
+
+        ``table`` lets callers who already executed the enumerated batch (e.g.
+        to apply a shot allocation first) hand the results in directly.
+        """
+        if table is None:
+            table = self.engine.run_batch(self.enumerate_expectation_requests(observable))
         return float(
             sum(term.coefficient * self._term_value(term, table) for term in observable.terms)
         )
@@ -188,17 +248,29 @@ class CutReconstructor:
             )
 
     def _enumerate_term(
-        self, term: PauliString, batch: List[SubcircuitVariant], scheduled: set
+        self,
+        term: PauliString,
+        batch: List[SubcircuitVariant],
+        scheduled: set,
+        weights_out: Optional[Dict[str, float]] = None,
     ) -> None:
         """Collect every variant :meth:`_term_value` may need for one Pauli term."""
         if self._inactive_qubit_factor(term) == 0.0:
             return
+        base = 0.5 ** len(self.solution.wire_cuts)
         for assignment in self._wire_cut_assignments():
             for instance_map, instance_coefficient in self._gate_cut_instance_maps():
                 if instance_coefficient == 0.0:
                     continue
                 for spec in self.specs:
                     key, plan = self._expectation_plan(spec, term, assignment, instance_map)
+                    if weights_out is not None:
+                        coefficient = term.coefficient * base * instance_coefficient
+                        for weight, variant in plan:
+                            fingerprint = request_key(variant)
+                            weights_out[fingerprint] = weights_out.get(
+                                fingerprint, 0.0
+                            ) + abs(coefficient * weight)
                     if key not in scheduled:
                         scheduled.add(key)
                         batch.extend(variant for _, variant in plan)
@@ -417,7 +489,8 @@ def _scatter_into(
     num_qubits: int,
 ) -> None:
     """Scatter a combined vector into the global basis ordering of ``num_qubits``."""
-    if len(order_lsb) != int(np.log2(len(combined))):
+    # Exact integer width check — float log2 can misround for wide vectors.
+    if len(combined) != 2 ** len(order_lsb):
         raise ReconstructionError("qubit order does not match combined vector size")
     indices = np.arange(len(combined))
     global_indices = np.zeros_like(indices)

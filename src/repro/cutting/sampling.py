@@ -1,0 +1,180 @@
+"""Finite-shot sampling executor: the paper's Section 2.2 "shots-based model".
+
+:class:`SamplingExecutor` estimates every subcircuit variant from a finite number
+of measurement shots instead of reading exact branch probabilities.  One shot of
+a variant circuit collapses the branching simulation to a single measurement
+branch (drawn with the branch's probability) and yields that branch's recorded
+outcome: the cumulative ±1 sign for expectation-mode variants, the output-qubit
+bitstring (with its sign) for probability-mode variants.  The sample mean over
+``shots`` draws is an unbiased estimator of the exact sign-weighted value /
+quasi-distribution the :class:`~repro.cutting.executors.ExactExecutor` computes,
+with standard error ``O(1/sqrt(shots))`` — which is exactly what real hardware
+reports, and what makes shot *allocation* across variants matter (see
+:mod:`repro.engine.allocation`).
+
+Determinism contract (shared with :class:`~repro.cutting.executors.NoisyExecutor`):
+every request draws its own RNG seeded from ``(base_seed, fingerprint, shots,
+stage)``, so results are independent of submission order, worker count and
+chunking — serial and parallel batch runs are bit-identical — and can be cached
+safely.  Cache keys additionally carry the request's shot count and allocation
+stage (see :meth:`cache_key` / :meth:`set_allocation`), so pilot-pass samples
+never alias full-pass results, even at coinciding shot counts.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..engine.cache import ResultCache
+from ..engine.requests import VariantResult, request_key, seed_from_fingerprint
+from ..exceptions import CuttingError
+from ..simulator.dynamic import BranchingSimulator
+from ..simulator.sampler import sample_weighted_counts
+from .executors import VariantExecutor, branch_output_index
+from .variants import SubcircuitVariant
+
+__all__ = ["SamplingExecutor"]
+
+#: Default per-variant shot count when no allocation is applied.
+DEFAULT_SHOTS = 4096
+
+
+def _respawn_sampling(
+    shots: int, seed: int, allocation_items: Tuple, stage: str
+) -> "SamplingExecutor":
+    """Spawn factory: rebuild a worker-process copy from explicit constructor state."""
+    executor = SamplingExecutor(shots=shots, seed=seed)
+    executor.set_allocation(dict(allocation_items) or None, stage=stage)
+    return executor
+
+
+class SamplingExecutor(VariantExecutor):
+    """Estimate variant values from finite multinomial samples of the exact branches.
+
+    ``shots`` is the default per-variant budget; :meth:`set_allocation` overrides
+    it per fingerprint (the engine applies a :class:`~repro.engine.allocation.ShotAllocation`
+    this way).  ``executions`` counts variants, not shots, keeping overhead
+    reports comparable with the exact and noisy executors.
+    """
+
+    def __init__(
+        self,
+        shots: int = DEFAULT_SHOTS,
+        seed: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ) -> None:
+        if shots < 1:
+            raise CuttingError(f"shots must be >= 1, got {shots}")
+        super().__init__(cache)
+        self._shots = int(shots)
+        if seed is None:
+            # Draw a base seed once so the instance is self-consistent (and
+            # shippable to worker processes) even without an explicit seed.
+            seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF
+        self._base_seed = int(seed)
+        self._allocation: Dict[str, int] = {}
+        self._stage = ""
+        self._simulator = BranchingSimulator()
+
+    # ------------------------------------------------------------------ allocation
+    @property
+    def shots(self) -> int:
+        """Default shots per variant (used when no allocation covers a request)."""
+        return self._shots
+
+    @property
+    def base_seed(self) -> int:
+        return self._base_seed
+
+    @property
+    def allocation(self) -> Dict[str, int]:
+        """The active per-fingerprint shot allocation (a copy; empty = default)."""
+        return dict(self._allocation)
+
+    def set_allocation(
+        self,
+        shots_by_fingerprint: Optional[Mapping[str, int]] = None,
+        stage: str = "",
+    ) -> None:
+        """Apply (or clear, with ``None``) a per-variant shot allocation.
+
+        Subsequent requests whose fingerprint appears in the mapping are sampled
+        with that many shots; all others fall back to the default ``shots``.
+
+        ``stage`` labels the allocation pass (e.g. ``"pilot"``) and enters both
+        the per-request seed and the cache key: passes with different labels
+        draw statistically independent samples and never alias in the cache,
+        *even when a variant happens to get the same shot count in both* — the
+        variance-aware allocator relies on this so its pilot sample (which chose
+        the allocation) is never silently reused as the final estimate.
+        """
+        if shots_by_fingerprint is None:
+            self._allocation = {}
+            self._stage = ""
+            return
+        for fingerprint, count in shots_by_fingerprint.items():
+            if count < 1:
+                raise CuttingError(
+                    f"allocated shots must be >= 1, got {count} for {fingerprint[:12]}..."
+                )
+        self._allocation = {key: int(count) for key, count in shots_by_fingerprint.items()}
+        self._stage = str(stage)
+
+    def shots_for(self, fingerprint: str) -> int:
+        """Shots this executor will spend on the given request."""
+        return self._allocation.get(fingerprint, self._shots)
+
+    # ------------------------------------------------------------------ protocol
+    def seed_for(self, fingerprint: str) -> Tuple[int, ...]:
+        # Shot count and stage label join the seed material so allocation passes
+        # (pilot vs final) always draw statistically independent samples.
+        return (
+            *seed_from_fingerprint(fingerprint, self._base_seed),
+            self.shots_for(fingerprint),
+            zlib.crc32(self._stage.encode("utf-8")),
+        )
+
+    def cache_namespace(self) -> str:
+        return f"sampling:seed={self._base_seed}"
+
+    def cache_key(self, fingerprint: str) -> str:
+        key = f"{fingerprint}:shots={self.shots_for(fingerprint)}"
+        if self._stage:
+            key += f":stage={self._stage}"
+        return key
+
+    def spawn_spec(self) -> Tuple:
+        return _respawn_sampling, (
+            self._shots,
+            self._base_seed,
+            tuple(sorted(self._allocation.items())),
+            self._stage,
+        )
+
+    # ------------------------------------------------------------------ execution
+    def execute_variant(
+        self, variant: SubcircuitVariant, seed: Optional[Tuple[int, ...]] = None
+    ) -> VariantResult:
+        fingerprint = request_key(variant)
+        shots = self.shots_for(fingerprint)
+        if seed is None:
+            seed = self.seed_for(fingerprint)
+        rng = np.random.default_rng(seed)
+        result = self._simulator.run(variant.circuit)
+        probabilities = np.array([branch.probability for branch in result.branches])
+        signs = np.array([branch.sign for branch in result.branches], dtype=float)
+        counts = sample_weighted_counts(probabilities, shots, rng)
+        value = float(np.dot(counts, signs) / shots)
+        distribution: Optional[np.ndarray] = None
+        if variant.mode == "probability":
+            distribution = np.zeros(2 ** len(variant.output_qubit_order))
+            for branch, count in zip(result.branches, counts):
+                if count:
+                    distribution[branch_output_index(branch, variant)] += (
+                        branch.sign * count
+                    )
+            distribution /= shots
+        return VariantResult(value=value, distribution=distribution)

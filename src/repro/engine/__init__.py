@@ -5,9 +5,17 @@ pauli_term)`` variant a reconstruction contraction will need) from *how* it is
 executed (serially, or chunked across a process/thread pool, with request-level
 dedup and a shared bounded result cache).  See :mod:`repro.engine.engine` for the
 orchestrator, :mod:`repro.engine.requests` for fingerprints and deterministic
-seeding, and :mod:`repro.engine.config` for the tuning knobs.
+seeding, :mod:`repro.engine.allocation` for shot-budget allocation across a
+variant batch (finite-shot evaluation), and :mod:`repro.engine.config` for the
+tuning knobs.
 """
 
+from .allocation import (
+    ALLOCATION_POLICIES,
+    ShotAllocation,
+    allocate_shots,
+    largest_remainder_split,
+)
 from .cache import DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SIZE, ResultCache
 from .config import EngineConfig
 from .engine import EngineStats, ParallelEngine
@@ -19,13 +27,17 @@ from .requests import (
 )
 
 __all__ = [
+    "ALLOCATION_POLICIES",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_CACHE_SIZE",
     "EngineConfig",
     "EngineStats",
     "ParallelEngine",
     "ResultCache",
+    "ShotAllocation",
     "VariantResult",
+    "allocate_shots",
+    "largest_remainder_split",
     "request_key",
     "seed_from_fingerprint",
     "variant_fingerprint",

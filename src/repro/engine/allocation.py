@@ -1,0 +1,245 @@
+"""Shot-budget allocation across an enumerated variant batch.
+
+Finite-shot reconstruction error is dominated by *how a total shot budget is
+split* across the ``4^cuts * 6^gate-cuts`` subcircuit variants, not just by the
+budget itself (ShotQC; Yang et al. on cutting scalability).  This module turns a
+budget into a per-variant allocation under three policies:
+
+* ``"uniform"`` — every unique variant gets an equal share,
+* ``"weighted"`` — shares proportional to ``|contraction weight|`` (a variant
+  whose result is multiplied by a large coefficient in the reconstruction sum
+  deserves proportionally more shots),
+* ``"variance"`` — ShotQC-flavoured two-pass Neyman allocation: a small *pilot*
+  batch estimates every variant's sampling standard deviation, then the
+  remaining budget is split proportional to ``weight * sigma`` (variants that
+  are nearly deterministic — sigma ~ 0 — are starved down to the one-shot floor,
+  freeing budget for the noisy ones).
+
+All policies are exact: the assigned shots (pilot + final) sum to the requested
+budget, with the remainder distributed by largest fractional share and ties
+broken by fingerprint so the split is deterministic.  Every variant always
+receives at least one final shot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import AllocationError
+from .requests import request_key
+
+__all__ = ["ALLOCATION_POLICIES", "ShotAllocation", "allocate_shots", "largest_remainder_split"]
+
+#: The supported allocation policy names (EngineConfig validates against this).
+ALLOCATION_POLICIES: Tuple[str, ...] = ("uniform", "weighted", "variance")
+
+#: Fraction of the total budget spent on the variance policy's pilot pass.
+DEFAULT_PILOT_FRACTION = 0.2
+
+#: Sigma floor: keeps near-deterministic variants at a small positive share so
+#: the largest-remainder split stays well-conditioned.
+_MIN_SIGMA = 1e-3
+
+
+@dataclass(frozen=True)
+class ShotAllocation:
+    """A shot budget split across the unique variants of a batch.
+
+    ``shots_by_fingerprint`` holds the final per-variant counts; for the
+    two-pass variance policy ``pilot_shots_by_fingerprint`` holds the pilot
+    counts (empty for one-pass policies) and ``pilot_seconds`` the wall clock
+    the pilot batch spent executing.  ``assigned_shots`` (pilot + final) always
+    equals ``total_shots``.
+    """
+
+    policy: str
+    total_shots: int
+    shots_by_fingerprint: Mapping[str, int]
+    pilot_shots_by_fingerprint: Mapping[str, int] = field(default_factory=dict)
+    pilot_seconds: float = 0.0
+
+    @property
+    def num_variants(self) -> int:
+        return len(self.shots_by_fingerprint)
+
+    @property
+    def assigned_shots(self) -> int:
+        """Shots actually assigned (pilot + final); equals ``total_shots``."""
+        return sum(self.shots_by_fingerprint.values()) + sum(
+            self.pilot_shots_by_fingerprint.values()
+        )
+
+    def shots_for(self, fingerprint: str) -> int:
+        return self.shots_by_fingerprint[fingerprint]
+
+    def row(self) -> Dict[str, object]:
+        """Flat dictionary for benchmark tables."""
+        counts = list(self.shots_by_fingerprint.values())
+        return {
+            "policy": self.policy,
+            "total_shots": self.total_shots,
+            "unique_variants": self.num_variants,
+            "min_shots": min(counts) if counts else 0,
+            "max_shots": max(counts) if counts else 0,
+            "pilot_shots": sum(self.pilot_shots_by_fingerprint.values()),
+        }
+
+
+def largest_remainder_split(budget: int, weights: Mapping[str, float]) -> Dict[str, int]:
+    """Split ``budget`` integer shots proportionally to ``weights``, exactly.
+
+    Every key receives at least one shot; the proportional remainders are
+    rounded down and the leftover shots go to the largest fractional parts
+    (ties broken by key, so the split is deterministic).  Raises
+    :class:`AllocationError` when the budget cannot cover one shot per key.
+    """
+    if not weights:
+        raise AllocationError("cannot allocate shots over an empty batch")
+    keys = sorted(weights)
+    if budget < len(keys):
+        raise AllocationError(
+            f"budget of {budget} shots cannot cover {len(keys)} unique variants "
+            "(every variant needs at least one shot)"
+        )
+    magnitudes = np.array([abs(float(weights[key])) for key in keys])
+    total_weight = magnitudes.sum()
+    if total_weight <= 0:
+        magnitudes = np.ones(len(keys))
+        total_weight = float(len(keys))
+    # One guaranteed shot per key, the rest proportional with largest-remainder
+    # rounding: floor every share, then hand leftovers to the biggest fractions.
+    remaining = budget - len(keys)
+    shares = remaining * magnitudes / total_weight
+    floors = np.floor(shares).astype(int)
+    leftover = remaining - int(floors.sum())
+    order = sorted(range(len(keys)), key=lambda i: (-(shares[i] - floors[i]), keys[i]))
+    allocation = {key: 1 + int(floors[i]) for i, key in enumerate(keys)}
+    for i in order[:leftover]:
+        allocation[keys[i]] += 1
+    return allocation
+
+
+def _unique_variants(batch: Iterable) -> Dict[str, object]:
+    """First-seen variant per fingerprint, in deterministic (sorted) key order."""
+    unique: Dict[str, object] = {}
+    for variant in batch:
+        key = request_key(variant)
+        if key not in unique:
+            unique[key] = variant
+    return {key: unique[key] for key in sorted(unique)}
+
+
+def _multiplicity_weights(batch: Iterable) -> Dict[str, float]:
+    """Fallback weights: how many times each fingerprint is requested."""
+    weights: Dict[str, float] = {}
+    for variant in batch:
+        key = request_key(variant)
+        weights[key] = weights.get(key, 0.0) + 1.0
+    return weights
+
+
+def _sigma_estimate(result, pilot_shots: int) -> float:
+    """Per-shot sampling standard deviation implied by a pilot result.
+
+    Expectation-mode variants record a ±1 outcome per shot, so the variance of
+    one shot is ``1 - value**2``.  Probability-mode variants record a signed
+    one-hot vector, whose summed per-component variance is ``1 - ||d||^2``.
+
+    The estimate is floored at ``1/sqrt(pilot_shots + 1)`` — the resolution
+    limit of the pilot itself: a pilot of ``n`` shots that happened to see
+    identical outcomes cannot distinguish ``sigma = 0`` from
+    ``sigma ~ 1/sqrt(n)``, and treating such variants as deterministic starves
+    them catastrophically when the pilot is small.
+    """
+    if result.distribution is not None:
+        norm = float(np.sum(np.asarray(result.distribution) ** 2))
+    else:
+        value = float(result.value or 0.0)
+        norm = min(1.0, value * value)
+    resolution_floor = 1.0 / np.sqrt(pilot_shots + 1)
+    return float(max(resolution_floor, np.sqrt(max(0.0, 1.0 - norm))))
+
+
+def allocate_shots(
+    batch: Iterable,
+    total_shots: int,
+    policy: str = "uniform",
+    *,
+    weights: Optional[Mapping[str, float]] = None,
+    engine=None,
+    pilot_fraction: float = DEFAULT_PILOT_FRACTION,
+) -> ShotAllocation:
+    """Split ``total_shots`` across the unique variants of ``batch``.
+
+    ``weights`` maps fingerprints to |contraction weight| (see
+    :meth:`~repro.cutting.reconstruction.CutReconstructor.expectation_request_weights`);
+    when omitted, the ``weighted`` and ``variance`` policies fall back to request
+    multiplicity within the batch.  The ``variance`` policy needs ``engine`` (a
+    :class:`~repro.engine.ParallelEngine` over a sampling-capable executor) to
+    run its pilot batch; pilot executions are counted in the engine's stats like
+    any other batch, and the pilot allocation is left applied to the executor
+    until the caller applies the final one.
+    """
+    if policy not in ALLOCATION_POLICIES:
+        raise AllocationError(
+            f"unknown allocation policy {policy!r}; expected one of {ALLOCATION_POLICIES}"
+        )
+    if total_shots < 1:
+        raise AllocationError(f"total_shots must be >= 1, got {total_shots}")
+    batch = list(batch)
+    unique = _unique_variants(batch)
+    if not unique:
+        raise AllocationError("cannot allocate shots over an empty batch")
+
+    if policy == "uniform":
+        shares: Mapping[str, float] = {key: 1.0 for key in unique}
+        return ShotAllocation(policy, total_shots, largest_remainder_split(total_shots, shares))
+
+    if weights is None:
+        weights = _multiplicity_weights(batch)
+    shares = {key: abs(float(weights.get(key, 0.0))) for key in unique}
+
+    if policy == "weighted":
+        return ShotAllocation(policy, total_shots, largest_remainder_split(total_shots, shares))
+
+    # ---------------------------------------------------------------- variance
+    if engine is None:
+        raise AllocationError(
+            "the variance policy runs a pilot batch and therefore needs an engine"
+        )
+    executor = engine.executor
+    if not hasattr(executor, "set_allocation"):
+        raise AllocationError(
+            f"the variance policy needs a sampling-capable executor with per-variant "
+            f"shot allocation, got {type(executor).__name__}"
+        )
+    if not 0.0 < pilot_fraction < 1.0:
+        raise AllocationError(f"pilot_fraction must be in (0, 1), got {pilot_fraction}")
+    count = len(unique)
+    if total_shots < 2 * count:
+        raise AllocationError(
+            f"variance-aware allocation needs at least 2 shots per variant "
+            f"({2 * count} total for {count} variants), got {total_shots}"
+        )
+    # Pilot sizing: the requested fraction, but never fewer than ~4 shots per
+    # variant (sigma from 1-2 samples is noise) and never more than half the
+    # budget; the 2*count guard above keeps the bounds consistent.
+    pilot_budget = int(round(total_shots * pilot_fraction))
+    pilot_budget = max(pilot_budget, min(4 * count, total_shots // 2))
+    pilot_budget = max(count, min(pilot_budget, total_shots - count))
+    pilot = largest_remainder_split(pilot_budget, {key: 1.0 for key in unique})
+
+    # The "pilot" stage label keeps pilot samples seed- and cache-independent
+    # from the final pass even for variants whose shot counts coincide.
+    executor.set_allocation(pilot, stage="pilot")
+    pilot_table, pilot_seconds = engine.run_batch_timed(list(unique.values()))
+
+    neyman = {
+        key: max(shares[key], _MIN_SIGMA) * _sigma_estimate(pilot_table[key], pilot[key])
+        for key in unique
+    }
+    final = largest_remainder_split(total_shots - pilot_budget, neyman)
+    return ShotAllocation(policy, total_shots, final, pilot, pilot_seconds)

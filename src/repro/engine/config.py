@@ -14,6 +14,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..exceptions import ReproError
+from .allocation import ALLOCATION_POLICIES
 from .cache import DEFAULT_CACHE_SIZE
 
 __all__ = ["EngineConfig"]
@@ -42,6 +43,18 @@ class EngineConfig:
             (restricted sandboxes, missing semaphores), silently execute the
             batch serially instead of raising.  Results are identical either
             way; only wall-clock changes.
+        shots: total finite-shot budget for one evaluation (``None`` = exact
+            execution, the default).  :func:`repro.core.evaluate_workload`
+            splits the budget across the enumerated variant batch (see
+            ``allocation``) and estimates every variant from samples through a
+            :class:`~repro.cutting.sampling.SamplingExecutor`.  Unlike the other
+            knobs, ``shots`` changes the *numbers* (they become statistical
+            estimates) — but never the serial/parallel identity: at a fixed
+            executor seed, results stay bit-identical for any worker count.
+        allocation: how the shot budget is split across variants — ``"uniform"``,
+            ``"weighted"`` (proportional to |contraction weight|) or
+            ``"variance"`` (two-pass pilot + Neyman reallocation).  See
+            :mod:`repro.engine.allocation`.  Ignored when ``shots`` is ``None``.
     """
 
     max_workers: Optional[int] = 1
@@ -49,6 +62,8 @@ class EngineConfig:
     chunk_size: Optional[int] = None
     cache_size: int = DEFAULT_CACHE_SIZE
     fallback_to_serial: bool = True
+    shots: Optional[int] = None
+    allocation: str = "uniform"
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
@@ -57,6 +72,12 @@ class EngineConfig:
             raise ReproError(f"chunk_size must be >= 1 or None, got {self.chunk_size}")
         if self.cache_size < 0:
             raise ReproError(f"cache_size must be >= 0, got {self.cache_size}")
+        if self.shots is not None and self.shots < 1:
+            raise ReproError(f"shots must be >= 1 or None, got {self.shots}")
+        if self.allocation not in ALLOCATION_POLICIES:
+            raise ReproError(
+                f"allocation must be one of {ALLOCATION_POLICIES}, got {self.allocation!r}"
+            )
 
     def with_(self, **changes) -> "EngineConfig":
         """Return a copy with the given fields replaced."""

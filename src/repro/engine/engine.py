@@ -50,6 +50,8 @@ class EngineStats:
 
     ``unique_executions`` is the dedup-aware execution count — the single
     authoritative source for ``EvaluationResult.num_variant_evaluations``.
+    ``shots_total`` / ``allocation_policy`` describe the most recently applied
+    shot allocation (``None`` when the engine never ran a finite-shot batch).
     """
 
     requests: int
@@ -59,10 +61,12 @@ class EngineStats:
     batches: int
     execute_seconds: float
     cache: Dict[str, int]
+    shots_total: Optional[int] = None
+    allocation_policy: Optional[str] = None
 
     def row(self) -> Dict[str, object]:
         """Flat dictionary for benchmark tables."""
-        return {
+        row: Dict[str, object] = {
             "requests": self.requests,
             "unique_executions": self.unique_executions,
             "dedup_hits": self.dedup_hits,
@@ -70,6 +74,10 @@ class EngineStats:
             "batches": self.batches,
             "execute_seconds": round(self.execute_seconds, 4),
         }
+        if self.allocation_policy is not None:
+            row["allocation_policy"] = self.allocation_policy
+            row["shots_total"] = self.shots_total
+        return row
 
 
 class ParallelEngine:
@@ -95,6 +103,7 @@ class ParallelEngine:
         self._pool_broken = False
         self._batches = 0
         self._execute_seconds = 0.0
+        self._allocation = None  # most recently applied ShotAllocation
 
     # ------------------------------------------------------------------ accessors
     @property
@@ -116,6 +125,7 @@ class ParallelEngine:
 
     @property
     def stats(self) -> EngineStats:
+        allocation = self._allocation
         return EngineStats(
             requests=self._executor.requests,
             unique_executions=self._executor.executions,
@@ -124,6 +134,8 @@ class ParallelEngine:
             batches=self._batches,
             execute_seconds=self._execute_seconds,
             cache=self._executor.cache.stats(),
+            shots_total=None if allocation is None else allocation.total_shots,
+            allocation_policy=None if allocation is None else allocation.policy,
         )
 
     # ------------------------------------------------------------------ execution
@@ -133,12 +145,53 @@ class ParallelEngine:
         The returned table covers every distinct fingerprint in ``variants``
         (deduped requests map to the single shared result).
         """
+        table, _ = self.run_batch_timed(variants)
+        return table
+
+    def run_batch_timed(self, variants: Iterable) -> Tuple[Dict[str, VariantResult], float]:
+        """Like :meth:`run_batch`, also returning this batch's wall-clock seconds.
+
+        The per-batch timing is what callers should report for a single
+        evaluation: deltas of the lifetime ``stats.execute_seconds`` counter are
+        inflated by concurrent batches when an engine is shared across threads.
+        """
         start = time.perf_counter()
         dispatch = self._dispatch if self._effective_workers() > 1 else None
         table = self._executor.run_batch(variants, dispatch=dispatch)
-        self._execute_seconds += time.perf_counter() - start
+        seconds = time.perf_counter() - start
+        self._execute_seconds += seconds
         self._batches += 1
-        return table
+        return table, seconds
+
+    def apply_allocation(self, allocation) -> None:
+        """Apply a :class:`~repro.engine.allocation.ShotAllocation` to the executor.
+
+        The executor must be sampling-capable (expose ``set_allocation``); the
+        allocation is also recorded so :attr:`stats` can report the active shot
+        budget and policy.
+        """
+        set_allocation = getattr(self._executor, "set_allocation", None)
+        if set_allocation is None:
+            from ..exceptions import AllocationError
+
+            raise AllocationError(
+                f"executor {type(self._executor).__name__} does not support per-variant "
+                "shot allocation (use a SamplingExecutor)"
+            )
+        set_allocation(allocation.shots_by_fingerprint)
+        self._allocation = allocation
+
+    def clear_allocation(self) -> None:
+        """Reset the executor to its default per-variant shots (idempotent).
+
+        Callers that apply a per-evaluation allocation must clear it afterwards
+        so later batches on a shared engine don't sample at stale per-variant
+        counts; no-op for executors without allocation support.
+        """
+        set_allocation = getattr(self._executor, "set_allocation", None)
+        if set_allocation is not None:
+            set_allocation(None)
+        self._allocation = None
 
     def lookup(self, variant) -> VariantResult:
         """Result for one variant, executing it on demand if it was never batched."""

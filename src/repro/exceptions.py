@@ -43,5 +43,9 @@ class ReconstructionError(ReproError):
     """Raised when subcircuit results cannot be recombined."""
 
 
+class AllocationError(ReproError):
+    """Raised when a shot budget cannot be split across a variant batch."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload/benchmark-generator parameters."""

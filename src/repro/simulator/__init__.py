@@ -21,6 +21,7 @@ from .sampler import (
     expectation_from_counts,
     sample_circuit,
     sample_counts,
+    sample_weighted_counts,
 )
 from .statevector import Statevector, apply_gate, simulate_statevector
 
@@ -44,6 +45,7 @@ __all__ = [
     "lagos_like_device",
     "sample_circuit",
     "sample_counts",
+    "sample_weighted_counts",
     "sampled_expectation",
     "simulate_dynamic",
     "simulate_statevector",

@@ -18,6 +18,7 @@ from .dynamic import simulate_dynamic
 from .statevector import simulate_statevector
 
 __all__ = [
+    "sample_weighted_counts",
     "sample_counts",
     "counts_to_distribution",
     "distribution_to_counts",
@@ -26,21 +27,51 @@ __all__ = [
 ]
 
 
+def _validated_num_qubits(length: int) -> int:
+    """Qubit count for a basis-vector length, rejecting non-powers of two.
+
+    ``int(np.log2(length))`` misrounds for large or odd lengths (floating-point
+    log2 of ``2**k - 1`` can land exactly on ``k``); ``(length - 1).bit_length()``
+    is exact integer arithmetic.
+    """
+    if length <= 0:
+        raise SimulationError(f"probability vector must be non-empty, got length {length}")
+    num_qubits = (length - 1).bit_length()
+    if 2**num_qubits != length:
+        raise SimulationError(
+            f"probability vector length {length} is not a power of two"
+        )
+    return num_qubits
+
+
+def sample_weighted_counts(
+    weights: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Draw ``shots`` multinomial samples from non-negative ``weights``.
+
+    The weights are clipped at zero and normalised; unlike :func:`sample_counts`
+    the vector may have any length (it indexes arbitrary outcomes — e.g. the
+    branches of a dynamic-circuit simulation — not basis states).  Returns the
+    integer count per outcome, summing exactly to ``shots``.
+    """
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    weights = np.asarray(weights, dtype=float)
+    weights = np.clip(weights, 0.0, None)
+    total = weights.sum()
+    if total <= 0:
+        raise SimulationError("probability vector sums to zero")
+    rng = rng or np.random.default_rng()
+    return rng.multinomial(shots, weights / total)
+
+
 def sample_counts(
     probabilities: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
 ) -> Dict[str, int]:
     """Draw ``shots`` samples from a probability vector; keys are bitstrings (MSB first)."""
-    if shots <= 0:
-        raise SimulationError(f"shots must be positive, got {shots}")
     probabilities = np.asarray(probabilities, dtype=float)
-    probabilities = np.clip(probabilities, 0.0, None)
-    total = probabilities.sum()
-    if total <= 0:
-        raise SimulationError("probability vector sums to zero")
-    probabilities = probabilities / total
-    rng = rng or np.random.default_rng()
-    num_qubits = int(np.log2(len(probabilities)))
-    outcomes = rng.multinomial(shots, probabilities)
+    num_qubits = _validated_num_qubits(len(probabilities))
+    outcomes = sample_weighted_counts(probabilities, shots, rng)
     counts: Dict[str, int] = {}
     for index, count in enumerate(outcomes):
         if count:
@@ -65,7 +96,7 @@ def counts_to_distribution(counts: Dict[str, int], num_qubits: int) -> np.ndarra
 
 def distribution_to_counts(probabilities: np.ndarray, shots: int) -> Dict[str, int]:
     """Deterministic rounding of a distribution into counts (no sampling noise)."""
-    num_qubits = int(np.log2(len(probabilities)))
+    num_qubits = _validated_num_qubits(len(probabilities))
     counts = {}
     for index, p in enumerate(np.asarray(probabilities, dtype=float)):
         rounded = int(round(p * shots))

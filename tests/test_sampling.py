@@ -1,0 +1,372 @@
+"""Tests for finite-shot sampling: SamplingExecutor, shot allocation, and the
+round of correctness fixes that shipped with them (sampler width inference,
+cut_circuit_cutqc kwargs, per-call execute timings)."""
+
+import numpy as np
+import pytest
+
+from repro.core import CutConfig, EngineConfig, cut_circuit_cutqc, evaluate_workload
+from repro.cutting import CutReconstructor, ExactExecutor, SamplingExecutor
+from repro.engine import (
+    ALLOCATION_POLICIES,
+    ParallelEngine,
+    ShotAllocation,
+    allocate_shots,
+    largest_remainder_split,
+    request_key,
+)
+from repro.exceptions import AllocationError, CuttingError, ReproError, SimulationError
+from repro.simulator import distribution_to_counts, sample_counts
+from repro.utils.pauli import PauliObservable, PauliString
+from repro.workloads import make_workload
+
+
+@pytest.fixture
+def chain_observable():
+    return PauliObservable.from_terms(
+        [
+            PauliString.from_dict({0: "Z", 1: "Z"}, 1.0),
+            PauliString.from_dict({2: "X"}, 0.5),
+        ]
+    )
+
+
+def _sampled_reconstruction(solution, observable, shots, seed, engine_config=None):
+    executor = SamplingExecutor(shots=shots, seed=seed)
+    with ParallelEngine(executor, engine_config) as engine:
+        return CutReconstructor(solution, engine=engine).reconstruct_expectation(observable)
+
+
+class TestSamplerWidthBugfix:
+    def test_non_power_of_two_length_rejected(self):
+        with pytest.raises(SimulationError, match="power of two"):
+            sample_counts(np.full(6, 1 / 6), 100, np.random.default_rng(0))
+
+    def test_empty_vector_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.array([]), 10)
+
+    def test_width_is_exact_for_every_power_of_two(self):
+        # int(np.log2(...)) misrounds in corner cases; bit_length never does.
+        for num_qubits in (1, 2, 7, 10):
+            probabilities = np.zeros(2**num_qubits)
+            probabilities[-1] = 1.0
+            counts = sample_counts(probabilities, 5, np.random.default_rng(0))
+            assert counts == {"1" * num_qubits: 5}
+
+    def test_distribution_to_counts_rejects_non_power_of_two(self):
+        with pytest.raises(SimulationError, match="power of two"):
+            distribution_to_counts(np.full(3, 1 / 3), 30)
+
+    def test_scalar_length_one_vector_still_accepted(self):
+        assert sample_counts(np.array([1.0]), 4, np.random.default_rng(0)) == {"0": 4}
+
+
+class TestCutqcKwargsBugfix:
+    def test_enable_reuse_extraction_rejected_clearly(self, chain_circuit):
+        config = CutConfig(device_size=2, max_subcircuits=2)
+        with pytest.raises(CuttingError, match="enable_reuse_extraction"):
+            cut_circuit_cutqc(chain_circuit, config, enable_reuse_extraction=True)
+
+    def test_other_kwargs_still_forwarded(self, chain_circuit):
+        config = CutConfig(device_size=2, max_subcircuits=2)
+        plan = cut_circuit_cutqc(chain_circuit, config, force_greedy=True)
+        assert plan.method == "greedy"
+        assert plan.total_reuses == 0
+
+
+class TestSamplingExecutor:
+    def test_estimates_converge_to_exact(self, chain_wire_cut_solution, chain_observable):
+        exact = CutReconstructor(
+            chain_wire_cut_solution, executor=ExactExecutor()
+        ).reconstruct_expectation(chain_observable)
+        errors = {}
+        for shots in (64, 65536):
+            errors[shots] = np.mean(
+                [
+                    abs(
+                        _sampled_reconstruction(
+                            chain_wire_cut_solution, chain_observable, shots, seed
+                        )
+                        - exact
+                    )
+                    for seed in range(5)
+                ]
+            )
+        # 1024x the shots should shrink the mean error by ~32x; 4x is a safe bound.
+        assert errors[65536] < errors[64] / 4.0
+        assert errors[65536] < 0.05
+
+    def test_serial_and_parallel_bit_identical(self, chain_wire_cut_solution, chain_observable):
+        serial = _sampled_reconstruction(chain_wire_cut_solution, chain_observable, 500, seed=11)
+        parallel = _sampled_reconstruction(
+            chain_wire_cut_solution,
+            chain_observable,
+            500,
+            seed=11,
+            engine_config=EngineConfig(max_workers=2, chunk_size=2),
+        )
+        assert parallel == serial  # bit-identical, not just close
+
+    def test_probability_mode_distribution(self, chain_wire_cut_solution):
+        exact = CutReconstructor(chain_wire_cut_solution).reconstruct_probabilities()
+        executor = SamplingExecutor(shots=200000, seed=3)
+        sampled = CutReconstructor(
+            chain_wire_cut_solution, engine=ParallelEngine(executor)
+        ).reconstruct_probabilities()
+        assert np.abs(sampled - exact).max() < 0.02
+
+    def test_cache_keys_are_shot_aware(self, chain_wire_cut_solution, chain_observable):
+        executor = SamplingExecutor(shots=100, seed=1)
+        engine = ParallelEngine(executor)
+        reconstructor = CutReconstructor(chain_wire_cut_solution, engine=engine)
+        batch = reconstructor.enumerate_expectation_requests(chain_observable)
+        unique = {request_key(variant) for variant in batch}
+        engine.run_batch(batch)
+        first = executor.executions
+        assert first == len(unique)
+        # A different per-variant budget must miss the cache and re-execute.
+        executor.set_allocation({key: 200 for key in unique})
+        engine.run_batch(batch)
+        assert executor.executions == 2 * first
+        # Re-running the same allocation is served from the cache.
+        engine.run_batch(batch)
+        assert executor.executions == 2 * first
+
+    def test_seed_material_depends_on_shots(self):
+        executor = SamplingExecutor(shots=100, seed=1)
+        fingerprint = "ab" * 20
+        before = executor.seed_for(fingerprint)
+        executor.set_allocation({fingerprint: 999})
+        assert executor.seed_for(fingerprint) != before
+
+    def test_invalid_shots_rejected(self):
+        with pytest.raises(CuttingError):
+            SamplingExecutor(shots=0)
+        executor = SamplingExecutor(shots=10, seed=0)
+        with pytest.raises(CuttingError):
+            executor.set_allocation({"abc": 0})
+
+
+class TestShotAllocationPolicies:
+    def test_uniform_distributes_remainder_exactly(self):
+        split = largest_remainder_split(10, {"a": 1.0, "b": 1.0, "c": 1.0})
+        assert sum(split.values()) == 10
+        assert sorted(split.values()) == [3, 3, 4]
+
+    def test_weighted_split_is_proportional_and_exact(self):
+        split = largest_remainder_split(100, {"a": 3.0, "b": 1.0})
+        assert split == {"a": 75, "b": 25}
+        split = largest_remainder_split(101, {"a": 3.0, "b": 1.0})
+        assert sum(split.values()) == 101
+
+    def test_every_variant_gets_at_least_one_shot(self):
+        split = largest_remainder_split(5, {"a": 1e9, "b": 1e-9, "c": 1e-9})
+        assert min(split.values()) >= 1
+        assert sum(split.values()) == 5
+
+    def test_budget_below_variant_count_rejected(self):
+        with pytest.raises(AllocationError):
+            largest_remainder_split(2, {"a": 1.0, "b": 1.0, "c": 1.0})
+
+    def test_split_is_deterministic(self):
+        weights = {f"k{i}": float(i % 7 + 1) for i in range(23)}
+        assert largest_remainder_split(1000, weights) == largest_remainder_split(1000, weights)
+
+    def test_unknown_policy_rejected(self, chain_wire_cut_solution, chain_observable):
+        batch = CutReconstructor(chain_wire_cut_solution).enumerate_expectation_requests(
+            chain_observable
+        )
+        with pytest.raises(AllocationError, match="unknown allocation policy"):
+            allocate_shots(batch, 100, "fancy")
+
+    @pytest.mark.parametrize("policy", ["uniform", "weighted"])
+    def test_one_pass_policies_spend_exact_budget(
+        self, policy, chain_wire_cut_solution, chain_observable
+    ):
+        reconstructor = CutReconstructor(chain_wire_cut_solution)
+        batch = reconstructor.enumerate_expectation_requests(chain_observable)
+        weights = reconstructor.expectation_request_weights(chain_observable)
+        for budget in (17, 100, 4097):
+            allocation = allocate_shots(batch, budget, policy, weights=weights)
+            assert allocation.assigned_shots == budget
+            assert allocation.policy == policy
+            assert min(allocation.shots_by_fingerprint.values()) >= 1
+
+    def test_variance_policy_spends_exact_budget_including_pilot(
+        self, chain_wire_cut_solution, chain_observable
+    ):
+        executor = SamplingExecutor(shots=10, seed=5)
+        with ParallelEngine(executor) as engine:
+            reconstructor = CutReconstructor(chain_wire_cut_solution, engine=engine)
+            batch = reconstructor.enumerate_expectation_requests(chain_observable)
+            allocation = allocate_shots(batch, 1001, "variance", engine=engine)
+        assert allocation.policy == "variance"
+        assert sum(allocation.pilot_shots_by_fingerprint.values()) > 0
+        assert allocation.assigned_shots == 1001
+
+    def test_pilot_and_final_passes_never_alias(
+        self, chain_wire_cut_solution, chain_observable
+    ):
+        """Even when a variant's final shot count equals its pilot count, the
+        final pass must re-sample (stage-aware seed + cache key), not replay
+        the pilot sample that chose the allocation."""
+        executor = SamplingExecutor(shots=10, seed=5)
+        with ParallelEngine(executor) as engine:
+            reconstructor = CutReconstructor(chain_wire_cut_solution, engine=engine)
+            batch = reconstructor.enumerate_expectation_requests(chain_observable)
+            unique = {request_key(variant) for variant in batch}
+            # Minimum budget: pilot and final both give every variant 1 shot.
+            allocation = allocate_shots(batch, 2 * len(unique), "variance", engine=engine)
+            assert allocation.shots_by_fingerprint == allocation.pilot_shots_by_fingerprint
+            engine.apply_allocation(allocation)
+            engine.run_batch(batch)
+            # Pilot pass + final pass must both have executed every variant.
+            assert executor.executions == 2 * len(unique)
+
+    def test_variance_policy_requires_engine_and_sampling_executor(
+        self, chain_wire_cut_solution, chain_observable
+    ):
+        batch = CutReconstructor(chain_wire_cut_solution).enumerate_expectation_requests(
+            chain_observable
+        )
+        with pytest.raises(AllocationError, match="needs an engine"):
+            allocate_shots(batch, 1000, "variance")
+        with ParallelEngine(ExactExecutor()) as engine:
+            with pytest.raises(AllocationError, match="sampling-capable"):
+                allocate_shots(batch, 1000, "variance", engine=engine)
+
+    def test_engine_config_validates_shot_knobs(self):
+        assert EngineConfig(shots=128, allocation="variance").shots == 128
+        with pytest.raises(ReproError):
+            EngineConfig(shots=0)
+        with pytest.raises(ReproError):
+            EngineConfig(allocation="fancy")
+        assert set(ALLOCATION_POLICIES) == {"uniform", "weighted", "variance"}
+
+
+class TestEvaluateWorkloadShots:
+    @pytest.fixture
+    def small_case(self):
+        return make_workload("VQE", 5, layers=1), CutConfig(device_size=3, max_subcircuits=2)
+
+    def test_serial_parallel_identity_at_fixed_seed(self, small_case):
+        workload, config = small_case
+        serial = evaluate_workload(workload, config, shots=2000, seed=9)
+        parallel = evaluate_workload(
+            workload, config, shots=2000, seed=9, engine_config=EngineConfig(max_workers=2)
+        )
+        assert parallel.expectation_value == serial.expectation_value
+
+    def test_error_shrinks_with_budget(self, small_case):
+        workload, config = small_case
+        exact = evaluate_workload(workload, config).expectation_value
+
+        def mean_error(shots):
+            return np.mean(
+                [
+                    abs(
+                        evaluate_workload(
+                            workload, config, shots=shots, seed=seed, compute_reference=False
+                        ).expectation_value
+                        - exact
+                    )
+                    for seed in range(4)
+                ]
+            )
+
+        assert mean_error(120000) < mean_error(500) / 2.0
+
+    @pytest.mark.parametrize("policy", ALLOCATION_POLICIES)
+    def test_allocation_reported_and_exact(self, small_case, policy):
+        workload, config = small_case
+        result = evaluate_workload(
+            workload, config, shots=3000, allocation=policy, seed=2, compute_reference=False
+        )
+        allocation = result.shot_allocation
+        assert isinstance(allocation, ShotAllocation)
+        assert allocation.policy == policy
+        assert allocation.assigned_shots == 3000
+        assert result.engine_stats.allocation_policy == policy
+        assert result.engine_stats.shots_total == 3000
+        assert "allocate" in result.timings
+
+    def test_shots_from_engine_config(self, small_case):
+        workload, config = small_case
+        result = evaluate_workload(
+            workload,
+            config,
+            engine_config=EngineConfig(shots=2000, allocation="weighted"),
+            seed=1,
+            compute_reference=False,
+        )
+        assert result.shot_allocation is not None
+        assert result.shot_allocation.policy == "weighted"
+        assert result.shot_allocation.assigned_shots == 2000
+
+    def test_exact_executor_with_shots_rejected(self, small_case):
+        workload, config = small_case
+        with pytest.raises(CuttingError, match="sampling-capable"):
+            evaluate_workload(workload, config, executor=ExactExecutor(), shots=100)
+
+    def test_seed_with_supplied_executor_rejected(self, small_case):
+        workload, config = small_case
+        with pytest.raises(CuttingError, match="seed"):
+            evaluate_workload(
+                workload, config, executor=SamplingExecutor(shots=10), shots=100, seed=3
+            )
+
+    def test_exact_evaluations_have_no_allocation(self, small_case):
+        workload, config = small_case
+        result = evaluate_workload(workload, config, compute_reference=False)
+        assert result.shot_allocation is None
+        assert "allocate" not in result.timings
+
+    def test_seed_without_shots_rejected(self, small_case):
+        workload, config = small_case
+        with pytest.raises(CuttingError, match="seed"):
+            evaluate_workload(workload, config, seed=7)
+
+    def test_shared_engine_allocation_cleared_after_call(self, small_case):
+        workload, config = small_case
+        executor = SamplingExecutor(shots=4096, seed=3)
+        with ParallelEngine(executor) as engine:
+            result = evaluate_workload(
+                workload, config, engine=engine, shots=200, compute_reference=False
+            )
+            # The per-evaluation allocation must not leak into later batches.
+            assert executor.allocation == {}
+            assert engine.stats.allocation_policy is None
+        # ... but the result keeps its own snapshot.
+        assert result.shot_allocation.assigned_shots == 200
+        assert result.engine_stats.allocation_policy == "uniform"
+
+
+class TestPerCallTimingBugfix:
+    def test_execute_timing_ignores_other_engine_traffic(self):
+        """Lifetime-counter deltas were inflated by concurrent use; per-batch
+        timing must be immune to execute_seconds accumulated by anyone else."""
+        workload = make_workload("VQE", 5, layers=1)
+        config = CutConfig(device_size=3, max_subcircuits=2)
+        with ParallelEngine(ExactExecutor()) as engine:
+            evaluate_workload(workload, config, engine=engine)
+            # Simulate another thread having burned time on the shared engine.
+            engine._execute_seconds += 100.0
+            second = evaluate_workload(workload, config, engine=engine)
+        assert second.timings["execute"] < 50.0
+        assert second.timings["reconstruct"] >= 0.0
+        assert second.timings["total"] < 50.0
+
+    def test_total_is_sum_of_stages(self):
+        workload = make_workload("VQE", 5, layers=1)
+        config = CutConfig(device_size=3, max_subcircuits=2)
+        result = evaluate_workload(workload, config, shots=1000, seed=0)
+        timings = result.timings
+        expected = (
+            timings["cut"]
+            + timings["execute"]
+            + timings["reconstruct"]
+            + timings["allocate"]
+            + timings["reference"]
+        )
+        assert timings["total"] == pytest.approx(expected)
