@@ -66,10 +66,10 @@ def sampled_error(
     config = EngineConfig(max_workers=jobs, chunk_size=chunk_size)
     with ParallelEngine(executor, config) as engine:
         reconstructor = CutReconstructor(solution, engine=engine)
-        batch = reconstructor.enumerate_expectation_requests(observable)
-        weights = None
-        if policy in ("weighted", "variance"):
-            weights = reconstructor.expectation_request_weights(observable)
+        # One walk collects both the batch and the contraction weights; the
+        # enumeration loop is the exponential cost, never walk it twice.
+        weights = {} if policy in ("weighted", "variance") else None
+        batch = reconstructor.enumerate_expectation_requests(observable, weights_out=weights)
         allocation = allocate_shots(batch, budget, policy, weights=weights, engine=engine)
         assert allocation.assigned_shots == budget, "allocation must spend the exact budget"
         engine.apply_allocation(allocation)

@@ -41,6 +41,10 @@ DEFAULT_SHOTS = int(os.environ.get("QRCC_BENCH_SHOTS", "0"))
 #: Default shot-allocation policy (``--allocation`` / ``QRCC_BENCH_ALLOCATION``).
 DEFAULT_ALLOCATION = os.environ.get("QRCC_BENCH_ALLOCATION", "uniform")
 
+#: Default pruned-weight fraction (``--prune-fraction`` / ``QRCC_BENCH_PRUNE``);
+#: ``0`` means no pruning (the exact contraction).
+DEFAULT_PRUNE_FRACTION = float(os.environ.get("QRCC_BENCH_PRUNE", "0"))
+
 
 def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the shared execution-engine options to a benchmark CLI parser."""
@@ -82,6 +86,20 @@ def add_shot_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPars
         default=0,
         help="base seed for the sampling executor (results are bit-identical "
         "across worker counts at a fixed seed)",
+    )
+    return parser
+
+
+def add_pruning_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared variant-pruning options to a benchmark CLI parser."""
+    parser.add_argument(
+        "--prune-fraction",
+        type=float,
+        default=DEFAULT_PRUNE_FRACTION,
+        help="drop the smallest-|contraction-weight| variant tail worth this "
+        "fraction of total weight before execution (0 = no pruning; default "
+        "from QRCC_BENCH_PRUNE or 0); the induced bias is bounded a priori "
+        "by fraction * total weight",
     )
     return parser
 

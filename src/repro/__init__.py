@@ -35,13 +35,21 @@ from .core import (
     cut_circuit_cutqc,
     evaluate_workload,
 )
-from .engine import ParallelEngine, ShotAllocation, allocate_shots
+from .engine import (
+    ParallelEngine,
+    PruningPolicy,
+    PruningReport,
+    ShotAllocation,
+    allocate_shots,
+    prune_requests,
+)
 from .exceptions import (
     AllocationError,
     CircuitError,
     CuttingError,
     InfeasibleError,
     ModelError,
+    PruningError,
     ReconstructionError,
     ReproError,
     SearchTimeoutError,
@@ -63,6 +71,9 @@ __all__ = [
     "InfeasibleError",
     "ModelError",
     "ParallelEngine",
+    "PruningError",
+    "PruningPolicy",
+    "PruningReport",
     "QRCC_B",
     "QRCC_C",
     "ReconstructionError",
@@ -77,4 +88,5 @@ __all__ = [
     "cut_circuit",
     "cut_circuit_cutqc",
     "evaluate_workload",
+    "prune_requests",
 ]

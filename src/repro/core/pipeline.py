@@ -35,9 +35,12 @@ from ..engine import (
     EngineConfig,
     EngineStats,
     ParallelEngine,
+    PruningPolicy,
+    PruningReport,
     ResultCache,
     ShotAllocation,
     allocate_shots,
+    prune_requests,
 )
 from ..exceptions import CuttingError, InfeasibleError
 from ..simulator import simulate_statevector
@@ -140,6 +143,10 @@ class EvaluationResult:
     engine is shared, unlike the per-call fields above.  ``shot_allocation``
     records the finite-shot budget split (policy + per-variant shot counts) when
     the evaluation ran with ``shots``; ``None`` for exact evaluations.
+    ``pruning_report`` records the truncated-contraction pass (variants kept vs
+    dropped and the a-priori ``bias_bound`` on the induced reconstruction error)
+    when the evaluation ran with a pruning policy; ``None`` when
+    ``pruning="none"``.
     """
 
     plan: CutPlan
@@ -151,6 +158,7 @@ class EvaluationResult:
     timings: Dict[str, float] = field(default_factory=dict)
     engine_stats: Optional[EngineStats] = None
     shot_allocation: Optional[ShotAllocation] = None
+    pruning_report: Optional[PruningReport] = None
 
     @property
     def expectation_error(self) -> Optional[float]:
@@ -182,6 +190,24 @@ def cut_circuit(
     :data:`DEFAULT_ILP_SIZE_LIMIT` operations fall back to the greedy heuristic
     unless ``force_ilp`` is set.  ``InfeasibleError`` propagates when the model is
     proven infeasible (the paper's *no-solution* entries).
+
+    Args:
+        circuit: the circuit to cut.
+        config: the cutting meta parameters (device size, cut budgets, delta...).
+        force_ilp: always solve the exact ILP, even past the size limit.
+        force_greedy: always use the greedy heuristic cutter (mutually
+            exclusive with ``force_ilp``).
+        enable_reuse_extraction: apply the qubit-reuse pass during subcircuit
+            extraction; defaults to ``config.enable_qubit_reuse``.
+
+    Returns:
+        A :class:`CutPlan`: the solution, the extracted subcircuit specs and the
+        paper's reporting metrics (#SC, #cuts, #MS, width, solve time, method).
+
+    Example::
+
+        plan = cut_circuit(workload.circuit, CutConfig(device_size=4))
+        assert plan.max_width <= 4
     """
     if force_ilp and force_greedy:
         raise CuttingError("force_ilp and force_greedy are mutually exclusive")
@@ -213,7 +239,19 @@ def cut_circuit(
 
 
 def cut_circuit_cutqc(circuit: Circuit, config: CutConfig, **kwargs) -> CutPlan:
-    """The CutQC baseline: wire cutting only, no qubit reuse, MIP-style width model."""
+    """The CutQC baseline: wire cutting only, no qubit reuse, MIP-style width model.
+
+    Args:
+        circuit: the circuit to cut.
+        config: the cutting meta parameters; gate cuts and qubit reuse are
+            disabled (and ``delta`` pinned to 1) regardless of what it says.
+        **kwargs: forwarded to :func:`cut_circuit` (``force_ilp`` /
+            ``force_greedy``); ``enable_reuse_extraction`` is rejected because
+            the baseline pins it to ``False``.
+
+    Returns:
+        A :class:`CutPlan` for the baseline configuration.
+    """
     if "enable_reuse_extraction" in kwargs:
         # Forwarding it would collide with the pinned value below and surface as
         # an opaque duplicate-keyword TypeError; reject it with a real message.
@@ -238,13 +276,27 @@ def evaluate_workload(
     shots: Optional[int] = None,
     allocation: Optional[str] = None,
     seed: Optional[int] = None,
+    pruning: Optional[object] = None,
 ) -> EvaluationResult:
     """Cut, execute and reconstruct a workload end-to-end.
 
     Probability workloads reconstruct the full output distribution; expectation
     workloads reconstruct the observable's expectation value.  ``compute_reference``
     additionally simulates the uncut circuit (only feasible for small N) so accuracy
-    can be reported.
+    can be reported.  ``force_ilp`` / ``force_greedy`` select the cut-search
+    method exactly as in :func:`cut_circuit`.
+
+    Returns:
+        An :class:`EvaluationResult`: the :class:`CutPlan`, the reconstructed
+        value/distribution (and reference, when computed), the dedup-aware
+        variant-execution count, per-stage timings, engine stats, and the shot
+        allocation / pruning report when those passes ran.
+
+    Example::
+
+        result = evaluate_workload(make_workload("REG", 8),
+                                   CutConfig(device_size=5, enable_gate_cuts=True))
+        assert result.expectation_error < 1e-8
 
     Variant execution is batched through a :class:`~repro.engine.ParallelEngine`:
     pass ``engine`` to reuse one (its pool and result cache survive across calls),
@@ -261,7 +313,20 @@ def evaluate_workload(
     :class:`~repro.cutting.sampling.SamplingExecutor`, built here with ``seed``
     when no executor/engine is supplied.  At a fixed seed the result is
     bit-identical for any ``max_workers``; the chosen policy and per-variant
-    shot counts are reported in ``result.shot_allocation``.
+    shot counts are reported in ``result.shot_allocation``.  A shared engine is
+    safe to use from several threads for *exact* evaluations; finite-shot
+    evaluations apply a per-evaluation allocation to the shared executor, so
+    concurrent ``shots=...`` calls on one engine race on that state — give each
+    thread its own engine when sampling.
+
+    Variant pruning (truncated contraction): pass ``pruning`` (a policy name or
+    a :class:`~repro.engine.PruningPolicy`; or set ``EngineConfig.pruning``) to
+    drop the small-|contraction-weight| tail of the enumerated batch before
+    execution.  Only the surviving variants are executed (and, under ``shots``,
+    the budget is renormalised over the survivors and still spent exactly);
+    phase-two contraction skips the missing variants, which contribute exactly
+    zero.  The induced bias is bounded a priori by
+    ``result.pruning_report.bias_bound``.  See :mod:`repro.engine.pruning`.
     """
     if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
         raise CuttingError(
@@ -285,6 +350,9 @@ def evaluate_workload(
         raise CuttingError(
             f"allocation must be one of {ALLOCATION_POLICIES}, got {allocation!r}"
         )
+    if pruning is None:
+        pruning = resolved_config.pruning
+    pruning_policy = PruningPolicy.resolve(pruning)
     if seed is not None and shots is None:
         raise CuttingError(
             "seed seeds the finite-shot SamplingExecutor and needs shots "
@@ -320,10 +388,12 @@ def evaluate_workload(
 
         # Phase one: enumerate every variant the contraction will need,
         # accumulating contraction weights in the same walk when the shot
-        # allocator will want them (the loop is the exponential cost).
-        weights = (
-            {} if shots is not None and allocation in ("weighted", "variance") else None
+        # allocator or the pruning pass will want them (the loop is the
+        # exponential cost).
+        needs_weights = not pruning_policy.is_none or (
+            shots is not None and allocation in ("weighted", "variance")
         )
+        weights = {} if needs_weights else None
         enumerate_start = time.perf_counter()
         if workload.kind == WorkloadKind.EXPECTATION:
             batch = reconstructor.enumerate_expectation_requests(
@@ -332,6 +402,17 @@ def evaluate_workload(
         else:
             batch = reconstructor.enumerate_probability_requests(weights_out=weights)
         enumerate_seconds = time.perf_counter() - enumerate_start
+
+        # Optional truncated contraction: drop the small-weight tail before
+        # anything executes; allocation and execution see only the survivors.
+        missing_mode = "execute"
+        prune_seconds = 0.0
+        if not pruning_policy.is_none:
+            prune_start = time.perf_counter()
+            batch, pruning_report = prune_requests(batch, weights, pruning_policy)
+            result.pruning_report = pruning_report
+            missing_mode = "skip"
+            prune_seconds = time.perf_counter() - prune_start
 
         # Optional shot allocation (finite-shot evaluation only).
         allocate_seconds = 0.0
@@ -356,13 +437,17 @@ def evaluate_workload(
         execute_seconds += batch_seconds
 
         # Phase two: contract over the results table (no execution inside).
+        # Under pruning the table is partial and missing variants contribute
+        # exactly zero ("skip"); otherwise any straggler executes on demand.
         contract_start = time.perf_counter()
         if workload.kind == WorkloadKind.EXPECTATION:
             result.expectation_value = reconstructor.reconstruct_expectation(
-                workload.observable, table=table
+                workload.observable, table=table, missing=missing_mode
             )
         else:
-            result.probabilities = reconstructor.reconstruct_probabilities(table=table)
+            result.probabilities = reconstructor.reconstruct_probabilities(
+                table=table, missing=missing_mode
+            )
         contract_seconds = time.perf_counter() - contract_start
 
         reference_seconds = 0.0
@@ -388,10 +473,13 @@ def evaluate_workload(
             + execute_seconds
             + reconstruct_seconds
             + allocate_seconds
+            + prune_seconds
             + reference_seconds,
         }
         if shots is not None:
             result.timings["allocate"] = allocate_seconds
+        if not pruning_policy.is_none:
+            result.timings["prune"] = prune_seconds
         if compute_reference:
             result.timings["reference"] = reference_seconds
         return result

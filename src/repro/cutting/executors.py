@@ -93,7 +93,18 @@ def _signed_distribution(result: BranchedResult, variant: SubcircuitVariant) -> 
 
 
 class VariantExecutor(ABC):
-    """Batch-capable strategy object evaluating subcircuit variants."""
+    """Batch-capable strategy object evaluating subcircuit variants.
+
+    Args:
+        cache: the shared bounded :class:`~repro.engine.cache.ResultCache`
+            holding this executor's results (a private default-sized cache is
+            created when omitted).  Executors sharing one cache share results —
+            safe because cache keys are namespaced per executor configuration
+            (see :meth:`cache_namespace` / :meth:`cache_key`).
+
+    Subclasses implement :meth:`execute_variant`; everything else (dedup,
+    caching, counters, batch dispatch, worker-process transport) is inherited.
+    """
 
     def __init__(self, cache: Optional[ResultCache] = None) -> None:
         self._cache = cache if cache is not None else ResultCache()

@@ -23,6 +23,11 @@ reading every subcircuit value from the results table — no executor calls happ
 inside the contraction.  The exponential cost is ``4^k * 6^m`` scalar work plus
 ``prod_S 4^(cuts touching S) * 6^(gate cuts touching S)`` subcircuit evaluations,
 and the evaluations are now batchable and parallelisable.
+
+Between the two phases an optional *pruning* pass (:mod:`repro.engine.pruning`)
+may drop small-|contraction-weight| requests; phase two then contracts over the
+resulting *partial* table with ``missing="skip"`` — an absent variant contributes
+exactly zero, and the induced bias is bounded a priori by the pruning report.
 """
 
 from __future__ import annotations
@@ -68,6 +73,22 @@ class CutReconstructor:
     Execution is delegated to an engine: pass ``engine`` to control batching and
     parallelism, or ``executor`` to keep the legacy single-backend interface (a
     serial engine is wrapped around it).
+
+    Args:
+        solution: the cut solution to reconstruct from.
+        specs: pre-extracted subcircuit specs; extracted from ``solution``
+            (honouring ``enable_reuse``) when omitted.
+        executor: a single :class:`~repro.cutting.executors.VariantExecutor`
+            backend; mutually exclusive with ``engine``.
+        enable_reuse: apply the qubit-reuse pass when this constructor extracts
+            the subcircuits itself (ignored when ``specs`` is given).
+        engine: a :class:`~repro.engine.ParallelEngine` to execute variant
+            batches through (shared caches, worker pools).
+
+    Example::
+
+        reconstructor = CutReconstructor(plan.solution, specs=plan.subcircuits)
+        value = reconstructor.reconstruct_expectation(observable)
     """
 
     def __init__(
@@ -102,8 +123,6 @@ class CutReconstructor:
         self._variant_memo: Dict[Tuple, SubcircuitVariant] = {}
         self._distribution_plans: Dict[Tuple, Plan] = {}
         self._expectation_plans: Dict[Tuple, Plan] = {}
-        self._probability_cache: Dict[Tuple, np.ndarray] = {}
-        self._expectation_cache: Dict[Tuple, float] = {}
 
     # ------------------------------------------------------------------ public API
     @property
@@ -187,23 +206,44 @@ class CutReconstructor:
         return weights
 
     def reconstruct_probabilities(
-        self, table: Optional[Mapping[str, VariantResult]] = None
+        self,
+        table: Optional[Mapping[str, VariantResult]] = None,
+        missing: str = "execute",
     ) -> np.ndarray:
         """Full probability vector of the original circuit (wire cuts only).
 
-        ``table`` lets callers who already executed the enumerated batch (e.g.
-        to apply a shot allocation first) hand the results in directly; by
-        default the batch is enumerated and executed here.
+        Args:
+            table: results for the enumerated batch, for callers who already
+                executed it (e.g. to apply a shot allocation first); by default
+                the batch is enumerated and executed here.
+            missing: what to do when the contraction needs a variant absent
+                from ``table`` — ``"execute"`` (default) runs it on demand
+                through the engine, ``"skip"`` treats its contribution as
+                exactly zero (truncated contraction over a *pruned* batch, see
+                :mod:`repro.engine.pruning`), ``"error"`` raises
+                :class:`~repro.exceptions.ReconstructionError`.
+
+        Returns:
+            The reconstructed quasi-probability vector over all
+            ``2**num_qubits`` basis states (exact probabilities for exact
+            executors; a statistical/truncated estimate otherwise).
         """
+        self._check_missing_mode(missing)
         if table is None:
             table = self.engine.run_batch(self.enumerate_probability_requests())
+        # Effective-value memos are per call: successive calls may pass tables
+        # with different values (different seeds, allocations or prunings), so
+        # reusing memos across calls would silently return stale results.
+        cache: Dict[Tuple, np.ndarray] = {}
         num_qubits = self.solution.circuit.num_qubits
         total = np.zeros(2**num_qubits)
         coefficient_per_assignment = 0.5 ** len(self.solution.wire_cuts)
         for assignment in self._wire_cut_assignments():
             vectors, orders = [], []
             for spec in self.specs:
-                vectors.append(self._effective_distribution(spec, assignment, table))
+                vectors.append(
+                    self._effective_distribution(spec, assignment, table, missing, cache)
+                )
                 orders.append(list(spec.output_qubits))
             combined, order_lsb = _combine_subcircuit_vectors(vectors, orders)
             _scatter_into(total, combined, order_lsb, coefficient_per_assignment, num_qubits)
@@ -213,17 +253,40 @@ class CutReconstructor:
         self,
         observable: PauliObservable,
         table: Optional[Mapping[str, VariantResult]] = None,
+        missing: str = "execute",
     ) -> float:
         """Expectation value of ``observable`` on the original circuit's output.
 
-        ``table`` lets callers who already executed the enumerated batch (e.g.
-        to apply a shot allocation first) hand the results in directly.
+        Args:
+            observable: the Pauli observable to reconstruct.
+            table: results for the enumerated batch, for callers who already
+                executed it (e.g. to apply a shot allocation first).
+            missing: what to do when the contraction needs a variant absent
+                from ``table`` — ``"execute"`` (default) runs it on demand,
+                ``"skip"`` contributes exactly zero (truncated contraction over
+                a pruned batch), ``"error"`` raises.
+
+        Returns:
+            The reconstructed expectation value (a float).
         """
+        self._check_missing_mode(missing)
         if table is None:
             table = self.engine.run_batch(self.enumerate_expectation_requests(observable))
+        # Per-call memos, for the same staleness reason as reconstruct_probabilities.
+        cache: Dict[Tuple, float] = {}
         return float(
-            sum(term.coefficient * self._term_value(term, table) for term in observable.terms)
+            sum(
+                term.coefficient * self._term_value(term, table, missing, cache)
+                for term in observable.terms
+            )
         )
+
+    @staticmethod
+    def _check_missing_mode(missing: str) -> None:
+        if missing not in ("execute", "skip", "error"):
+            raise ReconstructionError(
+                f"missing must be 'execute', 'skip' or 'error', got {missing!r}"
+            )
 
     # ------------------------------------------------------------------ enumeration
     def _wire_cut_assignments(self) -> Iterator[Dict[str, str]]:
@@ -378,10 +441,23 @@ class CutReconstructor:
 
     # ------------------------------------------------------------------ contraction
     def _result_for(
-        self, variant: SubcircuitVariant, table: Mapping[str, VariantResult]
-    ) -> VariantResult:
+        self,
+        variant: SubcircuitVariant,
+        table: Mapping[str, VariantResult],
+        missing: str = "execute",
+    ) -> Optional[VariantResult]:
         result = table.get(request_key(variant))
         if result is None:
+            if missing == "skip":
+                # Truncated contraction: the variant was pruned out; its
+                # contribution is exactly zero (the bias this introduces is
+                # bounded a priori by PruningReport.bias_bound).
+                return None
+            if missing == "error":
+                raise ReconstructionError(
+                    f"results table is missing variant {request_key(variant)[:12]}... "
+                    f"for subcircuit {variant.subcircuit_index} (missing='error')"
+                )
             # Defensive: a variant that escaped enumeration is executed on demand
             # through the same engine path (counted, cached), keeping phase two
             # total even for subclasses with exotic contraction orders.
@@ -393,24 +469,36 @@ class CutReconstructor:
         spec: SubcircuitSpec,
         assignment: Mapping[str, str],
         table: Mapping[str, VariantResult],
+        missing: str = "execute",
+        cache: Optional[Dict[Tuple, np.ndarray]] = None,
     ) -> np.ndarray:
         """Downstream-decomposition-weighted quasi-distribution for one subcircuit."""
         cache_key, plan = self._distribution_plan(spec, assignment)
-        cached = self._probability_cache.get(cache_key)
+        if cache is None:
+            cache = {}
+        cached = cache.get(cache_key)
         if cached is not None:
             return cached
         total = np.zeros(2 ** len(spec.output_qubits))
         for weight, variant in plan:
-            result = self._result_for(variant, table)
+            result = self._result_for(variant, table, missing)
+            if result is None:
+                continue
             if result.distribution is None:
                 raise ReconstructionError(
                     f"executor returned no distribution for subcircuit {spec.index}"
                 )
             total = total + weight * result.distribution
-        self._probability_cache[cache_key] = total
+        cache[cache_key] = total
         return total
 
-    def _term_value(self, term: PauliString, table: Mapping[str, VariantResult]) -> float:
+    def _term_value(
+        self,
+        term: PauliString,
+        table: Mapping[str, VariantResult],
+        missing: str = "execute",
+        cache: Optional[Dict[Tuple, float]] = None,
+    ) -> float:
         inactive_factor = self._inactive_qubit_factor(term)
         if inactive_factor == 0.0:
             return 0.0
@@ -424,7 +512,7 @@ class CutReconstructor:
                 product = 1.0
                 for spec in self.specs:
                     product *= self._effective_expectation(
-                        spec, term, assignment, instance_map, table
+                        spec, term, assignment, instance_map, table, missing, cache
                     )
                     if product == 0.0:
                         break
@@ -438,20 +526,26 @@ class CutReconstructor:
         assignment: Mapping[str, str],
         instance_map: Mapping[int, int],
         table: Mapping[str, VariantResult],
+        missing: str = "execute",
+        cache: Optional[Dict[Tuple, float]] = None,
     ) -> float:
         cache_key, plan = self._expectation_plan(spec, term, assignment, instance_map)
-        cached = self._expectation_cache.get(cache_key)
+        if cache is None:
+            cache = {}
+        cached = cache.get(cache_key)
         if cached is not None:
             return cached
         total = 0.0
         for weight, variant in plan:
-            result = self._result_for(variant, table)
+            result = self._result_for(variant, table, missing)
+            if result is None:
+                continue
             if result.value is None:
                 raise ReconstructionError(
                     f"executor returned no expectation value for subcircuit {spec.index}"
                 )
             total += weight * result.value
-        self._expectation_cache[cache_key] = total
+        cache[cache_key] = total
         return total
 
     def _inactive_qubit_factor(self, term: PauliString) -> float:

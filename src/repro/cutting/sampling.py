@@ -76,6 +76,7 @@ class SamplingExecutor(VariantExecutor):
             seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF
         self._base_seed = int(seed)
         self._allocation: Dict[str, int] = {}
+        self._allocation_floor: Optional[int] = None
         self._stage = ""
         self._simulator = BranchingSimulator()
 
@@ -110,9 +111,16 @@ class SamplingExecutor(VariantExecutor):
         *even when a variant happens to get the same shot count in both* — the
         variance-aware allocator relies on this so its pilot sample (which chose
         the allocation) is never silently reused as the final estimate.
+
+        While an allocation is active, a request whose fingerprint is *not*
+        covered (a variant that escaped enumeration and reaches the executor
+        through the reconstructor's defensive on-demand path) is sampled at the
+        allocation's smallest per-variant count — never at the default
+        ``shots``, which callers typically set to the *total* budget.
         """
         if shots_by_fingerprint is None:
             self._allocation = {}
+            self._allocation_floor = None
             self._stage = ""
             return
         for fingerprint, count in shots_by_fingerprint.items():
@@ -121,11 +129,21 @@ class SamplingExecutor(VariantExecutor):
                     f"allocated shots must be >= 1, got {count} for {fingerprint[:12]}..."
                 )
         self._allocation = {key: int(count) for key, count in shots_by_fingerprint.items()}
+        self._allocation_floor = min(self._allocation.values(), default=None)
         self._stage = str(stage)
 
     def shots_for(self, fingerprint: str) -> int:
-        """Shots this executor will spend on the given request."""
-        return self._allocation.get(fingerprint, self._shots)
+        """Shots this executor will spend on the given request.
+
+        Falls back to the default ``shots`` when no allocation is active, and
+        to the active allocation's smallest per-variant count for fingerprints
+        the allocation does not cover (see :meth:`set_allocation`).
+        """
+        if fingerprint in self._allocation:
+            return self._allocation[fingerprint]
+        if self._allocation_floor is not None:
+            return self._allocation_floor
+        return self._shots
 
     # ------------------------------------------------------------------ protocol
     def seed_for(self, fingerprint: str) -> Tuple[int, ...]:

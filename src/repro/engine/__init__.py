@@ -6,8 +6,9 @@ executed (serially, or chunked across a process/thread pool, with request-level
 dedup and a shared bounded result cache).  See :mod:`repro.engine.engine` for the
 orchestrator, :mod:`repro.engine.requests` for fingerprints and deterministic
 seeding, :mod:`repro.engine.allocation` for shot-budget allocation across a
-variant batch (finite-shot evaluation), and :mod:`repro.engine.config` for the
-tuning knobs.
+variant batch (finite-shot evaluation), :mod:`repro.engine.pruning` for
+truncated contraction (dropping small-|weight| variants with a bounded bias),
+and :mod:`repro.engine.config` for the tuning knobs.
 """
 
 from .allocation import (
@@ -19,6 +20,7 @@ from .allocation import (
 from .cache import DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SIZE, ResultCache
 from .config import EngineConfig
 from .engine import EngineStats, ParallelEngine
+from .pruning import PRUNING_POLICIES, PruningPolicy, PruningReport, prune_requests
 from .requests import (
     VariantResult,
     request_key,
@@ -32,12 +34,16 @@ __all__ = [
     "DEFAULT_CACHE_SIZE",
     "EngineConfig",
     "EngineStats",
+    "PRUNING_POLICIES",
     "ParallelEngine",
+    "PruningPolicy",
+    "PruningReport",
     "ResultCache",
     "ShotAllocation",
     "VariantResult",
     "allocate_shots",
     "largest_remainder_split",
+    "prune_requests",
     "request_key",
     "seed_from_fingerprint",
     "variant_fingerprint",

@@ -181,7 +181,14 @@ def allocate_shots(
     :class:`~repro.engine.ParallelEngine` over a sampling-capable executor) to
     run its pilot batch; pilot executions are counted in the engine's stats like
     any other batch, and the pilot allocation is left applied to the executor
-    until the caller applies the final one.
+    until the caller applies the final one.  ``pilot_fraction`` sets the share
+    of ``total_shots`` the pilot pass spends (clamped so every variant gets at
+    least ~4 pilot shots but never more than half the budget); ``policy`` is
+    one of :data:`ALLOCATION_POLICIES`.
+
+    Returns:
+        A :class:`ShotAllocation` whose assigned shots (pilot + final) sum to
+        exactly ``total_shots``.
     """
     if policy not in ALLOCATION_POLICIES:
         raise AllocationError(

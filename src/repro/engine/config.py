@@ -11,11 +11,12 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Optional, Union
 
 from ..exceptions import ReproError
 from .allocation import ALLOCATION_POLICIES
 from .cache import DEFAULT_CACHE_SIZE
+from .pruning import PruningPolicy
 
 __all__ = ["EngineConfig"]
 
@@ -55,6 +56,16 @@ class EngineConfig:
             ``"weighted"`` (proportional to |contraction weight|) or
             ``"variance"`` (two-pass pilot + Neyman reallocation).  See
             :mod:`repro.engine.allocation`.  Ignored when ``shots`` is ``None``.
+        pruning: truncated-contraction policy dropping small-|contraction-weight|
+            variant requests before execution — ``"none"`` (default, exact
+            contraction), ``"threshold"``, ``"budget_fraction"`` (bare names use
+            documented default parameters) or an explicit
+            :class:`~repro.engine.pruning.PruningPolicy` (required for
+            ``top_k``).  Unlike the parallelism knobs, pruning changes the
+            numbers: the reconstruction acquires a bias that is bounded a
+            priori by :attr:`~repro.engine.pruning.PruningReport.bias_bound`
+            (reported on the evaluation result).  See
+            :mod:`repro.engine.pruning`.
     """
 
     max_workers: Optional[int] = 1
@@ -64,6 +75,7 @@ class EngineConfig:
     fallback_to_serial: bool = True
     shots: Optional[int] = None
     allocation: str = "uniform"
+    pruning: Union[str, PruningPolicy] = "none"
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
@@ -78,6 +90,9 @@ class EngineConfig:
             raise ReproError(
                 f"allocation must be one of {ALLOCATION_POLICIES}, got {self.allocation!r}"
             )
+        # Normalising here (rather than at use sites) surfaces bad policy names
+        # or a bare "top_k" at construction time with a real message.
+        PruningPolicy.resolve(self.pruning)
 
     def with_(self, **changes) -> "EngineConfig":
         """Return a copy with the given fields replaced."""

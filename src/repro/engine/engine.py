@@ -169,6 +169,11 @@ class ParallelEngine:
         The executor must be sampling-capable (expose ``set_allocation``); the
         allocation is also recorded so :attr:`stats` can report the active shot
         budget and policy.
+
+        The allocation is mutable executor state: it stays applied until
+        :meth:`clear_allocation` (or the next apply), so concurrent finite-shot
+        evaluations must not share one engine — each would overwrite the
+        other's per-variant counts mid-batch.
         """
         set_allocation = getattr(self._executor, "set_allocation", None)
         if set_allocation is None:

@@ -47,5 +47,9 @@ class AllocationError(ReproError):
     """Raised when a shot budget cannot be split across a variant batch."""
 
 
+class PruningError(ReproError):
+    """Raised for invalid variant-pruning policies or parameters."""
+
+
 class WorkloadError(ReproError):
     """Raised for invalid workload/benchmark-generator parameters."""

@@ -1,0 +1,44 @@
+"""The documentation gates: public-API docstrings and docs/ link integrity.
+
+These wrap ``tools/check_api_docs.py`` and ``tools/check_links.py`` — the same
+scripts CI runs as dedicated steps — so a missing docstring or a broken
+relative link fails the tier-1 suite locally, before CI ever sees it.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def run_tool(name: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(ROOT / "tools" / name)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=ROOT,
+    )
+
+
+def test_public_api_is_documented():
+    result = run_tool("check_api_docs.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_docs_links_resolve():
+    result = run_tool("check_links.py")
+    assert result.returncode == 0, result.stdout + result.stderr
+
+
+def test_docs_tree_exists():
+    for page in ("architecture.md", "engine.md", "reproducing-the-paper.md"):
+        assert (ROOT / "docs" / page).is_file(), f"docs/{page} is missing"
+    readme = (ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/engine.md", "docs/reproducing-the-paper.md"):
+        assert page in readme, f"README does not link to {page}"

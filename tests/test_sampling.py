@@ -97,6 +97,17 @@ class TestSamplingExecutor:
         assert errors[65536] < errors[64] / 4.0
         assert errors[65536] < 0.05
 
+    def test_uncovered_fingerprint_falls_back_to_allocation_floor(self):
+        # With an allocation active, a request that escaped enumeration must
+        # never sample at the default shots (callers set that to the *total*
+        # budget); it gets the allocation's smallest per-variant count instead.
+        executor = SamplingExecutor(shots=65536, seed=1)
+        executor.set_allocation({"aaa": 7, "bbb": 123})
+        assert executor.shots_for("aaa") == 7
+        assert executor.shots_for("not-in-the-allocation") == 7
+        executor.set_allocation(None)
+        assert executor.shots_for("not-in-the-allocation") == 65536
+
     def test_serial_and_parallel_bit_identical(self, chain_wire_cut_solution, chain_observable):
         serial = _sampled_reconstruction(chain_wire_cut_solution, chain_observable, 500, seed=11)
         parallel = _sampled_reconstruction(

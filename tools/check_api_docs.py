@@ -1,0 +1,107 @@
+#!/usr/bin/env python
+"""Fail when the public API surface loses its documentation.
+
+Imports :mod:`repro` and its main subpackages and verifies that every name
+exported through ``__all__`` (classes, functions, exceptions) carries a
+non-empty ``__doc__``.  For the flagship entry points the check is stricter:
+every constructor/call parameter must be mentioned in the docstring, so
+parameter docs cannot silently rot as signatures grow.
+
+Run from the repository root:
+
+    PYTHONPATH=src python tools/check_api_docs.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import re
+import sys
+from typing import List
+
+#: Modules whose ``__all__`` must be fully documented.
+MODULES = ("repro", "repro.engine", "repro.cutting", "repro.core")
+
+#: (module, name): every parameter of these callables/classes must appear in
+#: their docstring (class doc + __init__ doc for classes).
+FLAGSHIP = (
+    ("repro", "evaluate_workload"),
+    ("repro", "cut_circuit"),
+    ("repro", "cut_circuit_cutqc"),
+    ("repro", "EngineConfig"),
+    ("repro", "PruningPolicy"),
+    ("repro.cutting", "CutReconstructor"),
+    ("repro.cutting", "VariantExecutor"),
+    ("repro.engine", "allocate_shots"),
+    ("repro.engine", "prune_requests"),
+)
+
+#: Parameters that never need prose (self/cls and private underscore args).
+IGNORED_PARAMETERS = {"self", "cls"}
+
+
+def documented_names(module) -> List[str]:
+    exported = getattr(module, "__all__", None)
+    if exported is None:
+        raise SystemExit(f"{module.__name__} has no __all__; nothing to check")
+    return list(exported)
+
+
+def check_docstrings() -> List[str]:
+    errors: List[str] = []
+    for module_name in MODULES:
+        module = importlib.import_module(module_name)
+        for name in documented_names(module):
+            obj = getattr(module, name, None)
+            if obj is None:
+                errors.append(f"{module_name}.{name}: listed in __all__ but missing")
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj) or inspect.ismodule(obj)):
+                continue  # constants, prebuilt instances, version strings
+            doc = inspect.getdoc(obj)
+            if not doc or not doc.strip():
+                errors.append(f"{module_name}.{name}: missing __doc__")
+    return errors
+
+
+def check_flagship_parameters() -> List[str]:
+    errors: List[str] = []
+    for module_name, name in FLAGSHIP:
+        module = importlib.import_module(module_name)
+        obj = getattr(module, name)
+        if inspect.isclass(obj):
+            doc = (inspect.getdoc(obj) or "") + "\n" + (inspect.getdoc(obj.__init__) or "")
+            try:
+                signature = inspect.signature(obj.__init__)
+            except (TypeError, ValueError):
+                continue
+        else:
+            doc = inspect.getdoc(obj) or ""
+            signature = inspect.signature(obj)
+        for parameter in signature.parameters.values():
+            if parameter.name in IGNORED_PARAMETERS or parameter.name.startswith("_"):
+                continue
+            if parameter.kind in (parameter.VAR_POSITIONAL, parameter.VAR_KEYWORD):
+                continue
+            if not re.search(rf"\b{re.escape(parameter.name)}\b", doc):
+                errors.append(
+                    f"{module_name}.{name}: parameter {parameter.name!r} "
+                    "not mentioned in the docstring"
+                )
+    return errors
+
+
+def main() -> int:
+    errors = check_docstrings() + check_flagship_parameters()
+    if errors:
+        print(f"API documentation check FAILED ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("API documentation check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

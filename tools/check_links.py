@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Check that relative markdown links and anchors resolve.
+
+Scans ``README.md`` and ``docs/*.md`` for inline markdown links.  External
+links (``http(s)://``, ``mailto:``) are skipped; every relative link must point
+at an existing file (or directory), and when it carries a ``#fragment`` the
+target file must contain a heading whose GitHub-style slug matches.
+
+Run from the repository root:
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Set
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Files whose links are checked.
+SOURCES = ("README.md", "docs")
+
+#: Inline markdown links: [text](target) — excludes images' extra bang handling
+#: on purpose (image targets are checked identically).
+LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Markdown headings (ATX style), used to build the anchor table per file.
+HEADING_PATTERN = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, spaces to hyphens."""
+    text = heading.strip().lower()
+    # Inline code/emphasis markers disappear from slugs, their content stays.
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> Set[str]:
+    text = path.read_text(encoding="utf-8")
+    slugs: Set[str] = set()
+    counts = {}
+    for match in HEADING_PATTERN.finditer(text):
+        slug = github_slug(match.group(1))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        slugs.add(slug if n == 0 else f"{slug}-{n}")
+    # Explicit HTML anchors also count.
+    for match in re.finditer(r'<a\s+(?:name|id)="([^"]+)"', text):
+        slugs.add(match.group(1))
+    return slugs
+
+
+def markdown_files() -> List[Path]:
+    files: List[Path] = []
+    for source in SOURCES:
+        path = ROOT / source
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.md")))
+        elif path.exists():
+            files.append(path)
+    return files
+
+
+def check_file(path: Path) -> List[str]:
+    errors: List[str] = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_PATTERN.finditer(text):
+        target = match.group(1)
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        base, _, fragment = target.partition("#")
+        if base:
+            resolved = (path.parent / base).resolve()
+            if not resolved.exists():
+                errors.append(f"{path.relative_to(ROOT)}: broken link -> {target}")
+                continue
+        else:
+            resolved = path  # in-page anchor
+        if fragment:
+            if resolved.is_dir() or resolved.suffix.lower() != ".md":
+                continue  # anchors only checked in markdown targets
+            if fragment not in anchors_of(resolved):
+                errors.append(
+                    f"{path.relative_to(ROOT)}: missing anchor "
+                    f"#{fragment} in {resolved.relative_to(ROOT)}"
+                )
+    return errors
+
+
+def main() -> int:
+    files = markdown_files()
+    if not files:
+        print("link check FAILED: no markdown files found")
+        return 1
+    errors: List[str] = []
+    for path in files:
+        errors.extend(check_file(path))
+    if errors:
+        print(f"link check FAILED ({len(errors)} problem(s)):")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print(f"link check passed ({len(files)} file(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
