@@ -45,6 +45,13 @@ DEFAULT_ALLOCATION = os.environ.get("QRCC_BENCH_ALLOCATION", "uniform")
 #: ``0`` means no pruning (the exact contraction).
 DEFAULT_PRUNE_FRACTION = float(os.environ.get("QRCC_BENCH_PRUNE", "0"))
 
+#: Default farm routing policy (``--routing`` / ``QRCC_BENCH_ROUTING``).
+DEFAULT_ROUTING = os.environ.get("QRCC_BENCH_ROUTING", "best_fit")
+
+#: Default device farm as comma-separated qubit widths (``--device-widths`` /
+#: ``QRCC_BENCH_DEVICE_WIDTHS``); empty means no farm (the implicit simulator).
+DEFAULT_DEVICE_WIDTHS = os.environ.get("QRCC_BENCH_DEVICE_WIDTHS", "")
+
 
 def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the shared execution-engine options to a benchmark CLI parser."""
@@ -102,6 +109,50 @@ def add_pruning_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentP
         "by fraction * total weight",
     )
     return parser
+
+
+def add_device_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared device-farm options to a benchmark CLI parser."""
+    parser.add_argument(
+        "--device-widths",
+        type=str,
+        default=DEFAULT_DEVICE_WIDTHS,
+        help="comma-separated device qubit widths forming an execution farm, "
+        "e.g. 4,4,7 (empty = no farm, the implicit unlimited simulator; "
+        "default from QRCC_BENCH_DEVICE_WIDTHS)",
+    )
+    parser.add_argument(
+        "--routing",
+        choices=("round_robin", "least_loaded", "best_fit"),
+        default=DEFAULT_ROUTING,
+        help="how variants are routed across the farm's feasible devices "
+        "(default from QRCC_BENCH_ROUTING or best_fit)",
+    )
+    return parser
+
+
+def parse_device_widths(text: str) -> Sequence[int]:
+    """Parse a ``--device-widths`` value ("4,4,7") into a width list."""
+    if not text.strip():
+        return []
+    return [int(chunk) for chunk in text.split(",") if chunk.strip()]
+
+
+def device_farm(widths: Sequence[int], prefix: str = "qpu"):
+    """Build a homogeneous-executor device farm from a list of qubit widths.
+
+    Returns a tuple of ``DeviceSpec`` suitable for ``evaluate_workload``'s
+    ``devices=`` / ``EngineConfig.devices`` (or ``None`` for an empty list, so
+    the result can be passed straight through).
+    """
+    if not widths:
+        return None
+    from repro.engine import DeviceSpec
+
+    return tuple(
+        DeviceSpec(f"{prefix}-{index}-w{width}", width)
+        for index, width in enumerate(widths)
+    )
 
 
 def bench_jobs(argv: Optional[Sequence[str]] = None) -> int:

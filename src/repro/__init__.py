@@ -36,6 +36,9 @@ from .core import (
     evaluate_workload,
 )
 from .engine import (
+    DeviceFarm,
+    DeviceSpec,
+    DeviceUtilization,
     ParallelEngine,
     PruningPolicy,
     PruningReport,
@@ -47,7 +50,9 @@ from .exceptions import (
     AllocationError,
     CircuitError,
     CuttingError,
+    DeviceError,
     InfeasibleError,
+    InfeasibleVariantError,
     ModelError,
     PruningError,
     ReconstructionError,
@@ -66,9 +71,14 @@ __all__ = [
     "CutConfig",
     "CutPlan",
     "CuttingError",
+    "DeviceError",
+    "DeviceFarm",
+    "DeviceSpec",
+    "DeviceUtilization",
     "EngineConfig",
     "EvaluationResult",
     "InfeasibleError",
+    "InfeasibleVariantError",
     "ModelError",
     "ParallelEngine",
     "PruningError",

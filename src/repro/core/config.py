@@ -28,6 +28,11 @@ These *do* change the numbers — they become statistical estimates with
 executor seed the result is bit-identical for any ``max_workers``.
 :func:`~repro.core.pipeline.evaluate_workload` accepts ``shots`` / ``allocation``
 / ``seed`` per call, overriding the engine-config defaults.
+
+Device-farm knobs: ``devices`` routes every variant onto a fleet of
+width-limited backends (:class:`~repro.engine.DeviceSpec`) under a ``routing``
+policy, modelling the paper's premise that the device's qubit width is the
+binding constraint; see :mod:`repro.engine.devices`.
 """
 
 from __future__ import annotations

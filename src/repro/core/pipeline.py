@@ -32,6 +32,8 @@ from ..cutting import (
 )
 from ..engine import (
     ALLOCATION_POLICIES,
+    DeviceSpec,
+    DeviceUtilization,
     EngineConfig,
     EngineStats,
     ParallelEngine,
@@ -138,9 +140,12 @@ class EvaluationResult:
     (their sum).  Every stage is timed around the call this evaluation itself
     makes — ``execute`` comes from the engine's per-batch timing, never from
     deltas of its lifetime counters, so sharing an engine across threads cannot
-    inflate another call's numbers.  ``engine_stats`` is the engine's *lifetime*
-    snapshot at the end of the call — cumulative across evaluations when an
-    engine is shared, unlike the per-call fields above.  ``shot_allocation``
+    inflate another call's numbers.  ``engine_stats`` is likewise a *per-call*
+    delta (``EngineStats.since`` of two lifetime snapshots): on an engine
+    shared across plans each evaluation reports only its own requests,
+    executions, cache traffic and device utilization instead of conflating
+    unrelated workloads; the engine's cumulative view stays available as
+    ``engine.stats``.  ``shot_allocation``
     records the finite-shot budget split (policy + per-variant shot counts) when
     the evaluation ran with ``shots``; ``None`` for exact evaluations.
     ``pruning_report`` records the truncated-contraction pass (variants kept vs
@@ -159,6 +164,18 @@ class EvaluationResult:
     engine_stats: Optional[EngineStats] = None
     shot_allocation: Optional[ShotAllocation] = None
     pruning_report: Optional[PruningReport] = None
+
+    @property
+    def device_utilization(self) -> Optional[tuple]:
+        """Per-device routing report for this evaluation (None without a farm).
+
+        A tuple of :class:`~repro.engine.DeviceUtilization` — per-call deltas:
+        how many variants each device of the farm executed for *this*
+        evaluation, plus the simulated busy and queue seconds behind them.
+        """
+        if self.engine_stats is None:
+            return None
+        return self.engine_stats.devices
 
     @property
     def expectation_error(self) -> Optional[float]:
@@ -277,6 +294,8 @@ def evaluate_workload(
     allocation: Optional[str] = None,
     seed: Optional[int] = None,
     pruning: Optional[object] = None,
+    devices: Optional[Sequence[DeviceSpec]] = None,
+    routing: Optional[str] = None,
 ) -> EvaluationResult:
     """Cut, execute and reconstruct a workload end-to-end.
 
@@ -301,9 +320,10 @@ def evaluate_workload(
     Variant execution is batched through a :class:`~repro.engine.ParallelEngine`:
     pass ``engine`` to reuse one (its pool and result cache survive across calls),
     or ``engine_config`` (e.g. ``EngineConfig(max_workers=4)``) to have one built
-    around ``executor`` for this evaluation.  ``num_variant_evaluations`` and
-    ``timings`` are per-call numbers, so a shared engine still yields per-workload
-    values; ``engine_stats`` is the engine's cumulative lifetime snapshot.
+    around ``executor`` for this evaluation.  ``num_variant_evaluations``,
+    ``timings`` and ``engine_stats`` are all per-call numbers, so a shared
+    engine still yields per-workload values (its cumulative lifetime view
+    stays available as ``engine.stats``).
 
     Finite-shot evaluation: pass ``shots`` (or set ``EngineConfig.shots``) to
     estimate every subcircuit variant from samples instead of exactly.  The
@@ -327,6 +347,22 @@ def evaluate_workload(
     phase-two contraction skips the missing variants, which contribute exactly
     zero.  The induced bias is bounded a priori by
     ``result.pruning_report.bias_bound``.  See :mod:`repro.engine.pruning`.
+
+    Device farms: pass ``devices`` (a sequence of
+    :class:`~repro.engine.DeviceSpec`; or set ``EngineConfig.devices``) to
+    route every variant onto a fleet of width-limited backends under a
+    ``routing`` policy (``"round_robin"``, ``"least_loaded"`` or
+    ``"best_fit"``; defaults to the engine config's).  A variant whose
+    post-reuse width exceeds every device raises
+    :class:`~repro.exceptions.InfeasibleVariantError` naming the shortfall
+    (the plan's ``max_width`` is checked up front, before anything executes).
+    Per-device utilization and simulated queue time are reported on
+    ``result.engine_stats.devices`` / ``result.device_utilization``.  With
+    ``devices=None`` (the default) no farm exists and the evaluation is
+    bit-identical to the pre-farm pipeline.  Like ``seed``, both arguments
+    configure the engine built here — configure a supplied engine through its
+    own :class:`~repro.engine.EngineConfig` instead.  See
+    :mod:`repro.engine.devices`.
     """
     if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
         raise CuttingError(
@@ -341,7 +377,17 @@ def evaluate_workload(
             "seed only applies to the SamplingExecutor evaluate_workload builds "
             "itself; seed a supplied executor/engine at construction instead"
         )
+    if engine is not None and (devices is not None or routing is not None):
+        raise CuttingError(
+            "devices/routing configure the engine evaluate_workload builds "
+            "itself; a supplied engine carries its own farm (set "
+            "EngineConfig(devices=..., routing=...) when constructing it)"
+        )
     resolved_config = engine.config if engine is not None else (engine_config or EngineConfig())
+    if devices is None:
+        devices = resolved_config.devices
+    if routing is not None and devices is None:
+        raise CuttingError("routing needs devices (a farm to route onto)")
     if shots is None:
         shots = resolved_config.shots
     if allocation is None:
@@ -366,20 +412,41 @@ def evaluate_workload(
             executor = SamplingExecutor(
                 shots=shots, seed=seed, cache=ResultCache(resolved_config.cache_size)
             )
+        build_config = engine_config or EngineConfig()
+        if devices is not None:
+            build_config = build_config.with_(
+                devices=tuple(devices),
+                routing=routing if routing is not None else build_config.routing,
+            )
         # Pass executor=None through so engine_config.cache_size can size the
         # default executor's cache; an explicit executor keeps its own cache.
-        engine = ParallelEngine(executor, engine_config)
+        engine = ParallelEngine(executor, build_config)
     if shots is not None and not hasattr(engine.executor, "set_allocation"):
         raise CuttingError(
             f"shots={shots} needs a sampling-capable executor with per-variant shot "
             f"allocation (e.g. SamplingExecutor), got {type(engine.executor).__name__}"
         )
+    if shots is not None and engine.farm is not None and engine.farm.is_heterogeneous:
+        # Fail before anything (pilot batches included) executes: per-device
+        # backends never see the engine executor's allocation, so the budget
+        # would be reported as spent without being honored.
+        raise CuttingError(
+            "shots cannot combine with a heterogeneous device farm (devices "
+            "with noise/executor_factory run their own backends and would "
+            "silently ignore the per-variant shot allocation); use devices "
+            "that share the engine executor, or drop shots"
+        )
     try:
+        stats_before = engine.stats
         cut_start = time.perf_counter()
         plan = cut_circuit(
             workload.circuit, config, force_ilp=force_ilp, force_greedy=force_greedy
         )
         cut_seconds = time.perf_counter() - cut_start
+        if engine.farm is not None:
+            # Fail before enumerating anything: a plan wider than every device
+            # can never execute, and the error names the shortfall.
+            engine.farm.check_width(plan.max_width)
         reconstructor = CutReconstructor(
             plan.solution, specs=plan.subcircuits, engine=engine
         )
@@ -464,7 +531,9 @@ def evaluate_workload(
             reference_seconds = time.perf_counter() - reference_start
         reconstruct_seconds = enumerate_seconds + contract_seconds
         result.num_variant_evaluations = engine.executions - executions_before
-        result.engine_stats = engine.stats
+        # Per-call delta: on a shared engine, lifetime counters would conflate
+        # unrelated workloads (the cumulative view stays on engine.stats).
+        result.engine_stats = engine.stats.since(stats_before)
         result.timings = {
             "cut": cut_seconds,
             "execute": execute_seconds,

@@ -108,6 +108,7 @@ class VariantExecutor(ABC):
 
     def __init__(self, cache: Optional[ResultCache] = None) -> None:
         self._cache = cache if cache is not None else ResultCache()
+        self._cache_scope: Optional[str] = None
         self._executions = 0
         self._requests = 0
         self._dedup_hits = 0
@@ -132,6 +133,24 @@ class VariantExecutor(ABC):
     def cache_namespace(self) -> str:
         """Key prefix isolating this executor's results in a shared cache."""
         return type(self).__name__
+
+    def set_cache_scope(self, scope: Optional[str]) -> None:
+        """Extra key prefix layered on top of :meth:`cache_namespace`.
+
+        Set by :class:`~repro.engine.ParallelEngine` when a *heterogeneous*
+        device farm executes this executor's requests on per-device backends:
+        which backend produced a result then depends on routing, so those
+        results must never alias what the same executor class would store in a
+        shared cache without the farm.  ``None`` (the default) leaves keys
+        unchanged.
+        """
+        self._cache_scope = scope
+
+    def _scoped_namespace(self) -> str:
+        namespace = self.cache_namespace()
+        if self._cache_scope:
+            return f"{self._cache_scope}|{namespace}"
+        return namespace
 
     def cache_key(self, fingerprint: str) -> str:
         """Cache key for one request within this executor's namespace.
@@ -173,7 +192,7 @@ class VariantExecutor(ABC):
         supplied ``dispatch`` backend).  The ``executions`` counter advances by
         exactly the number of unique misses.
         """
-        namespace = self.cache_namespace()
+        namespace = self._scoped_namespace()
         table: Dict[str, VariantResult] = {}
         pending: List[Tuple[str, SubcircuitVariant, Optional[Tuple[int, ...]]]] = []
         scheduled: set = set()

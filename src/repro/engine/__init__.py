@@ -8,7 +8,9 @@ orchestrator, :mod:`repro.engine.requests` for fingerprints and deterministic
 seeding, :mod:`repro.engine.allocation` for shot-budget allocation across a
 variant batch (finite-shot evaluation), :mod:`repro.engine.pruning` for
 truncated contraction (dropping small-|weight| variants with a bounded bias),
-and :mod:`repro.engine.config` for the tuning knobs.
+:mod:`repro.engine.devices` for device-aware multi-backend routing (width
+feasibility, routing policies, per-device utilization), and
+:mod:`repro.engine.config` for the tuning knobs.
 """
 
 from .allocation import (
@@ -19,6 +21,12 @@ from .allocation import (
 )
 from .cache import DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SIZE, ResultCache
 from .config import EngineConfig
+from .devices import (
+    ROUTING_POLICIES,
+    DeviceFarm,
+    DeviceSpec,
+    DeviceUtilization,
+)
 from .engine import EngineStats, ParallelEngine
 from .pruning import PRUNING_POLICIES, PruningPolicy, PruningReport, prune_requests
 from .requests import (
@@ -32,12 +40,16 @@ __all__ = [
     "ALLOCATION_POLICIES",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_CACHE_SIZE",
+    "DeviceFarm",
+    "DeviceSpec",
+    "DeviceUtilization",
     "EngineConfig",
     "EngineStats",
     "PRUNING_POLICIES",
     "ParallelEngine",
     "PruningPolicy",
     "PruningReport",
+    "ROUTING_POLICIES",
     "ResultCache",
     "ShotAllocation",
     "VariantResult",

@@ -41,10 +41,14 @@ class ResultCache:
 
     Eviction triggers on whichever bound is hit first: ``maxsize`` entries or
     ``max_bytes`` of summed result payload (distributions dominate; scalar
-    results are charged a small bookkeeping constant).  ``maxsize=0`` disables
-    caching entirely (every lookup misses, nothing is stored), which is
-    occasionally useful for memory-constrained sweeps and for testing eviction
-    behaviour.
+    results are charged a small bookkeeping constant).  ``maxsize=0`` and
+    ``max_bytes=0`` each disable caching entirely (every lookup misses,
+    nothing is stored), which is occasionally useful for memory-constrained
+    sweeps and for testing eviction behaviour.  With both bounds positive, a
+    single entry is always retained even when it alone exceeds ``max_bytes``
+    (evicting the entry just stored would make the cache silently useless for
+    wide distributions), so ``nbytes`` can exceed ``max_bytes`` only in that
+    one-oversized-entry case.
     """
 
     def __init__(
@@ -93,7 +97,7 @@ class ResultCache:
 
     def put(self, key: Hashable, result: VariantResult) -> None:
         """Insert ``result``, evicting least-recently-used entries past either bound."""
-        if self._maxsize == 0:
+        if self._maxsize == 0 or self._max_bytes == 0:
             return
         previous = self._entries.get(key)
         if previous is not None:
@@ -109,8 +113,17 @@ class ResultCache:
             self.evictions += 1
 
     def clear(self) -> None:
+        """Drop every entry and reset the hit/miss/eviction counters.
+
+        Counters are reset together with the entries so a cleared cache reports
+        like a fresh one — otherwise ``stats()`` after a clear conflates
+        workloads that can no longer share any results.
+        """
         self._entries.clear()
         self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def stats(self) -> Dict[str, int]:
         """Counters for reporting: size, capacity, bytes, hits, misses, evictions."""

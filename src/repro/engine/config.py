@@ -11,11 +11,12 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Union
+from typing import Optional, Sequence, Tuple, Union
 
 from ..exceptions import ReproError
 from .allocation import ALLOCATION_POLICIES
 from .cache import DEFAULT_CACHE_SIZE
+from .devices import ROUTING_POLICIES, DeviceSpec
 from .pruning import PruningPolicy
 
 __all__ = ["EngineConfig"]
@@ -66,6 +67,18 @@ class EngineConfig:
             priori by :attr:`~repro.engine.pruning.PruningReport.bias_bound`
             (reported on the evaluation result).  See
             :mod:`repro.engine.pruning`.
+        devices: a fleet of :class:`~repro.engine.devices.DeviceSpec` forming a
+            :class:`~repro.engine.devices.DeviceFarm` — every variant is routed
+            to a device whose ``max_qubits`` fits the variant's post-reuse
+            width, and a variant wider than every device raises
+            :class:`~repro.exceptions.InfeasibleVariantError`.  ``None`` (the
+            default) keeps the single implicit executor: no routing, no width
+            check, bit-identical to the pre-farm engine.  Any sequence is
+            accepted and normalised to a tuple.  See
+            :mod:`repro.engine.devices`.
+        routing: farm routing policy — ``"round_robin"``, ``"least_loaded"``
+            or ``"best_fit"`` (the default).  Ignored when ``devices`` is
+            ``None``.
     """
 
     max_workers: Optional[int] = 1
@@ -76,6 +89,8 @@ class EngineConfig:
     shots: Optional[int] = None
     allocation: str = "uniform"
     pruning: Union[str, PruningPolicy] = "none"
+    devices: Optional[Sequence[DeviceSpec]] = None
+    routing: str = "best_fit"
 
     def __post_init__(self) -> None:
         if self.max_workers is not None and self.max_workers < 1:
@@ -93,6 +108,17 @@ class EngineConfig:
         # Normalising here (rather than at use sites) surfaces bad policy names
         # or a bare "top_k" at construction time with a real message.
         PruningPolicy.resolve(self.pruning)
+        if self.routing not in ROUTING_POLICIES:
+            raise ReproError(
+                f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}"
+            )
+        if self.devices is not None:
+            object.__setattr__(self, "devices", tuple(self.devices))
+            # Building a throwaway farm runs the full validation set (non-empty
+            # fleet, DeviceSpec types, unique names) at construction time.
+            from .devices import DeviceFarm
+
+            DeviceFarm(self.devices, self.routing)
 
     def with_(self, **changes) -> "EngineConfig":
         """Return a copy with the given fields replaced."""

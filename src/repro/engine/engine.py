@@ -5,7 +5,11 @@ reconstructor *enumerates* every subcircuit variant its contraction will need an
 hands the whole batch over; the engine dedups the batch by fingerprint, satisfies
 repeats from the shared LRU cache, and dispatches the remaining unique requests —
 serially in-process when ``max_workers == 1``, otherwise chunked across a
-``concurrent.futures`` pool (processes by default, threads on request).
+``concurrent.futures`` pool (processes by default, threads on request).  With a
+device farm configured (:mod:`repro.engine.devices`), each unique request is
+first routed to a device whose qubit capacity fits the variant's post-reuse
+width; device lanes bound per-device concurrency and feed the utilization
+report.
 
 Determinism is a hard guarantee: stochastic executors are seeded per request from
 the request fingerprint (see :func:`repro.engine.requests.seed_from_fingerprint`),
@@ -25,6 +29,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 from .config import EngineConfig
+from .devices import DeviceFarm, DeviceUtilization
 from .requests import VariantResult
 
 __all__ = ["EngineStats", "ParallelEngine"]
@@ -52,6 +57,9 @@ class EngineStats:
     authoritative source for ``EvaluationResult.num_variant_evaluations``.
     ``shots_total`` / ``allocation_policy`` describe the most recently applied
     shot allocation (``None`` when the engine never ran a finite-shot batch).
+    ``devices`` / ``routing`` report the device farm's per-device utilization
+    and the active routing policy (``None`` without a farm).  Per-call numbers
+    for one evaluation come from :meth:`since` on two snapshots.
     """
 
     requests: int
@@ -63,6 +71,8 @@ class EngineStats:
     cache: Dict[str, int]
     shots_total: Optional[int] = None
     allocation_policy: Optional[str] = None
+    devices: Optional[Tuple[DeviceUtilization, ...]] = None
+    routing: Optional[str] = None
 
     def row(self) -> Dict[str, object]:
         """Flat dictionary for benchmark tables."""
@@ -77,7 +87,43 @@ class EngineStats:
         if self.allocation_policy is not None:
             row["allocation_policy"] = self.allocation_policy
             row["shots_total"] = self.shots_total
+        if self.routing is not None:
+            row["routing"] = self.routing
         return row
+
+    def since(self, baseline: "EngineStats") -> "EngineStats":
+        """Per-call delta of this snapshot against an earlier ``baseline``.
+
+        Monotonic counters (requests, executions, hits, batches, seconds, the
+        cache's hit/miss/eviction counts, per-device utilization) are
+        differenced; state descriptors (cache size/capacity, the active
+        allocation policy and routing) keep this snapshot's values.  This is
+        what makes one evaluation's stats meaningful on an engine shared
+        across workloads — lifetime counters conflate them.
+        """
+        cache = dict(self.cache)
+        for counter in ("hits", "misses", "evictions"):
+            cache[counter] = cache.get(counter, 0) - baseline.cache.get(counter, 0)
+        devices: Optional[Tuple[DeviceUtilization, ...]] = None
+        if self.devices is not None:
+            before = {report.name: report for report in (baseline.devices or ())}
+            devices = tuple(
+                report.since(before[report.name]) if report.name in before else report
+                for report in self.devices
+            )
+        return EngineStats(
+            requests=self.requests - baseline.requests,
+            unique_executions=self.unique_executions - baseline.unique_executions,
+            dedup_hits=self.dedup_hits - baseline.dedup_hits,
+            cache_hits=self.cache_hits - baseline.cache_hits,
+            batches=self.batches - baseline.batches,
+            execute_seconds=self.execute_seconds - baseline.execute_seconds,
+            cache=cache,
+            shots_total=self.shots_total,
+            allocation_policy=self.allocation_policy,
+            devices=devices,
+            routing=self.routing,
+        )
 
 
 class ParallelEngine:
@@ -99,6 +145,19 @@ class ParallelEngine:
         # config.cache_size only sizes the cache of engine-created executors,
         # so an explicit memory bound is never silently replaced.
         self._executor = executor
+        self._farm: Optional[DeviceFarm] = (
+            DeviceFarm(self._config.devices, self._config.routing)
+            if self._config.devices
+            else None
+        )
+        # Heterogeneous farms change which backend a fingerprint runs on; scope
+        # the executor's cache keys so those results never alias a farm-less
+        # (or differently-farmed) run in a shared cache.  Always assigned —
+        # including None — so an executor reused from an earlier farmed engine
+        # does not carry a stale scope into this one.
+        set_scope = getattr(self._executor, "set_cache_scope", None)
+        if set_scope is not None:
+            set_scope(None if self._farm is None else self._farm.cache_scope())
         self._pool: Optional[_PoolBase] = None
         self._pool_broken = False
         self._batches = 0
@@ -119,6 +178,11 @@ class ParallelEngine:
         return self._executor.cache
 
     @property
+    def farm(self) -> Optional[DeviceFarm]:
+        """The device farm routing this engine's batches (None without one)."""
+        return self._farm
+
+    @property
     def executions(self) -> int:
         """Dedup-aware count of variant circuits actually executed."""
         return self._executor.executions
@@ -136,6 +200,8 @@ class ParallelEngine:
             cache=self._executor.cache.stats(),
             shots_total=None if allocation is None else allocation.total_shots,
             allocation_policy=None if allocation is None else allocation.policy,
+            devices=None if self._farm is None else self._farm.utilization(),
+            routing=None if self._farm is None else self._farm.routing,
         )
 
     # ------------------------------------------------------------------ execution
@@ -156,7 +222,10 @@ class ParallelEngine:
         inflated by concurrent batches when an engine is shared across threads.
         """
         start = time.perf_counter()
-        dispatch = self._dispatch if self._effective_workers() > 1 else None
+        # A farm always routes (even serially): feasibility is checked and
+        # utilization tracked regardless of worker count.
+        needs_dispatch = self._farm is not None or self._effective_workers() > 1
+        dispatch = self._dispatch if needs_dispatch else None
         table = self._executor.run_batch(variants, dispatch=dispatch)
         seconds = time.perf_counter() - start
         self._execute_seconds += seconds
@@ -182,6 +251,14 @@ class ParallelEngine:
             raise AllocationError(
                 f"executor {type(self._executor).__name__} does not support per-variant "
                 "shot allocation (use a SamplingExecutor)"
+            )
+        if self._farm is not None and self._farm.is_heterogeneous:
+            from ..exceptions import AllocationError
+
+            raise AllocationError(
+                "per-variant shot allocation requires the farm's devices to share "
+                "the engine executor; heterogeneous farms (noise/executor_factory) "
+                "run their own backends, which would silently ignore the allocation"
             )
         set_allocation(allocation.shots_by_fingerprint)
         self._allocation = allocation
@@ -220,27 +297,101 @@ class ParallelEngine:
         return [list(pending[i : i + size]) for i in range(0, len(pending), size)]
 
     def _dispatch(self, executor, pending: Sequence[PendingRequest]):
-        """Run unique cache-miss requests across the worker pool (or serially)."""
-        chunks = self._chunked(pending)
+        """Run unique cache-miss requests across the worker pool (or serially).
+
+        Without a device farm the whole batch runs on ``executor``.  With one,
+        the farm first routes every request to a feasible device (raising
+        :class:`~repro.exceptions.InfeasibleVariantError` when a variant is
+        wider than every device); each device's lane then runs on that device's
+        executor, chunked into at most ``DeviceSpec.lanes`` worker tasks so a
+        device's parallelism never exceeds what its hardware could offer, and
+        all devices' tasks share one worker pool (devices execute
+        concurrently, like a real farm).  Lanes are built in device
+        declaration order and requests keep their enumeration order inside a
+        lane, so results stay bit-identical for any worker count.
+        """
+        if self._farm is None:
+            tasks = [(executor, chunk) for chunk in self._chunked(pending)]
+            return self._run_tasks(tasks)
+        allocation = self._allocation
+        before = self._farm.snapshot()
+        lanes = self._farm.route(
+            pending,
+            shots_by_fingerprint=None if allocation is None else allocation.shots_by_fingerprint,
+        )
+        tasks: List[Tuple[object, List[PendingRequest]]] = []
+        for spec in self._farm.devices:
+            lane = lanes.get(spec.name)
+            if not lane:
+                continue
+            lane_executor = self._farm.executor_for(spec, default=executor)
+            for chunk in self._chunked_lane(lane, spec):
+                tasks.append((lane_executor, chunk))
+        try:
+            return self._run_tasks(tasks)
+        except BaseException:
+            # Nothing executed (or nothing was recorded — a failed dispatch
+            # caches no results): utilization must not keep counts for work
+            # that never ran, or retries would double-count against the
+            # executor's execution counters.
+            self._farm.restore(before)
+            raise
+
+    def _chunked_lane(
+        self, lane: Sequence[PendingRequest], spec
+    ) -> List[List[PendingRequest]]:
+        """Chunk one device's lane into at most ``spec.lanes`` worker tasks.
+
+        The lane cap is a hard bound — an explicit ``chunk_size`` can make
+        chunks *bigger* (fewer tasks) but never split a device's lane into
+        more concurrent streams than its hardware offers.
+        """
+        size = max(1, math.ceil(len(lane) / max(1, spec.lanes)))
+        if self._config.chunk_size is not None:
+            size = max(size, self._config.chunk_size)
+        return [list(lane[i : i + size]) for i in range(0, len(lane), size)]
+
+    def _run_tasks(self, tasks: Sequence[Tuple[object, List[PendingRequest]]]):
+        """Execute ``(executor, chunk)`` tasks — one pool across all executors."""
         pool = None
-        spawn_cls = spawn_args = None
-        if len(chunks) > 1:
+        specs: Dict[int, Tuple] = {}
+        # max_workers=1 stays serial in-process even under a multi-device farm:
+        # routing models *placement*, the worker count models *this host*.
+        if len(tasks) > 1 and self._effective_workers() > 1:
             if not self._config.use_threads:
-                spawn_cls, spawn_args = self._spawnable(executor)
-            if self._config.use_threads or spawn_cls is not None:
+                # Pre-flight every distinct executor's spawn spec; one
+                # unpicklable backend degrades the whole batch to serial (mixed
+                # serial/pooled execution would reorder nothing but buys
+                # little, and the warning in _spawnable already fired).
+                for task_executor, _ in tasks:
+                    if id(task_executor) not in specs:
+                        specs[id(task_executor)] = self._spawnable(task_executor)
+                if all(spec[0] is not None for spec in specs.values()):
+                    pool = self._ensure_pool()
+            else:
                 pool = self._ensure_pool()
         if pool is None:
-            return _execute_chunk_shared(executor, pending)
-        try:
-            if self._config.use_threads:
-                futures = [pool.submit(_execute_chunk_shared, executor, c) for c in chunks]
-            else:
-                futures = [
-                    pool.submit(_execute_chunk, spawn_cls, spawn_args, c) for c in chunks
-                ]
             results: List[Tuple[str, VariantResult]] = []
+            for task_executor, chunk in tasks:
+                results.extend(_execute_chunk_shared(task_executor, chunk))
+            return results
+        results = []
+        futures = []
+        collected = 0  # futures fully collected, in submission order
+        try:
+            # Submission happens inside the try: a pool that broke between
+            # batches raises at submit(), which must fall back like any other
+            # mid-batch breakage.
+            for task_executor, chunk in tasks:
+                if self._config.use_threads:
+                    futures.append(pool.submit(_execute_chunk_shared, task_executor, chunk))
+                else:
+                    futures.append(
+                        pool.submit(_execute_chunk, *specs[id(task_executor)], chunk)
+                    )
             for future in futures:
                 results.extend(future.result())
+                collected += 1
             return results
         except (OSError, RuntimeError, BrokenPipeError) as error:
             # Pool breakage (BrokenProcessPool is a RuntimeError).  Executor
@@ -254,8 +405,28 @@ class ParallelEngine:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            # Salvage every chunk that still completed — rerunning them would
+            # double-execute variants, inflating wall clock and wasting shot
+            # budget under an active allocation.  Only chunks that never
+            # produced results rerun serially.
+            unfinished: List[Tuple[object, List[PendingRequest]]] = []
+            for index in range(collected, len(futures)):
+                future = futures[index]
+                if not future.cancel():
+                    # Already finished (or still running on a thread pool, in
+                    # which case result() waits for it rather than redoing it).
+                    try:
+                        results.extend(future.result())
+                        continue
+                    except Exception:
+                        pass
+                unfinished.append(tasks[index])
+            # Tasks whose submit() never went through have no future at all.
+            unfinished.extend(tasks[len(futures) :])
             self._teardown_pool(broken=True)
-            return _execute_chunk_shared(executor, pending)
+            for task_executor, chunk in unfinished:
+                results.extend(_execute_chunk_shared(task_executor, chunk))
+            return results
 
     def _spawnable(self, executor):
         """Pre-flight the executor's spawn spec for process-pool transport.
@@ -268,8 +439,11 @@ class ParallelEngine:
         """
         import pickle
 
-        spec = executor.spawn_spec()
         try:
+            # spawn_spec() itself is part of the pre-flight: a duck-typed
+            # executor without one (AttributeError) degrades to serial exactly
+            # like an unpicklable spec would.
+            spec = executor.spawn_spec()
             pickle.dumps(spec)
             return spec
         except Exception as error:

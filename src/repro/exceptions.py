@@ -47,6 +47,20 @@ class AllocationError(ReproError):
     """Raised when a shot budget cannot be split across a variant batch."""
 
 
+class DeviceError(ReproError):
+    """Raised for invalid device specifications or farm configurations."""
+
+
+class InfeasibleVariantError(DeviceError):
+    """Raised when a subcircuit variant is wider than every device in a farm.
+
+    The message names the variant's post-reuse width and the widest available
+    device, so the caller knows exactly how many qubits are missing (and that a
+    deeper cut / more qubit reuse — not more devices of the same size — is what
+    would make the plan feasible).
+    """
+
+
 class PruningError(ReproError):
     """Raised for invalid variant-pruning policies or parameters."""
 

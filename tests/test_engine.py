@@ -128,6 +128,35 @@ class TestResultCache:
         cache.put("big", VariantResult(distribution=np.zeros(4096)))
         assert cache.get("big") is not None  # never evict the only entry
 
+    def test_zero_byte_budget_disables_caching(self):
+        # Regression: max_bytes=0 used to retain the newest entry anyway (the
+        # eviction loop stops at one entry), so nbytes exceeded max_bytes.
+        cache = ResultCache(maxsize=10, max_bytes=0)
+        cache.put("a", VariantResult(distribution=np.zeros(1024)))
+        assert len(cache) == 0
+        assert cache.nbytes == 0
+        assert cache.get("a") is None
+
+    def test_clear_resets_counters(self):
+        # Regression: clear() used to drop entries but keep hit/miss/eviction
+        # counters, conflating workloads that share nothing after the clear.
+        cache = ResultCache(maxsize=1)
+        cache.put("a", VariantResult(value=1.0))
+        cache.get("a")
+        cache.get("missing")
+        cache.put("b", VariantResult(value=2.0))  # evicts "a"
+        cache.clear()
+        stats = cache.stats()
+        assert stats == {
+            "size": 0,
+            "maxsize": 1,
+            "nbytes": 0,
+            "max_bytes": cache.max_bytes,
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+        }
+
 
 class TestFingerprints:
     def test_identical_variants_share_a_fingerprint(self, chain_wire_cut_solution):
@@ -371,6 +400,131 @@ class TestTwoPhaseReconstruction:
             )
 
 
+class _CompletedFuture:
+    def __init__(self, payload):
+        self._payload = payload
+
+    def cancel(self):
+        return False
+
+    def result(self):
+        return self._payload
+
+
+class _FailedFuture:
+    def __init__(self, error):
+        self._error = error
+
+    def cancel(self):
+        return False
+
+    def result(self):
+        raise self._error
+
+
+class _PendingFuture:
+    def cancel(self):
+        return True
+
+    def result(self):  # pragma: no cover - cancelled before anyone waits
+        raise AssertionError("a cancelled future must never be waited on")
+
+
+class _BreakingPool:
+    """Fake pool: first chunk completes, second breaks, the rest never start."""
+
+    def __init__(self):
+        self.submissions = 0
+
+    def submit(self, fn, *args):
+        self.submissions += 1
+        if self.submissions == 1:
+            return _CompletedFuture(fn(*args))
+        if self.submissions == 2:
+            return _FailedFuture(RuntimeError("worker died mid-batch"))
+        return _PendingFuture()
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class _SubmitBreakingPool:
+    """Fake pool that broke between batches: every submit raises immediately."""
+
+    def submit(self, fn, *args):
+        raise RuntimeError("cannot schedule new futures after shutdown")
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class CountingExecutor(ExactExecutor):
+    """Exact executor recording every execute_variant fingerprint."""
+
+    def __init__(self):
+        super().__init__()
+        self.executed_keys = []
+
+    def execute_variant(self, variant, seed=None):
+        self.executed_keys.append(request_key(variant))
+        return super().execute_variant(variant, seed)
+
+
+class TestBrokenPoolFallback:
+    def test_completed_chunks_are_not_rerun(self, chain_wire_cut_solution):
+        # Regression: a pool breaking mid-batch used to discard already
+        # completed chunk results and rerun the *entire* pending list serially,
+        # re-executing finished variants (wasted wall clock, and wasted shot
+        # budget under an active allocation).
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        executor = CountingExecutor()
+        engine = ParallelEngine(
+            executor, EngineConfig(max_workers=2, chunk_size=1, use_threads=True)
+        )
+        engine._pool = _BreakingPool()  # chunk 1 ok, chunk 2 fails, chunk 3 pending
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            table = engine.run_batch(variants)
+        baseline = ExactExecutor().run_batch(variants)
+        assert {key: result.value for key, result in table.items()} == {
+            key: result.value for key, result in baseline.items()
+        }
+        # Every unique variant executed exactly once — nothing double-executed.
+        assert sorted(executor.executed_keys) == sorted(
+            request_key(variant) for variant in variants
+        )
+        assert engine.executions == len(variants)
+
+    def test_failed_chunks_are_rerun_serially(self, chain_wire_cut_solution):
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        executor = CountingExecutor()
+        engine = ParallelEngine(
+            executor,
+            EngineConfig(
+                max_workers=2, chunk_size=1, use_threads=True, fallback_to_serial=False
+            ),
+        )
+        engine._pool = _BreakingPool()
+        with pytest.raises(RuntimeError, match="worker died"):
+            engine.run_batch(variants)
+
+    def test_pool_broken_at_submit_time_falls_back(self, chain_wire_cut_solution):
+        # A pool that broke *between* batches raises at submit(), not at
+        # result(); that must fall back to serial exactly like mid-batch
+        # breakage (submission happens inside the guarded block).
+        variants = _some_variants(chain_wire_cut_solution, count=3)
+        executor = CountingExecutor()
+        engine = ParallelEngine(
+            executor, EngineConfig(max_workers=2, chunk_size=1, use_threads=True)
+        )
+        engine._pool = _SubmitBreakingPool()
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            table = engine.run_batch(variants)
+        assert len(table) == len(variants)
+        assert sorted(executor.executed_keys) == sorted(
+            request_key(variant) for variant in variants
+        )
+
+
 class TestEngineConfig:
     def test_validation(self):
         with pytest.raises(ReproError):
@@ -428,6 +582,25 @@ class TestPipelineIntegration:
         # The shared cache satisfies the second evaluation entirely.
         assert second.num_variant_evaluations == 0
         assert second.expectation_value == first.expectation_value
+
+    def test_shared_engine_stats_are_per_call_deltas(self):
+        # Regression: engine_stats used to be the engine's lifetime snapshot,
+        # conflating unrelated workloads evaluated through a shared engine.
+        workload = make_workload("VQE", 5, layers=1)
+        config = CutConfig(device_size=3, max_subcircuits=2)
+        with ParallelEngine(ExactExecutor()) as engine:
+            first = evaluate_workload(workload, config, engine=engine)
+            second = evaluate_workload(workload, config, engine=engine)
+            lifetime = engine.stats
+        assert first.engine_stats.unique_executions == first.num_variant_evaluations
+        assert second.engine_stats.unique_executions == 0
+        assert second.engine_stats.cache_hits > 0
+        assert second.engine_stats.cache["hits"] > 0
+        # Identical workloads issue identical request streams.
+        assert second.engine_stats.requests == first.engine_stats.requests
+        # The engine itself still reports the cumulative view.
+        assert lifetime.requests == first.engine_stats.requests + second.engine_stats.requests
+        assert lifetime.unique_executions == first.engine_stats.unique_executions
 
     def test_engine_and_executor_are_mutually_exclusive(self):
         workload = make_workload("VQE", 5, layers=1)

@@ -35,6 +35,8 @@ FLAGSHIP = (
     ("repro.cutting", "VariantExecutor"),
     ("repro.engine", "allocate_shots"),
     ("repro.engine", "prune_requests"),
+    ("repro.engine", "DeviceSpec"),
+    ("repro.engine", "DeviceFarm"),
 )
 
 #: Parameters that never need prose (self/cls and private underscore args).
