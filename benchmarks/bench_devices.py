@@ -43,6 +43,7 @@ from harness import (
     SOLVER_TIME_LIMIT,
     add_device_arguments,
     add_engine_arguments,
+    bench_backend,
     device_farm,
     is_paper_scale,
     parse_device_widths,
@@ -78,7 +79,7 @@ def _evaluate(
         config,
         devices=devices,
         routing=routing if devices is not None else None,
-        engine_config=EngineConfig(max_workers=jobs),
+        engine_config=EngineConfig(max_workers=jobs, backend=bench_backend()),
     )
 
 

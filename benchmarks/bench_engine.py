@@ -31,6 +31,7 @@ import networkx as nx
 import pytest
 
 from repro.cutting import (
+    BatchedExactExecutor,
     CutReconstructor,
     CutSolution,
     ExactExecutor,
@@ -39,7 +40,7 @@ from repro.cutting import (
     WireCut,
     extract_subcircuits,
 )
-from repro.engine import EngineConfig, ParallelEngine, request_key
+from repro.engine import EngineConfig, ParallelEngine
 from repro.simulator import DeviceModel, NoiseModel
 from repro.workloads import Workload, WorkloadKind
 from repro.workloads.qaoa import maxcut_observable, qaoa_circuit
@@ -159,8 +160,10 @@ def generate_engine_rows(
     rows: List[Dict[str, object]] = []
     job_counts = sorted({1, max(1, jobs)})
     baselines: Dict[str, Dict] = {}
+    scalar_serial_seconds: Optional[float] = None
     for executor_name, make_executor in (
         ("exact", lambda: ExactExecutor()),
+        ("batched", lambda: BatchedExactExecutor()),
         ("noisy", lambda: NoisyExecutor(noisy_device, shots=4096, trajectories=3, seed=11)),
     ):
         serial_row = None
@@ -169,12 +172,24 @@ def generate_engine_rows(
             if job_count == 1:
                 serial_row = row
                 baselines[executor_name] = comparable
+                if executor_name == "exact":
+                    scalar_serial_seconds = row["seconds"]
             row = dict(row)
             row["executor"] = executor_name
             row["speedup_vs_serial"] = (
                 round(serial_row["seconds"] / row["seconds"], 2) if row["seconds"] > 0 else 0.0
             )
             row["identical_to_serial"] = comparable == baselines[executor_name]
+            # The batched executor's bitwise contract: its table must equal the
+            # scalar exact executor's, not just its own serial run.
+            row["identical_to_exact"] = (
+                comparable == baselines["exact"] if executor_name != "noisy" else "-"
+            )
+            row["speedup_vs_scalar"] = (
+                round(scalar_serial_seconds / row["seconds"], 2)
+                if executor_name != "noisy" and row["seconds"] > 0
+                else "-"
+            )
             rows.append(row)
     ordered = [
         {
@@ -185,7 +200,9 @@ def generate_engine_rows(
             "seconds": row["seconds"],
             "variants_per_s": row["variants_per_s"],
             "speedup_vs_serial": row["speedup_vs_serial"],
+            "speedup_vs_scalar": row["speedup_vs_scalar"],
             "identical_to_serial": row["identical_to_serial"],
+            "identical_to_exact": row["identical_to_exact"],
         }
         for row in rows
     ]
@@ -204,6 +221,15 @@ def test_engine_throughput(benchmark):
     )
     # Parallel batches must be numerically identical to serial ones, always.
     assert all(row["identical_to_serial"] for row in rows)
+    # The vectorized executor must match the scalar one bit for bit — at every
+    # worker count — and beat it on wall clock even single-threaded.
+    batched_rows = [row for row in rows if row["executor"] == "batched"]
+    assert all(row["identical_to_exact"] for row in batched_rows)
+    fastest_batched = max(row["speedup_vs_scalar"] for row in batched_rows)
+    assert fastest_batched >= 2.0, (
+        f"expected the batched executor to clear 2x scalar throughput, got "
+        f"{fastest_batched}x"
+    )
     # Dedup must collapse the request stream (identity terms, shared settings).
     assert all(row["unique_variants"] < row["requests"] for row in rows)
     # Throughput scaling needs real cores; only assert when the machine has them.

@@ -9,7 +9,6 @@ paper makes in Section 6.6.1.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, List
 
 import pytest

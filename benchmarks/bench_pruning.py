@@ -32,7 +32,14 @@ from repro.engine import EngineConfig, ParallelEngine, PruningPolicy, prune_requ
 from repro.workloads import Workload, WorkloadKind
 from repro.workloads.qaoa import maxcut_observable, qaoa_circuit
 
-from harness import add_engine_arguments, add_pruning_arguments, bench_jobs, publish, run_once
+from harness import (
+    add_engine_arguments,
+    add_pruning_arguments,
+    bench_backend,
+    bench_jobs,
+    publish,
+    run_once,
+)
 
 #: Default ring size (matches the other engine-path harnesses).
 DEFAULT_QUBITS = int(os.environ.get("QRCC_BENCH_PRUNING_QUBITS", "8"))
@@ -119,7 +126,7 @@ def pruned_row(
     policy = (
         PruningPolicy.none() if fraction <= 0.0 else PruningPolicy.budget_fraction(fraction)
     )
-    config = EngineConfig(max_workers=jobs, chunk_size=chunk_size)
+    config = EngineConfig(max_workers=jobs, chunk_size=chunk_size, backend=bench_backend())
     with ParallelEngine(config=config) as engine:
         reconstructor = CutReconstructor(solution, engine=engine)
         weights: Dict[str, float] = {}

@@ -30,7 +30,13 @@ from repro.cutting import CutReconstructor, SamplingExecutor
 from repro.engine import EngineConfig, ParallelEngine, allocate_shots
 
 from bench_engine import halved_ring_solution, ring_qaoa_workload
-from harness import add_engine_arguments, add_shot_arguments, bench_jobs, publish, run_once
+from harness import (
+    add_engine_arguments,
+    add_shot_arguments,
+    bench_jobs,
+    publish,
+    run_once,
+)
 
 #: Default ring size; 8 qubits matches the engine throughput benchmark.
 DEFAULT_QUBITS = int(os.environ.get("QRCC_BENCH_SHOTS_QUBITS", "8"))
@@ -62,6 +68,8 @@ def sampled_error(
     chunk_size: Optional[int] = None,
 ) -> float:
     """|reconstructed - exact| for one finite-shot reconstruction."""
+    # backend= is deliberately not set: the engine always wraps the explicit
+    # SamplingExecutor here, so EngineConfig.backend would never be consulted.
     executor = SamplingExecutor(shots=budget, seed=seed)
     config = EngineConfig(max_workers=jobs, chunk_size=chunk_size)
     with ParallelEngine(executor, config) as engine:

@@ -8,7 +8,7 @@ harness reports #SC, #cuts and #MS for CutQC, QRCC-C (delta=1) and QRCC-B
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import pytest
 

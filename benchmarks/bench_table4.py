@@ -52,7 +52,8 @@ def generate_table4_rows() -> List[Dict[str, object]]:
 
         improvement = "-"
         if cutqc_result.solve_time > 0 and qrcc_result.has_solution:
-            improvement = f"{100 * (1 - qrcc_result.solve_time / max(cutqc_result.solve_time, 1e-9)):.0f}%"
+            ratio = qrcc_result.solve_time / max(cutqc_result.solve_time, 1e-9)
+            improvement = f"{100 * (1 - ratio):.0f}%"
         rows.append(
             {
                 "benchmark": acronym,

@@ -54,7 +54,9 @@ def generate_table6_rows() -> List[Dict[str, object]]:
         circuit,
         target_size=TARGET_DEVICE,
         intermediate_sizes=INTERMEDIATE_SIZES,
-        config=CutConfig(device_size=TARGET_DEVICE, max_subcircuits=3, time_limit=SOLVER_TIME_LIMIT),
+        config=CutConfig(
+            device_size=TARGET_DEVICE, max_subcircuits=3, time_limit=SOLVER_TIME_LIMIT
+        ),
     ):
         row = {"scheme": "CutQC + CaQR"}
         row.update(result.row())

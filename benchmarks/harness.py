@@ -18,7 +18,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -27,7 +27,9 @@ SCALE = os.environ.get("QRCC_BENCH_SCALE", "small")
 
 #: Wall-clock limit per ILP solve, mirroring the paper's 1800 s Gurobi limit but
 #: scaled to the reduced problem sizes.
-SOLVER_TIME_LIMIT = float(os.environ.get("QRCC_BENCH_TIME_LIMIT", "30" if SCALE == "small" else "1800"))
+SOLVER_TIME_LIMIT = float(
+    os.environ.get("QRCC_BENCH_TIME_LIMIT", "30" if SCALE == "small" else "1800")
+)
 
 #: Parallel workers for variant batch execution (the engine's ``max_workers``).
 #: Harnesses read this through :func:`bench_jobs`; under pytest (where custom
@@ -48,6 +50,10 @@ DEFAULT_PRUNE_FRACTION = float(os.environ.get("QRCC_BENCH_PRUNE", "0"))
 #: Default farm routing policy (``--routing`` / ``QRCC_BENCH_ROUTING``).
 DEFAULT_ROUTING = os.environ.get("QRCC_BENCH_ROUTING", "best_fit")
 
+#: Default exact-execution backend (``--backend`` / ``QRCC_BENCH_BACKEND``):
+#: "batched" (vectorized same-structure variant groups) or "scalar".
+DEFAULT_BACKEND = os.environ.get("QRCC_BENCH_BACKEND", "batched")
+
 #: Default device farm as comma-separated qubit widths (``--device-widths`` /
 #: ``QRCC_BENCH_DEVICE_WIDTHS``); empty means no farm (the implicit simulator).
 DEFAULT_DEVICE_WIDTHS = os.environ.get("QRCC_BENCH_DEVICE_WIDTHS", "")
@@ -67,6 +73,14 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         type=int,
         default=None,
         help="variant requests per worker task (default: auto, ~4 chunks/worker)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("batched", "scalar"),
+        default=DEFAULT_BACKEND,
+        help="exact executor the engine builds when none is supplied: 'batched' "
+        "(vectorized same-structure variant groups, bit-identical to scalar) "
+        "or 'scalar' (default from QRCC_BENCH_BACKEND or batched)",
     )
     return parser
 
@@ -166,6 +180,19 @@ def bench_jobs(argv: Optional[Sequence[str]] = None) -> int:
     add_engine_arguments(parser)
     args, _ = parser.parse_known_args(sys.argv[1:] if argv is None else argv)
     return max(1, args.jobs)
+
+
+def bench_backend(argv: Optional[Sequence[str]] = None) -> str:
+    """The ``--backend`` value for a harness (CLI, else QRCC_BENCH_BACKEND, else batched).
+
+    Mirrors :func:`bench_jobs`, so deep harness call chains can resolve the
+    engine backend at the point where they build an :class:`~repro.engine.EngineConfig`
+    without threading one more parameter through every signature.
+    """
+    parser = argparse.ArgumentParser(add_help=False)
+    add_engine_arguments(parser)
+    args, _ = parser.parse_known_args(sys.argv[1:] if argv is None else argv)
+    return args.backend
 
 
 def is_paper_scale() -> bool:

@@ -7,8 +7,6 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..exceptions import ReproError
-from ..utils.linalg import fidelity_of_distributions, total_variation_distance
 
 __all__ = [
     "expectation_accuracy",

@@ -8,14 +8,13 @@ switch the pipeline itself makes).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from ..core import CutConfig, cut_circuit
 from ..exceptions import InfeasibleError
-from ..workloads import Workload, make_workload
+from ..workloads import make_workload
 
 __all__ = ["ScalingPoint", "nd_ratio_sweep", "connectivity_sweep"]
 

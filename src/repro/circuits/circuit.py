@@ -9,12 +9,12 @@ layer scheduling (ASAP moments) and qubit remapping.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import CircuitError
-from .gates import GATE_SPECS, Operation, gate_matrix, operation
+from .gates import GATE_SPECS, Operation, operation
 
 __all__ = ["Circuit"]
 
@@ -67,6 +67,17 @@ class Circuit:
         clone = Circuit(self._num_qubits, name or self.name)
         clone._operations = list(self._operations)
         return clone
+
+    def __getstate__(self) -> dict:
+        """Pickle support: never ship derived caches to worker processes.
+
+        The batched simulator memoises its parsed structure on the circuit
+        (see :mod:`repro.simulator.batched`); workers re-derive it cheaply, so
+        shipping the matrices would only bloat every pooled request.
+        """
+        state = dict(self.__dict__)
+        state.pop("_parsed_structure", None)
+        return state
 
     # ------------------------------------------------------------------ builders
     def append(self, op: Operation) -> "Circuit":

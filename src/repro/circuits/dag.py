@@ -12,7 +12,7 @@ The DAG exposes exactly the structure the cutting formulation needs:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 

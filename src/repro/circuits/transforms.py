@@ -14,7 +14,6 @@ paper's contribution itself:
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import networkx as nx

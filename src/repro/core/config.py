@@ -37,7 +37,7 @@ binding constraint; see :mod:`repro.engine.devices`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Optional
 
 from ..engine.config import EngineConfig

@@ -24,12 +24,12 @@ both the proposed system and the baseline.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits import Circuit
 from ..cutting import CutSolution, GateCut, WireCut
-from ..exceptions import InfeasibleError, ModelError, SearchTimeoutError, SolverError
+from ..exceptions import InfeasibleError, SearchTimeoutError, SolverError
 from ..ilp import LinearExpression, Model, ScipyMilpBackend, SolveResult, SolveStatus, Variable
 from .config import CutConfig
 from .qr_dag import QRAwareDag

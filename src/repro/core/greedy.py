@@ -21,11 +21,11 @@ grow with the N/D ratio and with two-qubit gate density.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 import networkx as nx
 
-from ..circuits import Circuit, CircuitDag
+from ..circuits import Circuit
 from ..cutting import CutSolution, WireCut
 from ..exceptions import CuttingError
 from .config import CutConfig

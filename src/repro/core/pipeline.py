@@ -33,7 +33,6 @@ from ..cutting import (
 from ..engine import (
     ALLOCATION_POLICIES,
     DeviceSpec,
-    DeviceUtilization,
     EngineConfig,
     EngineStats,
     ParallelEngine,
@@ -44,9 +43,8 @@ from ..engine import (
     allocate_shots,
     prune_requests,
 )
-from ..exceptions import CuttingError, InfeasibleError
+from ..exceptions import CuttingError
 from ..simulator import simulate_statevector
-from ..utils.pauli import PauliObservable
 from ..workloads import Workload, WorkloadKind
 from .config import CutConfig
 from .formulation import CuttingFormulation

@@ -17,7 +17,7 @@ therefore what lets a wire cut *free* a qubit that a later logical qubit can reu
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..circuits import Circuit, CircuitDag, Operation
 from ..exceptions import CuttingError

@@ -13,11 +13,10 @@ Table 6 can be regenerated.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..circuits import Circuit
-from ..cutting import extract_subcircuits
 from ..exceptions import InfeasibleError, SearchTimeoutError
 from ..reuse import apply_qubit_reuse
 from ..cutting.variants import VariantBuilder, VariantSettings

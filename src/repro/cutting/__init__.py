@@ -7,7 +7,7 @@ from .cuts import (
     effective_wire_cuts,
     postprocessing_cost,
 )
-from .executors import ExactExecutor, NoisyExecutor, VariantExecutor
+from .executors import BatchedExactExecutor, ExactExecutor, NoisyExecutor, VariantExecutor
 from .fragments import Fragment, FragmentElement, SubcircuitSpec, extract_subcircuits
 from .gate_cut import (
     CUTTABLE_GATES,
@@ -35,6 +35,7 @@ from .variants import (
 )
 
 __all__ = [
+    "BatchedExactExecutor",
     "CUTTABLE_GATES",
     "CutReconstructor",
     "CutSolution",

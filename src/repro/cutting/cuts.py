@@ -16,7 +16,7 @@ subcircuits — which is the contract the downstream fragment extractor relies o
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from ..circuits import Circuit, CircuitDag
 from ..exceptions import CuttingError

@@ -19,13 +19,12 @@ ILP constrains (Eq. 11).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits import Circuit, CircuitDag
 from ..exceptions import CuttingError
-from .cuts import CutSolution, GateCut, WireCut
-from .gate_cut import CUTTABLE_GATES
+from .cuts import CutSolution, WireCut
 
 __all__ = ["FragmentElement", "Fragment", "SubcircuitSpec", "extract_subcircuits"]
 

@@ -35,8 +35,8 @@ single primitive ``exp(i theta Z (x) Z)`` plus purely local cleanup gates, so
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 from ..circuits import Operation
 from ..exceptions import CuttingError
@@ -103,7 +103,11 @@ class GateCutDecomposition:
 
     def side_operations(
         self, side: str, instance: GateCutInstance
-    ) -> Tuple[Tuple[Tuple[str, Tuple[float, ...]], ...], bool, Tuple[Tuple[str, Tuple[float, ...]], ...]]:
+    ) -> Tuple[
+        Tuple[Tuple[str, Tuple[float, ...]], ...],
+        bool,
+        Tuple[Tuple[str, Tuple[float, ...]], ...],
+    ]:
         """Return ``(pre gates, measure?, post gates)`` for ``side`` in ``instance``.
 
         ``pre gates`` = local cleanup-before + the instance's unitary action;

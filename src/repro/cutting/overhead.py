@@ -18,7 +18,6 @@ reconstruction strategies as a function of the number of cuts:
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..exceptions import ReproError
@@ -38,7 +37,9 @@ _FSS_GATES = 1000
 _FSS_QUBITS = 34
 
 
-def full_state_simulation_threshold(num_qubits: int = _FSS_QUBITS, num_gates: int = _FSS_GATES) -> float:
+def full_state_simulation_threshold(
+    num_qubits: int = _FSS_QUBITS, num_gates: int = _FSS_GATES
+) -> float:
     """#FP of a dense full-state simulation (the paper's ~1e24 threshold at 34q/1000 gates).
 
     A dense k-qubit gate application touches every amplitude a constant number of
@@ -70,7 +71,9 @@ def fre_operations(num_cuts: int, scalars_per_term: int = 2) -> float:
     return float(scalars_per_term * (4.0**num_cuts))
 
 
-def arp_operations(num_qubits: int, num_cuts: int, num_subcircuits: int = 2, cap_qubits: int = 30) -> float:
+def arp_operations(
+    num_qubits: int, num_cuts: int, num_subcircuits: int = 2, cap_qubits: int = 30
+) -> float:
     """#FP of approximate reconstruction (ARP-2 / ARP-4 curves).
 
     The output space is truncated to ``2^cap_qubits`` amplitudes whenever the circuit

@@ -41,7 +41,7 @@ from ..engine import ParallelEngine, VariantResult, request_key
 from ..exceptions import ReconstructionError
 from ..utils.pauli import PauliObservable, PauliString
 from .cuts import CutSolution
-from .executors import ExactExecutor, VariantExecutor
+from .executors import VariantExecutor
 from .fragments import SubcircuitSpec, extract_subcircuits
 from .gate_cut import decompose_gate_cut
 from .variants import (
@@ -104,7 +104,10 @@ class CutReconstructor:
             specs if specs is not None else extract_subcircuits(solution, enable_reuse)
         )
         if engine is None:
-            engine = ParallelEngine(executor or ExactExecutor())
+            # executor=None lets the engine build its configured default exact
+            # backend (the vectorized batched executor, unless EngineConfig
+            # says otherwise).
+            engine = ParallelEngine(executor)
         elif executor is not None and engine.executor is not executor:
             raise ReconstructionError(
                 "pass either an executor or an engine, not two different backends"

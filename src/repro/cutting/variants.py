@@ -20,14 +20,14 @@ ready for the exact branching simulator, the shot sampler or the noisy device mo
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..circuits import Circuit, Operation
+from ..circuits import Circuit
 from ..exceptions import CuttingError
 from ..utils.pauli import PauliString
 from .cuts import CutSolution, WireCut
 from .fragments import Fragment, SubcircuitSpec, _assign_layers
-from .gate_cut import GateCutDecomposition, GateCutInstance, decompose_gate_cut
+from .gate_cut import GateCutDecomposition, decompose_gate_cut
 
 __all__ = [
     "WIRE_CUT_MEASUREMENT_BASES",

@@ -20,7 +20,7 @@ from .allocation import (
     largest_remainder_split,
 )
 from .cache import DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SIZE, ResultCache
-from .config import EngineConfig
+from .config import BACKENDS, EngineConfig
 from .devices import (
     ROUTING_POLICIES,
     DeviceFarm,
@@ -38,6 +38,7 @@ from .requests import (
 
 __all__ = [
     "ALLOCATION_POLICIES",
+    "BACKENDS",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_CACHE_SIZE",
     "DeviceFarm",

@@ -11,7 +11,7 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Tuple, Union
+from typing import Optional, Sequence, Union
 
 from ..exceptions import ReproError
 from .allocation import ALLOCATION_POLICIES
@@ -19,7 +19,10 @@ from .cache import DEFAULT_CACHE_SIZE
 from .devices import ROUTING_POLICIES, DeviceSpec
 from .pruning import PruningPolicy
 
-__all__ = ["EngineConfig"]
+__all__ = ["EngineConfig", "BACKENDS"]
+
+#: Exact-execution backends an engine can build when no executor is supplied.
+BACKENDS = ("batched", "scalar")
 
 
 @dataclass(frozen=True)
@@ -27,6 +30,14 @@ class EngineConfig:
     """Knobs of the batched parallel variant-execution engine.
 
     Attributes:
+        backend: which exact executor the engine builds when none is supplied —
+            ``"batched"`` (the default, the vectorized
+            :class:`~repro.cutting.executors.BatchedExactExecutor`: same-structure
+            variants share one ``(batch, 2**n)`` simulation pass) or
+            ``"scalar"`` (the one-variant-at-a-time
+            :class:`~repro.cutting.executors.ExactExecutor`).  The two are
+            bit-identical result for result, so this knob trades nothing but
+            speed; an executor you pass yourself always wins over it.
         max_workers: parallel workers for batch execution.  ``1`` (the default)
             executes in-process with no pool; ``None`` uses ``os.cpu_count()``.
             Exposed as ``--jobs`` by the benchmark harnesses.
@@ -91,8 +102,11 @@ class EngineConfig:
     pruning: Union[str, PruningPolicy] = "none"
     devices: Optional[Sequence[DeviceSpec]] = None
     routing: str = "best_fit"
+    backend: str = "batched"
 
     def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ReproError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ReproError(f"max_workers must be >= 1 or None, got {self.max_workers}")
         if self.chunk_size is not None and self.chunk_size < 1:

@@ -38,15 +38,28 @@ __all__ = ["EngineStats", "ParallelEngine"]
 PendingRequest = Tuple[str, object, Optional[Tuple[int, ...]]]
 
 
+def _run_chunk(executor, chunk: Sequence[PendingRequest]):
+    """Run one chunk on ``executor`` through its batch fast path when it has one.
+
+    ``run_many`` lets batch-capable executors (the vectorized
+    :class:`~repro.cutting.executors.BatchedExactExecutor`) evaluate a whole
+    chunk in grouped passes; duck-typed executors without it fall back to the
+    one-request-at-a-time protocol call.
+    """
+    run_many = getattr(executor, "run_many", None)
+    if run_many is not None:
+        return list(run_many(chunk))
+    return [(key, executor.execute_variant(variant, seed=seed)) for key, variant, seed in chunk]
+
+
 def _execute_chunk(executor_cls, spawn_args, chunk: Sequence[PendingRequest]):
     """Process-pool worker: rebuild the executor from its spawn spec, run a chunk."""
-    executor = executor_cls(*spawn_args)
-    return [(key, executor.execute_variant(variant, seed=seed)) for key, variant, seed in chunk]
+    return _run_chunk(executor_cls(*spawn_args), chunk)
 
 
 def _execute_chunk_shared(executor, chunk: Sequence[PendingRequest]):
     """Thread-pool worker: run a chunk directly on the shared executor."""
-    return [(key, executor.execute_variant(variant, seed=seed)) for key, variant, seed in chunk]
+    return _run_chunk(executor, chunk)
 
 
 @dataclass(frozen=True)
@@ -138,9 +151,13 @@ class ParallelEngine:
     def __init__(self, executor=None, config: Optional[EngineConfig] = None) -> None:
         self._config = config or EngineConfig()
         if executor is None:
-            from ..cutting.executors import ExactExecutor
+            from ..cutting.executors import BatchedExactExecutor, ExactExecutor
 
-            executor = ExactExecutor(cache=ResultCache(self._config.cache_size))
+            cache = ResultCache(self._config.cache_size)
+            if self._config.backend == "batched":
+                executor = BatchedExactExecutor(cache=cache)
+            else:
+                executor = ExactExecutor(cache=cache)
         # A caller-supplied executor keeps whatever cache it was built with:
         # config.cache_size only sizes the cache of engine-created executors,
         # so an explicit memory bound is never silently replaced.
@@ -311,6 +328,7 @@ class ParallelEngine:
         lane, so results stay bit-identical for any worker count.
         """
         if self._farm is None:
+            pending = self._grouped(executor, pending)
             tasks = [(executor, chunk) for chunk in self._chunked(pending)]
             return self._run_tasks(tasks)
         allocation = self._allocation
@@ -325,6 +343,7 @@ class ParallelEngine:
             if not lane:
                 continue
             lane_executor = self._farm.executor_for(spec, default=executor)
+            lane = self._grouped(lane_executor, lane)
             for chunk in self._chunked_lane(lane, spec):
                 tasks.append((lane_executor, chunk))
         try:
@@ -336,6 +355,39 @@ class ParallelEngine:
             # executor's execution counters.
             self._farm.restore(before)
             raise
+
+    def _grouped(
+        self, executor, pending: Sequence[PendingRequest]
+    ) -> Sequence[PendingRequest]:
+        """Reorder pending requests so same-structure requests sit together.
+
+        Batch-capable executors expose ``group_key`` (a stable structure hash of
+        the variant circuit, keyed off the same parsed skeleton their
+        ``run_many`` groups by); sorting the batch by first-seen group before
+        chunking keeps each worker chunk dominated by one structure, so the
+        vectorized fast path survives parallel dispatch.  Ordering is
+        deterministic (first-seen group order, stable within a group) and — as
+        for any reordering — results are unaffected: every request is evaluated
+        independently and collected by fingerprint.  Executors without
+        ``group_key`` (scalar, sampling, noisy, duck-typed device backends) see
+        their batch untouched.
+        """
+        group_key = getattr(executor, "group_key", None)
+        if group_key is None or len(pending) < 2:
+            return pending
+        first_seen: Dict[object, int] = {}
+        ranks: List[int] = []
+        try:
+            for _, variant, _ in pending:
+                key = group_key(variant)
+                ranks.append(first_seen.setdefault(key, len(first_seen)))
+        except Exception:
+            # Grouping is a performance hint only: a request the executor
+            # cannot parse (duck-typed variants in tests, foreign payloads)
+            # must not break dispatch.
+            return pending
+        order = sorted(range(len(pending)), key=lambda index: (ranks[index], index))
+        return [pending[index] for index in order]
 
     def _chunked_lane(
         self, lane: Sequence[PendingRequest], spec

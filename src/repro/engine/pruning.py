@@ -35,7 +35,7 @@ bound for executors whose estimates can exceed the physical range.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Mapping, Tuple, Union
 
 from ..exceptions import PruningError
 from .requests import request_key

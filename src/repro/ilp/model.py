@@ -16,7 +16,7 @@ minimisation objective.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..exceptions import ModelError
@@ -213,7 +213,9 @@ class Model:
             raise ModelError(f"no variable named {name!r}") from exc
 
     # ------------------------------------------------------------------ constraints
-    def add_constraint(self, expression, sense: str, rhs: Number, name: Optional[str] = None) -> Constraint:
+    def add_constraint(
+        self, expression, sense: str, rhs: Number, name: Optional[str] = None
+    ) -> Constraint:
         if sense not in (Sense.LE, Sense.GE, Sense.EQ):
             raise ModelError(f"unknown constraint sense {sense!r}")
         expression = LinearExpression.coerce(expression)

@@ -13,14 +13,18 @@ This module computes that compatibility relation and enumerates reuse candidates
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Set
 
 import networkx as nx
 
 from ..circuits import Circuit, CircuitDag
-from ..exceptions import ReproError
 
-__all__ = ["ReuseCandidate", "qubit_dependency_closure", "find_reuse_candidates", "asap_active_width"]
+__all__ = [
+    "ReuseCandidate",
+    "qubit_dependency_closure",
+    "find_reuse_candidates",
+    "asap_active_width",
+]
 
 
 @dataclass(frozen=True)

@@ -11,13 +11,13 @@ width is reached.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from ..circuits import Circuit, CircuitDag, Operation
+from ..circuits import Circuit, CircuitDag
 from ..exceptions import ReproError
-from .analysis import find_reuse_candidates, qubit_dependency_closure
+from .analysis import find_reuse_candidates
 
 __all__ = ["ReuseResult", "QubitReuseScheduler", "apply_qubit_reuse"]
 
@@ -156,7 +156,8 @@ class QubitReuseScheduler:
         width = len(active)
         compact = Circuit(max(width, 1), f"{original.name}_reused")
         for op in working:
-            compact.append(op.remapped({q: wire_index.get(q, 0) for q in range(working.num_qubits)}))
+            mapping = {q: wire_index.get(q, 0) for q in range(working.num_qubits)}
+            compact.append(op.remapped(mapping))
         wire_of_qubit: Dict[int, int] = {}
         for wire_qubit, group in wire_groups.items():
             if wire_qubit not in wire_index:

@@ -1,5 +1,12 @@
-"""Simulation backends: exact statevector, exact dynamic (branching), shots, noise."""
+"""Simulation backends: exact statevector, batched vectorized, dynamic, shots, noise."""
 
+from .batched import (
+    BatchedStatevector,
+    branch_bound,
+    simulate_batch,
+    simulate_variant_group,
+    variant_group_key,
+)
 from .dynamic import Branch, BranchedResult, BranchingSimulator, simulate_dynamic
 from .expectation import (
     basis_rotation_circuit,
@@ -23,17 +30,23 @@ from .sampler import (
     sample_counts,
     sample_weighted_counts,
 )
-from .statevector import Statevector, apply_gate, simulate_statevector
+from .statevector import Statevector, apply_gate, apply_gate_batch, simulate_statevector
 
 __all__ = [
     "Branch",
     "BranchedResult",
     "BranchingSimulator",
+    "BatchedStatevector",
     "DeviceModel",
     "NoiseModel",
     "NoisySimulator",
     "Statevector",
     "apply_gate",
+    "apply_gate_batch",
+    "branch_bound",
+    "simulate_batch",
+    "simulate_variant_group",
+    "variant_group_key",
     "basis_rotation_circuit",
     "counts_to_distribution",
     "diagonalized_term",

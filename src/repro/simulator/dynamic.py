@@ -26,7 +26,7 @@ import numpy as np
 from ..circuits import Circuit
 from ..exceptions import SimulationError
 from ..utils.pauli import PauliObservable
-from .statevector import Statevector, apply_gate
+from .statevector import Statevector, _apply_matrix, _validate_gate
 
 __all__ = ["Branch", "BranchedResult", "BranchingSimulator", "simulate_dynamic"]
 
@@ -38,6 +38,9 @@ SIGNED_MEASUREMENT_PREFIX = "signed:"
 #: Probability below which a branch is pruned (exactly-zero amplitudes only, by
 #: default, so results stay exact).
 _DEFAULT_PRUNE_THRESHOLD = 1e-14
+
+#: The X gate applied after a reset that projected onto |1>.
+_FLIP = np.array([[0, 1], [1, 0]], dtype=complex)
 
 
 @dataclass
@@ -118,10 +121,22 @@ class BranchingSimulator:
                 raise SimulationError("initial_labels must have one label per qubit")
             initial = Statevector.from_label(initial_labels).data
         branches = [Branch(probability=1.0, sign=1, state=initial)]
+        # Matrix construction and shape validation are hoisted out of the branch
+        # loop: a circuit is validated once, then every branch pays only for the
+        # gate kernel itself.
+        matrices: List[Optional[np.ndarray]] = []
+        for op in circuit.operations:
+            if op.is_unitary:
+                matrix = op.matrix()
+                _validate_gate(matrix, op.qubits, num_qubits)
+                matrices.append(matrix)
+            else:
+                matrices.append(None)
         for op_index, op in enumerate(circuit.operations):
             if op.is_unitary:
+                matrix = matrices[op_index]
                 for branch in branches:
-                    branch.state = apply_gate(branch.state, op.matrix(), op.qubits, num_qubits)
+                    branch.state = _apply_matrix(branch.state, matrix, op.qubits, num_qubits)
             elif op.is_measurement:
                 branches = self._apply_measurement(branches, op_index, op, num_qubits)
             elif op.is_reset:
@@ -163,8 +178,7 @@ class BranchingSimulator:
                 if probability <= self._prune_threshold:
                     continue
                 if outcome == 1:
-                    flip = np.array([[0, 1], [1, 0]], dtype=complex)
-                    projected = apply_gate(projected, flip, (qubit,), num_qubits)
+                    projected = _apply_matrix(projected, _FLIP, (qubit,), num_qubits)
                 result.append(
                     Branch(
                         probability=branch.probability * probability,
@@ -176,7 +190,9 @@ class BranchingSimulator:
         return result
 
 
-def _project(state: np.ndarray, qubit: int, outcome: int, num_qubits: int) -> Tuple[np.ndarray, float]:
+def _project(
+    state: np.ndarray, qubit: int, outcome: int, num_qubits: int
+) -> Tuple[np.ndarray, float]:
     """Project ``state`` onto ``qubit == outcome``; return (normalised state, probability)."""
     indices = np.arange(len(state))
     mask = ((indices >> qubit) & 1) == outcome

@@ -11,7 +11,7 @@ Bridges the three ways expectation values are obtained in the paper's experiment
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -18,11 +18,11 @@ of two-qubit gates and circuit depth — is preserved by this model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from ..circuits import Circuit, Operation, decompose_to_basis, route_to_coupling_map
+from ..circuits import Circuit, decompose_to_basis, route_to_coupling_map
 from ..exceptions import SimulationError
 from ..utils.pauli import PauliObservable
 from .dynamic import simulate_dynamic

@@ -7,7 +7,7 @@ the output probability vector (and expectation values derived from it).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional
 
 import numpy as np
 

@@ -3,14 +3,20 @@
 Convention: qubit 0 is the **least significant bit** of the computational-basis
 index, i.e. basis state ``|q_{n-1} ... q_1 q_0>`` has index ``sum q_k 2^k``.
 
-The simulator applies 1- and 2-qubit gates in-place on a ``2**n`` complex vector
-using tensor reshapes, which is fast enough for the exact verification circuits used
-throughout the test-suite and benchmark harnesses (n <= ~20).
+Gates are applied through one shared elementwise kernel (:func:`_apply_matrix`)
+that treats every leading axis of the state array as a batch dimension.  The
+kernel deliberately avoids BLAS contractions: each output amplitude is built
+from the same left-to-right multiply-add sequence whatever the batch shape, so
+a ``(batch, 2**n)`` stack of states (the batched simulator,
+:mod:`repro.simulator.batched`) produces amplitudes bit-identical to ``batch``
+single-state applications.  Validation happens once per public call, never
+inside the kernel, so hot loops (the branching simulator, the batched backend)
+can pre-validate a circuit and pay only for arithmetic per gate.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -18,9 +24,15 @@ from ..circuits import Circuit
 from ..exceptions import SimulationError
 from ..utils.pauli import PauliObservable, PauliString, init_state_vector
 
-__all__ = ["Statevector", "apply_gate", "simulate_statevector"]
+__all__ = ["Statevector", "apply_gate", "apply_gate_batch", "simulate_statevector"]
 
 _MAX_DENSE_QUBITS = 24
+
+_PAULI_MATRICES = {
+    "X": np.array([[0, 1], [1, 0]], dtype=complex),
+    "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
+    "Z": np.array([[1, 0], [0, -1]], dtype=complex),
+}
 
 
 def _validate_size(num_qubits: int) -> None:
@@ -31,31 +43,132 @@ def _validate_size(num_qubits: int) -> None:
         )
 
 
-def apply_gate(state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> np.ndarray:
+def _validate_gate(matrix: np.ndarray, qubits: Sequence[int], num_qubits: int) -> None:
+    """Shape checks for one gate application (hoistable: per circuit, not per gate)."""
+    k = len(qubits)
+    if matrix.shape[-2:] != (2**k, 2**k):
+        raise SimulationError(
+            f"gate matrix shape {matrix.shape} does not match {k} qubit operands"
+        )
+    for qubit in qubits:
+        if not 0 <= qubit < num_qubits:
+            raise SimulationError(
+                f"gate operand qubit {qubit} out of range for {num_qubits} qubits"
+            )
+
+
+def _apply_matrix(
+    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply a k-qubit ``matrix`` to ``qubits`` of ``states`` (no validation).
+
+    ``states`` has shape ``(..., 2**num_qubits)``; every leading axis is a batch
+    dimension.  ``matrix`` is either one ``(2**k, 2**k)`` unitary shared by all
+    batch entries, or a per-entry stack of shape ``batch_shape + (2**k, 2**k)``.
+
+    The arithmetic is pure elementwise multiply-add with a fixed left-to-right
+    accumulation order over the ``2**k`` input basis states, so results are
+    bit-identical for any batch shape (a single state and a row of a batch see
+    exactly the same IEEE operation sequence).  Exactly-zero entries of a
+    *shared* matrix are skipped — deterministically, from the matrix content —
+    which makes diagonal and permutation gates (rz/cz/cx/rzz...) cheap without
+    breaking the bitwise contract.
+    """
+    k = len(qubits)
+    dim = 2**k
+    lead = states.shape[:-1]
+    nlead = len(lead)
+    if k == 1:
+        # Single-qubit fast path: split the state axis around the target bit and
+        # update through strided views — no moveaxis, no reshape copies.  The
+        # per-element arithmetic (and therefore the bitwise result) is the same
+        # as the generic path below; only the memory traffic differs.
+        qubit = qubits[0]
+        view = states.reshape(lead + (-1, 2, 2**qubit))
+        low0 = view[..., 0, :]
+        low1 = view[..., 1, :]
+        out = np.empty_like(view)
+        per_entry = matrix.ndim > 2
+        for i in (0, 1):
+            accumulator = None
+            for j, column in ((0, low0), (1, low1)):
+                if per_entry:
+                    coefficient = matrix[..., i, j][..., np.newaxis, np.newaxis]
+                else:
+                    coefficient = matrix[i, j]
+                    if coefficient == 0:
+                        continue
+                term = coefficient * column
+                accumulator = term if accumulator is None else accumulator + term
+            out[..., i, :] = 0 if accumulator is None else accumulator
+        return out.reshape(states.shape)
+    tensor = states.reshape(lead + (2,) * num_qubits)
+    # numpy axes are ordered most-significant-first after reshape: the axis for
+    # qubit q is (nlead + num_qubits - 1 - q).  Moving (q_{k-1} ... q_0) to the
+    # end makes the flattened last axis the gate's own basis index with
+    # qubits[0] as its least significant bit (the Operation.matrix convention).
+    source = [nlead + num_qubits - 1 - q for q in reversed(qubits)]
+    destination = list(range(nlead + num_qubits - k, nlead + num_qubits))
+    tensor = np.moveaxis(tensor, source, destination)
+    tensor = tensor.reshape(lead + (-1, dim))
+    columns = [tensor[..., j] for j in range(dim)]
+    per_entry = matrix.ndim > 2
+    out = np.empty_like(tensor)
+    for i in range(dim):
+        accumulator = None
+        for j in range(dim):
+            if per_entry:
+                coefficient = matrix[..., i, j][..., np.newaxis]
+            else:
+                coefficient = matrix[i, j]
+                if coefficient == 0:
+                    continue
+            term = coefficient * columns[j]
+            accumulator = term if accumulator is None else accumulator + term
+        if accumulator is None:
+            out[..., i] = 0
+        else:
+            out[..., i] = accumulator
+    out = out.reshape(lead + (2,) * num_qubits)
+    out = np.moveaxis(out, destination, source)
+    return np.ascontiguousarray(out.reshape(lead + (-1,)))
+
+
+def apply_gate(
+    state: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
     """Apply a k-qubit gate ``matrix`` to ``qubits`` of ``state`` and return the result.
 
     ``qubits[0]`` corresponds to the least significant bit of the gate's own basis
     index (the same convention as :meth:`repro.circuits.gates.Operation.matrix`).
     """
-    k = len(qubits)
-    if matrix.shape != (2**k, 2**k):
+    _validate_gate(matrix, qubits, num_qubits)
+    return _apply_matrix(state, matrix, qubits, num_qubits)
+
+
+def apply_gate_batch(
+    states: np.ndarray, matrix: np.ndarray, qubits: Sequence[int], num_qubits: int
+) -> np.ndarray:
+    """Apply one gate to a ``(batch, 2**n)`` stack of statevectors at once.
+
+    ``matrix`` is either a single ``(2**k, 2**k)`` unitary applied to every row
+    or a ``(batch, 2**k, 2**k)`` stack giving each row its own matrix.  Row ``b``
+    of the result is bit-identical to ``apply_gate(states[b], ...)`` — the gate
+    kernel performs the same elementwise IEEE operation sequence per amplitude
+    regardless of the batch shape, which is the contract the batched exact
+    executor's bitwise-reproducibility guarantee rests on.
+    """
+    _validate_gate(matrix, qubits, num_qubits)
+    if states.ndim != 2:
         raise SimulationError(
-            f"gate matrix shape {matrix.shape} does not match {k} qubit operands"
+            f"apply_gate_batch expects a (batch, 2**n) array, got shape {states.shape}"
         )
-    tensor = state.reshape([2] * num_qubits)
-    # numpy axes are ordered most-significant-first after reshape: axis for qubit q is
-    # (num_qubits - 1 - q).
-    axes = [num_qubits - 1 - q for q in qubits]
-    gate_tensor = matrix.reshape([2] * (2 * k))
-    # Gate tensor index order: (out_{k-1} ... out_0, in_{k-1} ... in_0); we contract the
-    # input indices against the state axes.  tensordot places contracted-out axes first.
-    in_axes = list(range(2 * k))[k:]
-    moved = np.tensordot(gate_tensor, tensor, axes=(in_axes, list(reversed(axes))))
-    # tensordot output axes: (out_{k-1} ... out_0, remaining state axes in order).
-    # Move the output axes back to their original positions.
-    destination = list(reversed(axes))
-    moved = np.moveaxis(moved, list(range(k)), destination)
-    return np.ascontiguousarray(moved.reshape(-1))
+    if matrix.ndim == 3 and matrix.shape[0] != states.shape[0]:
+        raise SimulationError(
+            f"per-row matrix stack has {matrix.shape[0]} entries for a batch of "
+            f"{states.shape[0]} states"
+        )
+    return _apply_matrix(states, matrix, qubits, num_qubits)
 
 
 class Statevector:
@@ -158,12 +271,9 @@ class Statevector:
         data = self._data
         transformed = data.copy()
         for qubit, label in term.paulis:
-            matrix = {
-                "X": np.array([[0, 1], [1, 0]], dtype=complex),
-                "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
-                "Z": np.array([[1, 0], [0, -1]], dtype=complex),
-            }[label]
-            transformed = apply_gate(transformed, matrix, (qubit,), self._num_qubits)
+            transformed = apply_gate(
+                transformed, _PAULI_MATRICES[label], (qubit,), self._num_qubits
+            )
         value = np.vdot(data, transformed)
         return float(term.coefficient * value.real)
 
@@ -175,7 +285,9 @@ class Statevector:
         return f"Statevector(num_qubits={self._num_qubits})"
 
 
-def simulate_statevector(circuit: Circuit, initial_labels: Optional[Sequence[str]] = None) -> Statevector:
+def simulate_statevector(
+    circuit: Circuit, initial_labels: Optional[Sequence[str]] = None
+) -> Statevector:
     """Simulate a unitary-only circuit from ``|0...0>`` (or a labelled product state)."""
     if initial_labels is None:
         state = Statevector.zero_state(circuit.num_qubits)

@@ -10,7 +10,7 @@ standard 6-CNOT + T decomposition.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 from ..circuits import Circuit
 from ..exceptions import WorkloadError

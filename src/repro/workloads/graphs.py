@@ -6,7 +6,6 @@ the paper-table reproduction) uses the same graphs.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import networkx as nx
 

@@ -13,7 +13,6 @@ two-qubit gate density, which is exactly what Table 2 uses them for.
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
 
 import networkx as nx
 

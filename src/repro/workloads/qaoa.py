@@ -91,7 +91,9 @@ def _make_qaoa_workload(
     )
 
 
-def make_regular_qaoa(num_qubits: int, degree: int = 5, layers: int = 1, seed: int = 11) -> Workload:
+def make_regular_qaoa(
+    num_qubits: int, degree: int = 5, layers: int = 1, seed: int = 11
+) -> Workload:
     """The ``REG`` workload: QAOA MaxCut on an m-regular graph (default m=5)."""
     graph = regular_graph(num_qubits, degree, seed)
     return _make_qaoa_workload(

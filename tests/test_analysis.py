@@ -1,7 +1,6 @@
 """Tests for the analysis helpers (metrics, scaling sweeps)."""
 
 import numpy as np
-import pytest
 
 from repro.analysis import (
     ComparisonRow,

@@ -1,0 +1,473 @@
+"""Batched vectorized simulation: bitwise identity with the scalar path.
+
+The batched backend's contract is strict: a ``(batch, 2**n)`` pass over a group
+of structurally aligned variants must produce results **bit-identical** to
+running every variant alone through the scalar branching simulator.  These
+tests pin that contract across hand-built circuits, property-based random
+variant groups (hypothesis), real cut enumerations, the executor protocol
+(dedup/caching/counters) and the engine's group-aware dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import Circuit
+from repro.core import cut_circuit, evaluate_workload
+from repro.core.config import CutConfig
+from repro.cutting import (
+    BatchedExactExecutor,
+    CutReconstructor,
+    ExactExecutor,
+    SubcircuitVariant,
+    VariantSettings,
+)
+from repro.cutting.executors import _signed_distribution, _signed_value
+from repro.engine import EngineConfig, ParallelEngine, request_key
+from repro.exceptions import CuttingError, ReproError, SimulationError
+from repro.simulator import (
+    BatchedStatevector,
+    BranchingSimulator,
+    Statevector,
+    simulate_batch,
+    simulate_statevector,
+    simulate_variant_group,
+    variant_group_key,
+)
+from repro.workloads import make_workload
+
+# --------------------------------------------------------------------------- helpers
+_ONE_QUBIT_GATES = (
+    ("h", ()),
+    ("x", ()),
+    ("s", ()),
+    ("sdg", ()),
+    ("t", ()),
+    ("rx", (0.37,)),
+    ("ry", (1.1,)),
+    ("rz", (-0.63,)),
+    ("p", (0.81,)),
+)
+
+_TWO_QUBIT_GATES = (
+    ("cx", ()),
+    ("cz", ()),
+    ("rzz", (0.45,)),
+    ("cp", (-0.7,)),
+)
+
+
+def _variant(circuit: Circuit, mode: str = "expectation", output=()) -> SubcircuitVariant:
+    return SubcircuitVariant(
+        subcircuit_index=0,
+        circuit=circuit,
+        num_wires=circuit.num_qubits,
+        output_qubit_order=tuple(output),
+        settings=VariantSettings(),
+        mode=mode,
+    )
+
+
+def _scalar_reference(variant: SubcircuitVariant):
+    result = BranchingSimulator().run(variant.circuit)
+    distribution = (
+        _signed_distribution(result, variant) if variant.mode == "probability" else None
+    )
+    return _signed_value(result), distribution
+
+
+def _assert_tables_bit_identical(left, right):
+    assert set(left) == set(right)
+    for key, a in left.items():
+        b = right[key]
+        assert a.value == b.value, f"value mismatch for {key}: {a.value} != {b.value}"
+        if a.distribution is None:
+            assert b.distribution is None
+        else:
+            assert a.distribution.tobytes() == b.distribution.tobytes()
+
+
+# --------------------------------------------------------------------------- strategies
+@st.composite
+def variant_groups(draw):
+    """A group of variants sharing an anchor skeleton, plus unrelated strays.
+
+    The skeleton (two-qubit gates, measurements, resets) is drawn once; every
+    variant fills the segments between anchors with its own random single-qubit
+    gates (possibly none — ragged alignment is the point).  Measurement tags
+    vary per variant (unsigned / signed), covering the per-row sign machinery.
+    """
+    num_qubits = draw(st.integers(min_value=1, max_value=3))
+    num_anchors = draw(st.integers(min_value=0, max_value=4))
+    anchors = []
+    for _ in range(num_anchors):
+        kind = draw(st.sampled_from(["u2", "m", "r"] if num_qubits > 1 else ["m", "r"]))
+        if kind == "u2":
+            name, params = draw(st.sampled_from(_TWO_QUBIT_GATES))
+            qubits = draw(st.permutations(range(num_qubits)))[:2]
+            anchors.append(("u2", name, tuple(qubits), params))
+        else:
+            anchors.append((kind, draw(st.integers(0, num_qubits - 1))))
+    batch = draw(st.integers(min_value=1, max_value=6))
+    variants = []
+    for _ in range(batch):
+        circuit = Circuit(num_qubits)
+        for token in anchors + [None]:
+            for _ in range(draw(st.integers(0, 2))):
+                name, params = draw(st.sampled_from(_ONE_QUBIT_GATES))
+                circuit.add(name, [draw(st.integers(0, num_qubits - 1))], params)
+            if token is None:
+                continue
+            if token[0] == "u2":
+                circuit.add(token[1], list(token[2]), token[3])
+            elif token[0] == "m":
+                tag = draw(st.sampled_from([None, "cut:a", "signed:cut:a", "signed:out:0"]))
+                circuit.measure(token[1], tag=tag)
+            else:
+                circuit.reset(token[1], tag="reuse:0")
+        variants.append(_variant(circuit))
+    return variants
+
+
+# --------------------------------------------------------------------------- properties
+class TestBitwiseIdentityProperties:
+    @settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(groups=st.lists(variant_groups(), min_size=1, max_size=3))
+    def test_batched_executor_bit_identical_to_exact(self, groups):
+        """Mixed groups, batch size 1 included: tables match the exact executor bitwise."""
+        variants = [variant for group in groups for variant in group]
+        scalar = ExactExecutor().run_batch(variants)
+        batched = BatchedExactExecutor().run_batch(variants)
+        _assert_tables_bit_identical(scalar, batched)
+
+    @settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(group=variant_groups(), limit=st.integers(min_value=1, max_value=5))
+    def test_ragged_sub_batches_bit_identical(self, group, limit):
+        """A tiny memory budget forces sub-batch splits (ragged final batch)."""
+        scalar = ExactExecutor().run_batch(group)
+        dim = 2 ** group[0].circuit.num_qubits
+        constrained = BatchedExactExecutor(max_batch_elements=limit * dim)
+        _assert_tables_bit_identical(scalar, constrained.run_batch(group))
+
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(group=variant_groups())
+    def test_group_members_share_group_key(self, group):
+        executor = BatchedExactExecutor()
+        keys = {executor.group_key(variant) for variant in group}
+        assert len(keys) == 1
+
+
+# --------------------------------------------------------------------------- direct runner
+class TestSimulateVariantGroup:
+    def test_empty_group(self):
+        assert simulate_variant_group([]) == []
+
+    def test_single_variant_matches_scalar(self):
+        circuit = Circuit(2)
+        circuit.h(0).cx(0, 1).measure(0, tag="signed:cut:a").ry(0.3, 1)
+        variant = _variant(circuit)
+        value, distribution = simulate_variant_group([variant])[0]
+        expected_value, _ = _scalar_reference(variant)
+        assert value == expected_value
+        assert distribution is None
+
+    def test_probability_mode_distribution_bit_identical(self):
+        variants = []
+        for label_gate in (None, "x", "h"):
+            circuit = Circuit(2)
+            if label_gate:
+                circuit.add(label_gate, [0])
+            circuit.cx(0, 1)
+            circuit.measure(0, tag="out:0")
+            circuit.measure(1, tag="out:1")
+            variants.append(_variant(circuit, mode="probability", output=(0, 1)))
+        results = simulate_variant_group(variants)
+        for variant, (value, distribution) in zip(variants, results):
+            expected_value, expected_distribution = _scalar_reference(variant)
+            assert value == expected_value
+            assert distribution.tobytes() == expected_distribution.tobytes()
+
+    def test_remeasured_output_qubit_last_write_wins(self):
+        """Scalar branches overwrite a re-measured outcome key; so must the batch."""
+        circuit = Circuit(1)
+        circuit.x(0)
+        circuit.measure(0, tag="out:0")  # reads 1
+        circuit.x(0)
+        circuit.measure(0, tag="out:0")  # reads 0 — last write wins
+        variant = _variant(circuit, mode="probability", output=(0,))
+        value, distribution = simulate_variant_group([variant])[0]
+        expected_value, expected_distribution = _scalar_reference(variant)
+        assert value == expected_value
+        assert distribution.tobytes() == expected_distribution.tobytes()
+
+    def test_mismatched_structures_rejected(self):
+        a = Circuit(2)
+        a.cx(0, 1)
+        b = Circuit(2)
+        b.cz(0, 1)
+        with pytest.raises(SimulationError, match="variant_group_key"):
+            simulate_variant_group([_variant(a), _variant(b)])
+
+    def test_reset_branches_match_scalar(self):
+        circuit = Circuit(2)
+        circuit.h(0).cx(0, 1).reset(0, tag="reuse:0").h(0).measure(0, tag="signed:out:9")
+        variant = _variant(circuit)
+        value, _ = simulate_variant_group([variant])[0]
+        expected_value, _ = _scalar_reference(variant)
+        assert value == expected_value
+
+
+# --------------------------------------------------------------------------- group keys
+class TestVariantGroupKey:
+    def test_single_qubit_gates_do_not_split_groups(self):
+        a = Circuit(2)
+        a.h(0).cx(0, 1).measure(1, tag="signed:cut:z")
+        b = Circuit(2)
+        b.x(0).sdg(1).cx(0, 1).sdg(1).h(1).measure(1, tag="cut:z")
+        assert variant_group_key(a) == variant_group_key(b)
+
+    def test_measure_presence_splits_groups(self):
+        a = Circuit(2)
+        a.cx(0, 1)
+        b = Circuit(2)
+        b.cx(0, 1).measure(0)
+        assert variant_group_key(a) != variant_group_key(b)
+
+    def test_two_qubit_parameters_split_groups(self):
+        a = Circuit(2)
+        a.add("rzz", [0, 1], [0.4])
+        b = Circuit(2)
+        b.add("rzz", [0, 1], [0.5])
+        assert variant_group_key(a) != variant_group_key(b)
+
+
+# --------------------------------------------------------------------------- executor protocol
+class TestBatchedExactExecutor:
+    def test_counters_match_exact_executor(self):
+        circuit = Circuit(2)
+        circuit.h(0).cx(0, 1).measure(0, tag="signed:cut:a")
+        variants = [_variant(circuit)] * 3  # dedup collapses repeats
+        scalar, batched = ExactExecutor(), BatchedExactExecutor()
+        scalar.run_batch(variants)
+        batched.run_batch(variants)
+        assert batched.requests == scalar.requests == 3
+        assert batched.executions == scalar.executions == 1
+        assert batched.dedup_hits == scalar.dedup_hits == 2
+
+    def test_cache_round_trip(self):
+        circuit = Circuit(1)
+        circuit.h(0).measure(0, tag="signed:out:0")
+        variant = _variant(circuit)
+        executor = BatchedExactExecutor()
+        first = executor.expectation_value(variant)
+        second = executor.expectation_value(variant)
+        assert first == second
+        assert executor.cache_hits == 1
+        assert executor.executions == 1
+
+    def test_invalid_batch_budget_rejected(self):
+        with pytest.raises(CuttingError, match="max_batch_elements"):
+            BatchedExactExecutor(max_batch_elements=0)
+
+    def test_probability_variant_missing_output_measure_raises(self):
+        circuit = Circuit(2)
+        circuit.cx(0, 1).measure(0, tag="out:0")  # qubit 1 never recorded
+        variant = _variant(circuit, mode="probability", output=(0, 1))
+        with pytest.raises(CuttingError, match="did not record an outcome"):
+            BatchedExactExecutor().run_batch([variant])
+
+    def test_spawn_spec_survives_pickling(self):
+        import pickle
+
+        executor = BatchedExactExecutor()
+        factory, args = pickle.loads(pickle.dumps(executor.spawn_spec()))
+        clone = factory(*args)
+        assert isinstance(clone, BatchedExactExecutor)
+
+
+# --------------------------------------------------------------------------- real cuts
+class TestRealCutEnumerations:
+    def test_expectation_workload_bit_identical(self):
+        workload = make_workload("REG", 6, degree=3, layers=1, seed=3)
+        plan = cut_circuit(workload.circuit, CutConfig(device_size=4))
+        scalar_rec = CutReconstructor(
+            plan.solution, specs=plan.subcircuits, executor=ExactExecutor()
+        )
+        batch = scalar_rec.enumerate_expectation_requests(workload.observable)
+        scalar = ExactExecutor().run_batch(batch)
+        batched = BatchedExactExecutor().run_batch(batch)
+        _assert_tables_bit_identical(scalar, batched)
+
+    def test_probability_workload_bit_identical(self):
+        workload = make_workload("QFT", 5)
+        plan = cut_circuit(workload.circuit, CutConfig(device_size=4))
+        reconstructor = CutReconstructor(
+            plan.solution, specs=plan.subcircuits, executor=ExactExecutor()
+        )
+        batch = reconstructor.enumerate_probability_requests()
+        scalar = ExactExecutor().run_batch(batch)
+        batched = BatchedExactExecutor().run_batch(batch)
+        _assert_tables_bit_identical(scalar, batched)
+
+    def test_evaluate_workload_backends_bit_identical(self):
+        workload = make_workload("REG", 6, degree=3, layers=1, seed=5)
+        config = CutConfig(device_size=4)
+        scalar = evaluate_workload(
+            workload, config, engine_config=EngineConfig(backend="scalar")
+        )
+        batched = evaluate_workload(
+            workload, config, engine_config=EngineConfig(backend="batched")
+        )
+        assert scalar.expectation_value == batched.expectation_value
+        assert scalar.num_variant_evaluations == batched.num_variant_evaluations
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ReproError, match="backend"):
+            EngineConfig(backend="gpu")
+
+
+# --------------------------------------------------------------------------- engine dispatch
+class TestEngineGrouping:
+    def test_parallel_batched_engine_bit_identical_to_scalar_serial(self):
+        workload = make_workload("REG", 6, degree=3, layers=1, seed=7)
+        plan = cut_circuit(workload.circuit, CutConfig(device_size=4))
+        reconstructor = CutReconstructor(
+            plan.solution, specs=plan.subcircuits, executor=ExactExecutor()
+        )
+        batch = reconstructor.enumerate_expectation_requests(workload.observable)
+        serial = ExactExecutor().run_batch(batch)
+        config = EngineConfig(max_workers=2, use_threads=True, chunk_size=7)
+        with ParallelEngine(BatchedExactExecutor(), config) as engine:
+            parallel = engine.run_batch(batch)
+        _assert_tables_bit_identical(serial, parallel)
+
+    def test_grouping_keeps_structures_together(self):
+        """The engine sorts pending requests so one chunk sees one structure."""
+        circuits = []
+        for flavour in range(2):
+            for _ in range(3):
+                circuit = Circuit(2)
+                if flavour:
+                    circuit.h(0)
+                    circuit.cx(0, 1)
+                else:
+                    circuit.cx(0, 1)
+                    circuit.measure(0, tag="signed:cut:a")
+                circuits.append(circuit)
+        # interleave the two structures
+        variants = [_variant(c) for c in circuits[::2] + circuits[1::2]]
+        interleaved = [variants[i // 2 + (i % 2) * 3] for i in range(6)]
+        executor = BatchedExactExecutor()
+        engine = ParallelEngine(executor, EngineConfig(max_workers=1))
+        pending = [(request_key(v), v, None) for v in interleaved]
+        grouped = engine._grouped(executor, pending)
+        keys = [executor.group_key(v) for _, v, _ in grouped]
+        # all equal keys must be contiguous after grouping
+        seen = []
+        for key in keys:
+            if key not in seen:
+                seen.append(key)
+        assert keys == sorted(keys, key=seen.index)
+
+    def test_grouping_tolerates_foreign_payloads(self):
+        executor = BatchedExactExecutor()
+        engine = ParallelEngine(executor, EngineConfig(max_workers=1))
+        pending = [("a", object(), None), ("b", object(), None)]
+        assert engine._grouped(executor, pending) == pending
+
+
+# --------------------------------------------------------------------------- batched state
+class TestBatchedStatevector:
+    def test_zero_states_rows_match_scalar(self):
+        batched = BatchedStatevector.zero_states(3, 2)
+        reference = Statevector.zero_state(2)
+        for row in range(3):
+            assert batched.row(row).data.tobytes() == reference.data.tobytes()
+
+    def test_from_labels_matches_scalar(self):
+        labels = [["zero", "one"], ["plus", "plus_i"]]
+        batched = BatchedStatevector.from_labels(labels)
+        for row, row_labels in enumerate(labels):
+            reference = Statevector.from_label(row_labels)
+            assert batched.row(row).data.tobytes() == reference.data.tobytes()
+
+    def test_apply_gate_per_row_stack(self):
+        rng = np.random.default_rng(7)
+        data = rng.normal(size=(4, 8)) + 1j * rng.normal(size=(4, 8))
+        stack = np.stack(
+            [Circuit(1).ry(0.1 * i, 0).operations[0].matrix() for i in range(4)]
+        )
+        batched = BatchedStatevector(data).apply_gate(stack, (1,))
+        from repro.simulator import apply_gate
+
+        for row in range(4):
+            expected = apply_gate(data[row], stack[row], (1,), 3)
+            assert batched.data[row].tobytes() == expected.tobytes()
+
+    def test_marginals_match_scalar(self):
+        rng = np.random.default_rng(11)
+        data = rng.normal(size=(3, 16)) + 1j * rng.normal(size=(3, 16))
+        data /= np.linalg.norm(data, axis=1, keepdims=True)
+        batched = BatchedStatevector(data)
+        for qubits in [(0,), (2, 0), (1, 3), (3, 2, 1, 0)]:
+            marginals = batched.marginal_probabilities(qubits)
+            for row in range(3):
+                expected = Statevector(data[row]).marginal_probabilities(qubits)
+                np.testing.assert_allclose(marginals[row], expected, atol=1e-12)
+
+    def test_expectation_matches_scalar(self, zz_observable):
+        rng = np.random.default_rng(13)
+        data = rng.normal(size=(2, 4)) + 1j * rng.normal(size=(2, 4))
+        data /= np.linalg.norm(data, axis=1, keepdims=True)
+        batched = BatchedStatevector(data)
+        values = batched.expectation(zz_observable)
+        for row in range(2):
+            expected = Statevector(data[row]).expectation(zz_observable)
+            assert abs(values[row] - expected) < 1e-12
+
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError, match="batch, 2\\*\\*n"):
+            BatchedStatevector(np.zeros(4))
+        with pytest.raises(SimulationError, match="power of two"):
+            BatchedStatevector(np.zeros((2, 3)))
+        with pytest.raises(SimulationError, match="batch must be >= 1"):
+            BatchedStatevector.zero_states(0, 2)
+
+
+class TestSimulateBatch:
+    def test_rows_bit_identical_to_scalar_simulation(self):
+        circuits = []
+        for angle in (0.0, 0.4, 1.3):
+            circuit = Circuit(3)
+            circuit.h(0).ry(angle, 1).cx(0, 1).rz(angle / 2, 2).cz(1, 2)
+            circuits.append(circuit)
+        batched = simulate_batch(circuits)
+        for row, circuit in enumerate(circuits):
+            expected = simulate_statevector(circuit)
+            assert batched.row(row).data.tobytes() == expected.data.tobytes()
+
+    def test_initial_labels(self):
+        circuit = Circuit(2)
+        circuit.cx(0, 1)
+        labels = [["one", "zero"], ["plus", "zero"]]
+        batched = simulate_batch([circuit, circuit.copy()], initial_labels=labels)
+        for row, row_labels in enumerate(labels):
+            expected = simulate_statevector(circuit, initial_labels=row_labels)
+            assert batched.row(row).data.tobytes() == expected.data.tobytes()
+
+    def test_rejects_dynamic_circuits(self):
+        circuit = Circuit(1)
+        circuit.measure(0)
+        with pytest.raises(SimulationError, match="unitary"):
+            simulate_batch([circuit])
+
+    def test_rejects_misaligned_circuits(self):
+        a = Circuit(2)
+        a.cx(0, 1)
+        b = Circuit(2)
+        b.cx(1, 0)
+        with pytest.raises(SimulationError, match="aligned"):
+            simulate_batch([a, b])

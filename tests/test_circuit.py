@@ -1,11 +1,10 @@
 """Tests for the Circuit class."""
 
-import math
 
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, operation
+from repro.circuits import Circuit
 from repro.exceptions import CircuitError
 
 

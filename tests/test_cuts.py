@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit
 from repro.cutting import (
     CutSolution,
     GateCut,

@@ -6,7 +6,7 @@ import pytest
 from repro.circuits import Circuit
 from repro.exceptions import SimulationError
 from repro.simulator import BranchingSimulator, simulate_dynamic, simulate_statevector
-from repro.utils.pauli import PauliObservable, PauliString
+from repro.utils.pauli import PauliObservable
 
 
 class TestMeasurement:

@@ -11,7 +11,6 @@ from repro.cutting import (
     ExactExecutor,
     GateCut,
     NoisyExecutor,
-    WireCut,
     extract_subcircuits,
 )
 from repro.cutting.variants import VariantBuilder, VariantSettings

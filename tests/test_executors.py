@@ -6,7 +6,7 @@ import pytest
 from repro.cutting import CutReconstructor, ExactExecutor, NoisyExecutor, extract_subcircuits
 from repro.cutting.variants import VariantBuilder, VariantSettings
 from repro.exceptions import CuttingError
-from repro.simulator import DeviceModel, NoiseModel, simulate_statevector
+from repro.simulator import DeviceModel, NoiseModel
 from repro.utils.pauli import PauliString
 
 

@@ -1,6 +1,5 @@
 """Tests for the QRCC / CutQC ILP formulations."""
 
-import numpy as np
 import pytest
 
 from repro.circuits import Circuit

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.circuits import Circuit
-from repro.cutting import CutSolution, GateCut, WireCut, extract_subcircuits
+from repro.cutting import CutSolution, WireCut, extract_subcircuits
 from repro.exceptions import CuttingError
 
 

@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.circuits import Circuit, operation
+from repro.circuits import operation
 from repro.cutting import CUTTABLE_GATES, NUM_GATE_CUT_INSTANCES, decompose_gate_cut
 from repro.exceptions import CuttingError
 

@@ -3,7 +3,6 @@
 import networkx as nx
 import pytest
 
-from repro.circuits import Circuit
 from repro.core import (
     CutConfig,
     GreedyCutter,

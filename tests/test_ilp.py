@@ -6,13 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import ModelError, SolverError
-from repro.ilp import (
-    Model,
-    Sense,
-    SolveStatus,
-    solve_exhaustively,
-    solve_with_scipy,
-)
+from repro.ilp import Model, SolveStatus, solve_exhaustively, solve_with_scipy
 
 
 class TestModelBuilding:

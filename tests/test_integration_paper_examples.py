@@ -11,14 +11,13 @@ These are the scenarios the paper uses to explain QRCC:
   the full circuit on a larger, noisier device.
 """
 
-import numpy as np
 import pytest
 
 from repro.core import CutConfig, cut_circuit, evaluate_workload
-from repro.cutting import CutReconstructor, ExactExecutor, NoisyExecutor
+from repro.cutting import CutReconstructor, NoisyExecutor
 from repro.exceptions import InfeasibleError
 from repro.simulator import DeviceModel, NoiseModel, exact_expectation, lagos_like_device, NoisySimulator
-from repro.workloads import make_workload, make_regular_qaoa
+from repro.workloads import make_regular_qaoa
 
 
 def _figure2_circuit():

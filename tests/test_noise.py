@@ -12,7 +12,7 @@ from repro.simulator import (
     exact_expectation,
     lagos_like_device,
 )
-from repro.utils.pauli import PauliObservable, PauliString
+from repro.utils.pauli import PauliObservable
 
 
 class TestNoiseModel:

@@ -1,8 +1,6 @@
 """Tests for the analytic post-processing overhead models (Figure 6)."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.cutting import (

@@ -12,13 +12,11 @@ These tests assert the library's core invariants on randomly generated inputs:
 from __future__ import annotations
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import Circuit
 from repro.cutting import CutReconstructor, CutSolution, GateCut, WireCut, extract_subcircuits
-from repro.exceptions import CuttingError
 from repro.reuse import apply_qubit_reuse
 from repro.simulator import simulate_dynamic, simulate_statevector
 from repro.utils.pauli import PauliObservable, PauliString

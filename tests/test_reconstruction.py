@@ -6,13 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.circuits import Circuit
-from repro.cutting import (
-    CutReconstructor,
-    CutSolution,
-    ExactExecutor,
-    GateCut,
-    WireCut,
-)
+from repro.cutting import CutReconstructor, CutSolution, GateCut, WireCut
 from repro.exceptions import ReconstructionError
 from repro.simulator import simulate_statevector
 from repro.utils.pauli import PauliObservable, PauliString

@@ -1,7 +1,6 @@
 """Tests for qubit-reuse analysis and the CaQR-style scheduler."""
 
 import numpy as np
-import pytest
 
 from repro.circuits import Circuit
 from repro.reuse import (

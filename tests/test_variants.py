@@ -4,12 +4,7 @@ import numpy as np
 import pytest
 
 from repro.circuits import Circuit
-from repro.cutting import (
-    CutSolution,
-    GateCut,
-    WireCut,
-    extract_subcircuits,
-)
+from repro.cutting import CutSolution, WireCut, extract_subcircuits
 from repro.cutting.variants import VariantBuilder, VariantSettings
 from repro.exceptions import CuttingError
 from repro.simulator import simulate_dynamic

@@ -10,7 +10,6 @@ from hypothesis import strategies as st
 from repro.circuits import Circuit
 from repro.exceptions import WorkloadError
 from repro.simulator import exact_expectation, simulate_statevector
-from repro.utils.pauli import PauliObservable
 from repro.workloads import (
     EXPECTATION_BENCHMARKS,
     PROBABILITY_BENCHMARKS,
