@@ -18,7 +18,7 @@ import json
 import os
 import sys
 from pathlib import Path
-from typing import Dict, Optional, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -54,6 +54,15 @@ DEFAULT_ROUTING = os.environ.get("QRCC_BENCH_ROUTING", "best_fit")
 #: "batched" (vectorized same-structure variant groups) or "scalar".
 DEFAULT_BACKEND = os.environ.get("QRCC_BENCH_BACKEND", "batched")
 
+#: Default reconstruction contraction mode (``--contraction`` /
+#: ``QRCC_BENCH_CONTRACTION``): "planned" (cost-modelled fused kernels, sharded
+#: across the worker pool) or "naive" (the reference walk) — bit-identical.
+DEFAULT_CONTRACTION = os.environ.get("QRCC_BENCH_CONTRACTION", "planned")
+
+#: Default sharded-contraction worker count (``--contraction-workers`` /
+#: ``QRCC_BENCH_CONTRACTION_WORKERS``); empty means follow ``--jobs``.
+DEFAULT_CONTRACTION_WORKERS = os.environ.get("QRCC_BENCH_CONTRACTION_WORKERS", "")
+
 #: Default device farm as comma-separated qubit widths (``--device-widths`` /
 #: ``QRCC_BENCH_DEVICE_WIDTHS``); empty means no farm (the implicit simulator).
 DEFAULT_DEVICE_WIDTHS = os.environ.get("QRCC_BENCH_DEVICE_WIDTHS", "")
@@ -81,6 +90,22 @@ def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         help="exact executor the engine builds when none is supplied: 'batched' "
         "(vectorized same-structure variant groups, bit-identical to scalar) "
         "or 'scalar' (default from QRCC_BENCH_BACKEND or batched)",
+    )
+    parser.add_argument(
+        "--contraction",
+        choices=("planned", "naive"),
+        default=DEFAULT_CONTRACTION,
+        help="reconstruction contraction mode: 'planned' (cost-modelled fused "
+        "kernels, sharded across the pool) or 'naive' (reference walk); "
+        "bit-identical either way (default from QRCC_BENCH_CONTRACTION "
+        "or planned)",
+    )
+    parser.add_argument(
+        "--contraction-workers",
+        type=int,
+        default=int(DEFAULT_CONTRACTION_WORKERS) if DEFAULT_CONTRACTION_WORKERS else None,
+        help="workers for sharded contraction (default: follow --jobs; from "
+        "QRCC_BENCH_CONTRACTION_WORKERS when set)",
     )
     return parser
 
@@ -193,6 +218,19 @@ def bench_backend(argv: Optional[Sequence[str]] = None) -> str:
     add_engine_arguments(parser)
     args, _ = parser.parse_known_args(sys.argv[1:] if argv is None else argv)
     return args.backend
+
+
+def bench_contraction(argv: Optional[Sequence[str]] = None) -> Tuple[str, Optional[int]]:
+    """The ``(--contraction, --contraction-workers)`` pair for a harness.
+
+    Mirrors :func:`bench_backend`: CLI first, else the ``QRCC_BENCH_CONTRACTION``
+    / ``QRCC_BENCH_CONTRACTION_WORKERS`` environment variables, else
+    ``("planned", None)`` — ``None`` workers means follow ``--jobs``.
+    """
+    parser = argparse.ArgumentParser(add_help=False)
+    add_engine_arguments(parser)
+    args, _ = parser.parse_known_args(sys.argv[1:] if argv is None else argv)
+    return args.contraction, args.contraction_workers
 
 
 def is_paper_scale() -> bool:

@@ -21,6 +21,7 @@ import numpy as np
 
 from ..circuits import Circuit
 from ..cutting import (
+    ContractionReport,
     CutReconstructor,
     CutSolution,
     SamplingExecutor,
@@ -135,7 +136,13 @@ class EvaluationResult:
     + subcircuit extraction), ``execute`` (variant batch execution inside the
     engine), ``reconstruct`` (enumeration and contraction outside the engine),
     ``reference`` (uncut statevector simulation, when requested) and ``total``
-    (their sum).  Every stage is timed around the call this evaluation itself
+    (their sum).  ``reconstruct`` is further broken into ``plan`` (contraction
+    planning + index precomputation), ``contract`` (sharded kernel execution)
+    and ``merge`` (the deterministic shard merge) — the contraction stages of
+    :attr:`contraction_report`, which also carries the contraction mode, shard
+    count and per-shard utilization (see ``contraction_utilization``, the
+    contraction-side sibling of ``device_utilization``).  Every stage is timed
+    around the call this evaluation itself
     makes — ``execute`` comes from the engine's per-batch timing, never from
     deltas of its lifetime counters, so sharing an engine across threads cannot
     inflate another call's numbers.  ``engine_stats`` is likewise a *per-call*
@@ -162,6 +169,20 @@ class EvaluationResult:
     engine_stats: Optional[EngineStats] = None
     shot_allocation: Optional[ShotAllocation] = None
     pruning_report: Optional[PruningReport] = None
+    contraction_report: Optional[ContractionReport] = None
+
+    @property
+    def contraction_utilization(self) -> Optional[tuple]:
+        """Per-shard contraction work for this evaluation (None before reconstruct).
+
+        A tuple of :class:`~repro.cutting.ShardUtilization`: how many output
+        elements (probability) or observable terms (expectation) each
+        contraction shard handled and how long it was busy — the
+        contraction-side counterpart of :attr:`device_utilization`.
+        """
+        if self.contraction_report is None:
+            return None
+        return self.contraction_report.shards
 
     @property
     def device_utilization(self) -> Optional[tuple]:
@@ -514,6 +535,7 @@ def evaluate_workload(
                 table=table, missing=missing_mode
             )
         contract_seconds = time.perf_counter() - contract_start
+        result.contraction_report = reconstructor.last_contraction_report
 
         reference_seconds = 0.0
         if compute_reference:
@@ -543,6 +565,14 @@ def evaluate_workload(
             + prune_seconds
             + reference_seconds,
         }
+        # Break reconstruct's contraction half into its planned stages; the
+        # "reconstruct" key above stays the enumerate + contract wall so the
+        # "total" identity is unchanged.
+        report = result.contraction_report
+        if report is not None:
+            result.timings["plan"] = report.plan_seconds
+            result.timings["contract"] = report.contract_seconds
+            result.timings["merge"] = report.merge_seconds
         if shots is not None:
             result.timings["allocate"] = allocate_seconds
         if not pruning_policy.is_none:

@@ -1,5 +1,13 @@
 """Circuit-cutting substrate: cut specs, fragments, variants, executors, reconstruction."""
 
+from .contraction import (
+    ContractionCost,
+    ContractionPlan,
+    ContractionReport,
+    ShardUtilization,
+    SpecAxis,
+    plan_contraction,
+)
 from .cuts import (
     CutSolution,
     GateCut,
@@ -37,6 +45,9 @@ from .variants import (
 __all__ = [
     "BatchedExactExecutor",
     "CUTTABLE_GATES",
+    "ContractionCost",
+    "ContractionPlan",
+    "ContractionReport",
     "CutReconstructor",
     "CutSolution",
     "ExactExecutor",
@@ -49,6 +60,8 @@ __all__ = [
     "NUM_GATE_CUT_INSTANCES",
     "NoisyExecutor",
     "SamplingExecutor",
+    "ShardUtilization",
+    "SpecAxis",
     "SubcircuitSpec",
     "SubcircuitVariant",
     "VariantBuilder",
@@ -64,6 +77,7 @@ __all__ = [
     "fre_operations",
     "frp_operations",
     "full_state_simulation_threshold",
+    "plan_contraction",
     "postprocessing_cost",
     "postprocessing_speedup",
     "reconstruction_overhead_curves",

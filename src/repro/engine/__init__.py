@@ -20,7 +20,7 @@ from .allocation import (
     largest_remainder_split,
 )
 from .cache import DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SIZE, ResultCache
-from .config import BACKENDS, EngineConfig
+from .config import BACKENDS, CONTRACTION_MODES, EngineConfig
 from .devices import (
     ROUTING_POLICIES,
     DeviceFarm,
@@ -39,6 +39,7 @@ from .requests import (
 __all__ = [
     "ALLOCATION_POLICIES",
     "BACKENDS",
+    "CONTRACTION_MODES",
     "DEFAULT_CACHE_BYTES",
     "DEFAULT_CACHE_SIZE",
     "DeviceFarm",

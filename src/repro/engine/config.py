@@ -19,10 +19,13 @@ from .cache import DEFAULT_CACHE_SIZE
 from .devices import ROUTING_POLICIES, DeviceSpec
 from .pruning import PruningPolicy
 
-__all__ = ["EngineConfig", "BACKENDS"]
+__all__ = ["CONTRACTION_MODES", "EngineConfig", "BACKENDS"]
 
 #: Exact-execution backends an engine can build when no executor is supplied.
 BACKENDS = ("batched", "scalar")
+
+#: Reconstruction contraction modes (see :mod:`repro.cutting.contraction`).
+CONTRACTION_MODES = ("planned", "naive")
 
 
 @dataclass(frozen=True)
@@ -90,6 +93,18 @@ class EngineConfig:
         routing: farm routing policy — ``"round_robin"``, ``"least_loaded"``
             or ``"best_fit"`` (the default).  Ignored when ``devices`` is
             ``None``.
+        contraction: how reconstruction contracts over the variant results
+            table — ``"planned"`` (the default: cost-modelled vectorized
+            kernels with output/term sharding across the worker pool, see
+            :mod:`repro.cutting.contraction`) or ``"naive"`` (the serial
+            scalar walk).  The two are bit-identical result for result — the
+            planned path pins the naive reduction order — so, like
+            ``backend``, this knob trades nothing but speed.
+        contraction_workers: worker budget for sharded contraction; ``None``
+            (the default) follows ``max_workers``.  Sharding uses the same
+            process/thread pool as batch execution (``use_threads`` applies);
+            with one worker the planned kernels still run, just unsharded and
+            in-process.
     """
 
     max_workers: Optional[int] = 1
@@ -103,10 +118,20 @@ class EngineConfig:
     devices: Optional[Sequence[DeviceSpec]] = None
     routing: str = "best_fit"
     backend: str = "batched"
+    contraction: str = "planned"
+    contraction_workers: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
             raise ReproError(f"backend must be one of {BACKENDS}, got {self.backend!r}")
+        if self.contraction not in CONTRACTION_MODES:
+            raise ReproError(
+                f"contraction must be one of {CONTRACTION_MODES}, got {self.contraction!r}"
+            )
+        if self.contraction_workers is not None and self.contraction_workers < 1:
+            raise ReproError(
+                f"contraction_workers must be >= 1 or None, got {self.contraction_workers}"
+            )
         if self.max_workers is not None and self.max_workers < 1:
             raise ReproError(f"max_workers must be >= 1 or None, got {self.max_workers}")
         if self.chunk_size is not None and self.chunk_size < 1:

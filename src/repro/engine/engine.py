@@ -298,6 +298,71 @@ class ParallelEngine:
 
         return self.run_batch([variant])[request_key(variant)]
 
+    # ------------------------------------------------------------------ sharding
+    @property
+    def contraction_workers(self) -> int:
+        """Worker budget for sharded contraction (config override or ``max_workers``)."""
+        workers = self._config.contraction_workers
+        if workers is None:
+            return self._effective_workers()
+        return max(1, workers)
+
+    def map_shards(self, fn, tasks: Sequence[Tuple]) -> Tuple[List, bool]:
+        """Run ``fn(*args)`` for every args-tuple in ``tasks``, preserving order.
+
+        The contraction layer's sharding entry point: ``fn`` must be a plain
+        picklable module-level function whose arguments carry *all* its state
+        (dense NumPy tables, index maps) — shards share no memos or caches, so
+        nothing leaks across the process boundary.  Work is submitted to the
+        same pool batch execution uses; with one task or one contraction
+        worker everything runs in-process.
+
+        Returns ``(results, fell_back)``.  A broken pool mid-map follows the
+        execute-stage semantics of :meth:`_run_tasks`: shards that completed
+        are salvaged, the rest rerun serially in order, a ``RuntimeWarning``
+        fires, and ``fell_back`` is ``True`` — results are identical either
+        way because shards are independent and merged deterministically by the
+        caller.
+        """
+        tasks = list(tasks)
+        if len(tasks) <= 1 or self.contraction_workers <= 1:
+            return [fn(*args) for args in tasks], False
+        pool = self._ensure_pool()
+        if pool is None:
+            return [fn(*args) for args in tasks], False
+        sentinel = object()
+        results: List = [sentinel] * len(tasks)
+        futures = []
+        collected = 0
+        try:
+            for args in tasks:
+                futures.append(pool.submit(fn, *args))
+            for index, future in enumerate(futures):
+                results[index] = future.result()
+                collected += 1
+            return results, False
+        except (OSError, RuntimeError, BrokenPipeError) as error:
+            if not self._config.fallback_to_serial:
+                raise
+            warnings.warn(
+                f"sharded contraction dispatch failed ({error!r}); falling back "
+                "to serial contraction with salvaged shards",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            for index in range(collected, len(futures)):
+                future = futures[index]
+                if not future.cancel():
+                    try:
+                        results[index] = future.result()
+                    except Exception:
+                        pass  # rerun serially below
+            self._teardown_pool(broken=True)
+            for index, args in enumerate(tasks):
+                if results[index] is sentinel:
+                    results[index] = fn(*args)
+            return results, True
+
     # ------------------------------------------------------------------ dispatch
     def _effective_workers(self) -> int:
         workers = self._config.max_workers
@@ -513,7 +578,9 @@ class ParallelEngine:
     def _ensure_pool(self) -> Optional[_PoolBase]:
         if self._pool is not None or self._pool_broken:
             return self._pool
-        workers = self._effective_workers()
+        # One pool serves both batch execution and sharded contraction; size it
+        # for whichever wants more (they default to the same count).
+        workers = max(self._effective_workers(), self.contraction_workers)
         try:
             if self._config.use_threads:
                 self._pool = ThreadPoolExecutor(max_workers=workers)

@@ -1,0 +1,530 @@
+"""Contraction planning + sharded reconstruction: bit-identity, planner, salvage."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.cutting.contraction as contraction_module
+from repro.circuits import Circuit
+from repro.cutting import (
+    CutReconstructor,
+    CutSolution,
+    GateCut,
+    WireCut,
+    plan_contraction,
+)
+from repro.cutting.contraction import balanced_blocks
+from repro.engine import CONTRACTION_MODES, EngineConfig, ParallelEngine
+from repro.exceptions import ReconstructionError, ReproError
+from repro.simulator import simulate_statevector
+from repro.utils.pauli import PauliObservable, PauliString
+
+
+def _two_cut_solution():
+    """A 4-qubit circuit with two wire cuts into three subcircuits."""
+    circuit = Circuit(4)
+    circuit.h(0).ry(0.4, 1).rx(0.7, 2).h(3)
+    circuit.cx(0, 1)      # 4
+    circuit.rz(0.3, 1)    # 5
+    circuit.cz(1, 2)      # 6
+    circuit.ry(0.6, 2)    # 7
+    circuit.cx(2, 3)      # 8
+    circuit.rz(0.9, 3)    # 9
+    solution = CutSolution(
+        circuit=circuit,
+        op_subcircuit={0: 0, 1: 0, 2: 1, 3: 2, 4: 0, 5: 0, 6: 1, 7: 1, 8: 2, 9: 2},
+        wire_cuts=[WireCut(qubit=1, downstream_op=6), WireCut(qubit=2, downstream_op=8)],
+    )
+    return circuit, solution
+
+
+def _mixed_cut_solution():
+    """Wire + gate cuts together (expectation-only reconstruction)."""
+    circuit = Circuit(4)
+    circuit.h(0).h(1).ry(0.3, 2).rx(0.6, 3)
+    circuit.cx(0, 1)     # 4
+    circuit.cz(1, 2)     # 5: gate cut
+    circuit.rz(0.5, 2)   # 6
+    circuit.cx(2, 3)     # 7
+    solution = CutSolution(
+        circuit=circuit,
+        op_subcircuit={0: 0, 1: 0, 2: 1, 3: 1, 4: 0, 6: 1, 7: 1},
+        gate_cuts=[GateCut(5)],
+        gate_cut_placement={5: (0, 1)},
+    )
+    observable = PauliObservable.from_terms(
+        [
+            PauliString.from_dict({0: "Z", 3: "Z"}, 1.0),
+            PauliString.from_dict({1: "Z", 2: "Z"}, 0.5),
+            PauliString.from_dict({2: "X"}, 0.2),
+            PauliString.from_dict({}, 0.1),
+        ]
+    )
+    return circuit, solution, observable
+
+
+def _bits(value: float) -> bytes:
+    return np.float64(value).tobytes()
+
+
+# --------------------------------------------------------------------- planner
+class TestPlannerCostModel:
+    def test_axes_reflect_cut_structure(self):
+        _, solution = _two_cut_solution()
+        reconstructor = CutReconstructor(solution)
+        plan = plan_contraction(solution, reconstructor.specs, workers=1)
+        assert plan.num_wire_cuts == 2
+        assert plan.cost.assignments == 4**2
+        # The middle subcircuit touches both cuts, the outer ones touch one each.
+        touched = sorted(len(axis.wire_positions) for axis in plan.axes)
+        assert touched == [1, 1, 2]
+        for axis in plan.axes:
+            assert axis.table_rows == 4 ** len(axis.wire_positions)
+        widths = [axis.output_width for axis in plan.axes]
+        assert plan.cost.output_elements == int(np.prod(widths))
+        # Unsharded plans still name a valid shard axis.
+        assert 0 <= plan.shard_axis < len(plan.axes)
+
+    def test_more_cuts_cost_more(self, chain_wire_cut_solution):
+        reconstructor_one = CutReconstructor(chain_wire_cut_solution)
+        plan_one = plan_contraction(
+            chain_wire_cut_solution, reconstructor_one.specs, workers=1
+        )
+        _, two_cut = _two_cut_solution()
+        reconstructor_two = CutReconstructor(two_cut)
+        plan_two = plan_contraction(two_cut, reconstructor_two.specs, workers=1)
+        assert plan_two.cost.naive_flops > plan_one.cost.naive_flops
+        assert plan_two.cost.fused_flops > plan_one.cost.fused_flops
+
+    def test_small_problems_stay_unsharded(self, chain_wire_cut_solution):
+        reconstructor = CutReconstructor(chain_wire_cut_solution)
+        plan = plan_contraction(chain_wire_cut_solution, reconstructor.specs, workers=8)
+        assert plan.cost.fused_flops < contraction_module.MIN_SHARD_FLOPS
+        assert plan.num_shards == 1
+
+    def test_sharding_bounded_by_workers_and_width(self, monkeypatch):
+        monkeypatch.setattr(contraction_module, "MIN_SHARD_FLOPS", 0.0)
+        _, solution = _two_cut_solution()
+        reconstructor = CutReconstructor(solution)
+        widths = [2 ** len(spec.output_qubits) for spec in reconstructor.specs]
+        for workers in (2, 3, 64):
+            plan = plan_contraction(solution, reconstructor.specs, workers=workers)
+            assert plan.num_shards == min(workers, max(widths))
+            # The earliest sufficiently wide axis is sharded (minimal kron
+            # prefix duplication), and its blocks tile it exactly.
+            shard_width = widths[plan.shard_axis]
+            assert plan.shard_axis == next(
+                index
+                for index, width in enumerate(widths)
+                if width >= plan.num_shards
+            )
+            assert plan.shard_blocks[0][0] == 0
+            assert plan.shard_blocks[-1][1] == shard_width
+            spans = [hi - lo for lo, hi in plan.shard_blocks]
+            assert sum(spans) == shard_width
+            assert max(spans) - min(spans) <= 1
+
+    def test_sharding_divides_per_shard_cost(self, monkeypatch):
+        monkeypatch.setattr(contraction_module, "MIN_SHARD_FLOPS", 0.0)
+        _, solution = _two_cut_solution()
+        reconstructor = CutReconstructor(solution)
+        serial = plan_contraction(solution, reconstructor.specs, workers=1)
+        sharded = plan_contraction(solution, reconstructor.specs, workers=2)
+        assert sharded.num_shards == 2
+        assert sharded.cost.per_shard_flops < serial.cost.per_shard_flops
+        assert serial.cost.predicted_speedup > 0.0
+
+    def test_chunk_rows_bounds(self, chain_wire_cut_solution):
+        reconstructor = CutReconstructor(chain_wire_cut_solution)
+        plan = plan_contraction(chain_wire_cut_solution, reconstructor.specs, workers=1)
+        assert 1 <= plan.chunk_rows <= plan.cost.assignments
+
+    def test_expectation_plan_tracks_gate_cuts(self, gate_cut_solution):
+        reconstructor = CutReconstructor(gate_cut_solution)
+        plan = plan_contraction(
+            gate_cut_solution, reconstructor.specs, workers=1, kind="expectation"
+        )
+        assert plan.num_gate_cuts == 1
+        assert plan.cost.instance_combos == 6
+        assert all(len(axis.gate_positions) == 1 for axis in plan.axes)
+        assert plan.shard_axis == -1 and plan.shard_blocks == ()
+
+    def test_invalid_kind_rejected(self, chain_wire_cut_solution):
+        reconstructor = CutReconstructor(chain_wire_cut_solution)
+        with pytest.raises(ValueError, match="kind"):
+            plan_contraction(chain_wire_cut_solution, reconstructor.specs, kind="wat")
+
+    def test_balanced_blocks(self):
+        assert balanced_blocks(8, 3) == ((0, 3), (3, 6), (6, 8))
+        assert balanced_blocks(2, 5) == ((0, 1), (1, 2))
+        assert balanced_blocks(4, 1) == ((0, 4),)
+
+
+# ----------------------------------------------------------------- bit-identity
+class TestBitIdentity:
+    def test_probability_planned_equals_naive(self):
+        _, solution = _two_cut_solution()
+        reconstructor = CutReconstructor(solution)
+        table = reconstructor.engine.run_batch(
+            reconstructor.enumerate_probability_requests()
+        )
+        naive = reconstructor.reconstruct_probabilities(table=table, contraction="naive")
+        planned = reconstructor.reconstruct_probabilities(
+            table=table, contraction="planned"
+        )
+        assert naive.tobytes() == planned.tobytes()
+
+    def test_probability_sharded_equals_naive(self, monkeypatch):
+        # Force sharding even on this small problem; threads keep it fast.
+        monkeypatch.setattr(contraction_module, "MIN_SHARD_FLOPS", 0.0)
+        circuit, solution = _two_cut_solution()
+        serial = CutReconstructor(solution)
+        table = serial.engine.run_batch(serial.enumerate_probability_requests())
+        naive = serial.reconstruct_probabilities(table=table, contraction="naive")
+        with ParallelEngine(
+            config=EngineConfig(max_workers=3, use_threads=True)
+        ) as engine:
+            sharded = CutReconstructor(solution, engine=engine)
+            planned = sharded.reconstruct_probabilities(
+                table=table, contraction="planned"
+            )
+            report = sharded.last_contraction_report
+        assert naive.tobytes() == planned.tobytes()
+        assert report.num_shards > 1
+        assert len(report.shards) == report.num_shards
+        assert sum(shard.elements for shard in report.shards) == planned.size
+        exact = simulate_statevector(circuit).probabilities()
+        assert np.allclose(planned, exact, atol=1e-10)
+
+    def test_pruned_probability_table_bit_identical(self):
+        _, solution = _two_cut_solution()
+        reconstructor = CutReconstructor(solution)
+        table = reconstructor.engine.run_batch(
+            reconstructor.enumerate_probability_requests()
+        )
+        # Deterministically drop part of the table: a truncated contraction.
+        kept = dict(sorted(table.items())[::2])
+        naive = reconstructor.reconstruct_probabilities(
+            table=kept, missing="skip", contraction="naive"
+        )
+        planned = reconstructor.reconstruct_probabilities(
+            table=kept, missing="skip", contraction="planned"
+        )
+        assert naive.tobytes() == planned.tobytes()
+
+    def test_expectation_planned_equals_naive(self):
+        _, solution, observable = _mixed_cut_solution()
+        reconstructor = CutReconstructor(solution)
+        table = reconstructor.engine.run_batch(
+            reconstructor.enumerate_expectation_requests(observable)
+        )
+        naive = reconstructor.reconstruct_expectation(
+            observable, table=table, contraction="naive"
+        )
+        planned = reconstructor.reconstruct_expectation(
+            observable, table=table, contraction="planned"
+        )
+        assert _bits(naive) == _bits(planned)
+
+    def test_pruned_expectation_table_bit_identical(self):
+        _, solution, observable = _mixed_cut_solution()
+        reconstructor = CutReconstructor(solution)
+        table = reconstructor.engine.run_batch(
+            reconstructor.enumerate_expectation_requests(observable)
+        )
+        kept = dict(sorted(table.items())[::2])
+        naive = reconstructor.reconstruct_expectation(
+            observable, table=kept, missing="skip", contraction="naive"
+        )
+        planned = reconstructor.reconstruct_expectation(
+            observable, table=kept, missing="skip", contraction="planned"
+        )
+        assert _bits(naive) == _bits(planned)
+
+    def test_expectation_sharded_over_terms(self, monkeypatch):
+        monkeypatch.setattr(contraction_module, "MIN_SHARD_FLOPS", 0.0)
+        _, solution, observable = _mixed_cut_solution()
+        serial = CutReconstructor(solution)
+        table = serial.engine.run_batch(
+            serial.enumerate_expectation_requests(observable)
+        )
+        naive = serial.reconstruct_expectation(
+            observable, table=table, contraction="naive"
+        )
+        with ParallelEngine(
+            config=EngineConfig(max_workers=2, use_threads=True)
+        ) as engine:
+            sharded = CutReconstructor(solution, engine=engine)
+            planned = sharded.reconstruct_expectation(
+                observable, table=table, contraction="planned"
+            )
+            report = sharded.last_contraction_report
+        assert _bits(naive) == _bits(planned)
+        assert report.kind == "expectation"
+        assert report.num_shards > 1
+
+    def test_degenerate_all_zero_gate_cut(self, gate_cut_solution, zz_observable):
+        reconstructor = CutReconstructor(gate_cut_solution)
+        op_index = gate_cut_solution.gate_cuts[0].op_index
+        reconstructor._gate_cut_instances[op_index] = (0.0,) * 6
+        table = {}
+        naive = reconstructor.reconstruct_expectation(
+            zz_observable, table=table, missing="skip", contraction="naive"
+        )
+        planned = reconstructor.reconstruct_expectation(
+            zz_observable, table=table, missing="skip", contraction="planned"
+        )
+        assert naive == planned == 0.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_random_circuits_bit_identical(self, data):
+        """Property: planned == naive bitwise on random two-cut circuits."""
+        angles = st.floats(0.1, 3.0)
+        circuit = Circuit(3)
+        circuit.h(0)
+        circuit.ry(data.draw(angles), 1)
+        circuit.rx(data.draw(angles), 2)
+        circuit.cx(0, 1)                      # 3
+        circuit.rz(data.draw(angles), 1)      # 4
+        circuit.cz(1, 2)                      # 5
+        circuit.ry(data.draw(angles), 2)      # 6
+        solution = CutSolution(
+            circuit=circuit,
+            op_subcircuit={0: 0, 1: 0, 2: 2, 3: 0, 4: 1, 5: 2, 6: 2},
+            wire_cuts=[
+                WireCut(qubit=1, downstream_op=4),
+                WireCut(qubit=1, downstream_op=5),
+            ],
+        )
+        reconstructor = CutReconstructor(solution)
+        table = reconstructor.engine.run_batch(
+            reconstructor.enumerate_probability_requests()
+        )
+        naive = reconstructor.reconstruct_probabilities(table=table, contraction="naive")
+        planned = reconstructor.reconstruct_probabilities(
+            table=table, contraction="planned"
+        )
+        assert naive.tobytes() == planned.tobytes()
+        # Pruned partial table stays bit-identical too.
+        kept = dict(sorted(table.items())[::2])
+        naive_pruned = reconstructor.reconstruct_probabilities(
+            table=kept, missing="skip", contraction="naive"
+        )
+        planned_pruned = reconstructor.reconstruct_probabilities(
+            table=kept, missing="skip", contraction="planned"
+        )
+        assert naive_pruned.tobytes() == planned_pruned.tobytes()
+
+    @settings(max_examples=10, deadline=None)
+    @given(data=st.data())
+    def test_random_expectations_bit_identical(self, data):
+        angles = st.floats(0.1, 3.0)
+        circuit = Circuit(2)
+        circuit.h(0).ry(data.draw(angles), 1)
+        circuit.cz(0, 1)                       # 2: gate cut
+        circuit.rx(data.draw(angles), 0)
+        circuit.rz(data.draw(angles), 1)
+        solution = CutSolution(
+            circuit=circuit,
+            op_subcircuit={0: 0, 1: 1, 3: 0, 4: 1},
+            gate_cuts=[GateCut(2)],
+            gate_cut_placement={2: (0, 1)},
+        )
+        observable = PauliObservable.from_terms(
+            [
+                PauliString.from_dict({0: "Z", 1: "Z"}, 0.7),
+                PauliString.from_dict({0: "X"}, data.draw(angles)),
+                PauliString.from_dict({}, 0.1),
+            ]
+        )
+        reconstructor = CutReconstructor(solution)
+        table = reconstructor.engine.run_batch(
+            reconstructor.enumerate_expectation_requests(observable)
+        )
+        naive = reconstructor.reconstruct_expectation(
+            observable, table=table, contraction="naive"
+        )
+        planned = reconstructor.reconstruct_expectation(
+            observable, table=table, contraction="planned"
+        )
+        assert _bits(naive) == _bits(planned)
+
+
+# ------------------------------------------------------------- config + engine
+class TestConfigAndEngine:
+    def test_contraction_modes_exported(self):
+        assert CONTRACTION_MODES == ("planned", "naive")
+
+    def test_config_validates_contraction(self):
+        with pytest.raises(ReproError, match="contraction"):
+            EngineConfig(contraction="fast")
+        with pytest.raises(ReproError, match="contraction_workers"):
+            EngineConfig(contraction_workers=0)
+        config = EngineConfig(contraction="naive", contraction_workers=3)
+        assert config.contraction == "naive"
+        assert config.contraction_workers == 3
+
+    def test_reconstructor_rejects_bad_mode(self, chain_wire_cut_solution):
+        reconstructor = CutReconstructor(chain_wire_cut_solution)
+        with pytest.raises(ReconstructionError, match="contraction"):
+            reconstructor.reconstruct_probabilities(contraction="wat")
+
+    def test_engine_config_mode_is_the_default(self, chain_wire_cut_solution):
+        engine = ParallelEngine(config=EngineConfig(contraction="naive"))
+        reconstructor = CutReconstructor(chain_wire_cut_solution, engine=engine)
+        reconstructor.reconstruct_probabilities()
+        assert reconstructor.last_contraction_report.mode == "naive"
+
+    def test_contraction_workers_follow_max_workers(self):
+        assert ParallelEngine(config=EngineConfig(max_workers=3)).contraction_workers == 3
+        assert (
+            ParallelEngine(
+                config=EngineConfig(max_workers=1, contraction_workers=4)
+            ).contraction_workers
+            == 4
+        )
+
+    def test_map_shards_serial_paths(self):
+        engine = ParallelEngine(config=EngineConfig(max_workers=1))
+        results, fell_back = engine.map_shards(divmod, [(7, 3), (9, 4)])
+        assert results == [(2, 1), (2, 1)]
+        assert fell_back is False
+
+
+class _CompletedFuture:
+    def __init__(self, value):
+        self._value = value
+
+    def cancel(self):
+        return False
+
+    def result(self):
+        return self._value
+
+
+class _FailedFuture:
+    def cancel(self):
+        return False
+
+    def result(self):
+        raise RuntimeError("worker died mid-shard")
+
+
+class _PendingFuture:
+    def cancel(self):
+        return True
+
+    def result(self):  # pragma: no cover - cancelled before anyone waits
+        raise AssertionError("a cancelled future must never be waited on")
+
+
+class _BreakingPool:
+    """Fake pool: first shard completes, second breaks, the rest never start."""
+
+    def __init__(self):
+        self.submissions = 0
+
+    def submit(self, fn, *args):
+        self.submissions += 1
+        if self.submissions == 1:
+            return _CompletedFuture(fn(*args))
+        if self.submissions == 2:
+            return _FailedFuture()
+        return _PendingFuture()
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestBrokenPoolSalvage:
+    def test_map_shards_salvages_completed_shards(self):
+        engine = ParallelEngine(config=EngineConfig(max_workers=2, use_threads=True))
+        engine._pool = _BreakingPool()
+        calls = []
+
+        def shard(value):
+            calls.append(value)
+            return value * 10
+
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            results, fell_back = engine.map_shards(shard, [(1,), (2,), (3,)])
+        assert results == [10, 20, 30]
+        assert fell_back is True
+        # Shard 1 ran once inside the fake pool; only the broken/pending ones rerun.
+        assert calls == [1, 2, 3]
+
+    def test_map_shards_without_fallback_raises(self):
+        engine = ParallelEngine(
+            config=EngineConfig(max_workers=2, use_threads=True, fallback_to_serial=False)
+        )
+        engine._pool = _BreakingPool()
+        with pytest.raises(RuntimeError, match="worker died"):
+            engine.map_shards(lambda value: value, [(1,), (2,), (3,)])
+
+    def test_planned_reconstruction_survives_broken_pool(self, monkeypatch):
+        monkeypatch.setattr(contraction_module, "MIN_SHARD_FLOPS", 0.0)
+        _, solution = _two_cut_solution()
+        serial = CutReconstructor(solution)
+        table = serial.engine.run_batch(serial.enumerate_probability_requests())
+        naive = serial.reconstruct_probabilities(table=table, contraction="naive")
+        engine = ParallelEngine(config=EngineConfig(max_workers=3, use_threads=True))
+        engine._pool = _BreakingPool()
+        reconstructor = CutReconstructor(solution, engine=engine)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            planned = reconstructor.reconstruct_probabilities(
+                table=table, contraction="planned"
+            )
+        report = reconstructor.last_contraction_report
+        assert planned.tobytes() == naive.tobytes()
+        assert report.serial_fallback is True
+        assert report.num_shards > 1
+
+
+# ------------------------------------------------------------------- pipeline
+class TestPipelineIntegration:
+    def test_timings_and_utilization_reported(self):
+        from repro.core import CutConfig, evaluate_workload
+        from repro.workloads import make_workload
+
+        result = evaluate_workload(
+            make_workload("QFT", 5),
+            CutConfig(device_size=3),
+            compute_reference=False,
+        )
+        for stage in ("plan", "contract", "merge"):
+            assert stage in result.timings
+            assert result.timings[stage] >= 0.0
+        report = result.contraction_report
+        assert report is not None
+        assert report.mode == "planned"
+        assert result.contraction_utilization == report.shards
+        assert 0.0 <= report.shard_utilization <= 1.0
+        assert report.seconds == pytest.approx(
+            report.plan_seconds + report.contract_seconds + report.merge_seconds
+        )
+
+    def test_naive_and_planned_pipelines_bit_identical(self):
+        from repro.core import CutConfig, evaluate_workload
+        from repro.workloads import make_workload
+
+        workload = make_workload("QFT", 5)
+        config = CutConfig(device_size=3)
+        planned = evaluate_workload(
+            workload,
+            config,
+            compute_reference=False,
+            engine_config=EngineConfig(contraction="planned"),
+        )
+        naive = evaluate_workload(
+            workload,
+            config,
+            compute_reference=False,
+            engine_config=EngineConfig(contraction="naive"),
+        )
+        assert planned.probabilities.tobytes() == naive.probabilities.tobytes()
+        assert naive.contraction_report.mode == "naive"
+        assert planned.contraction_report.mode == "planned"

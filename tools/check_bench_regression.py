@@ -135,6 +135,21 @@ def collect_metrics(results_dir: Path) -> Dict[str, Dict]:
             higher_is_better=False,
         )
 
+    rows = _rows(results_dir, "contraction")
+    if rows:
+        put(
+            "contraction.bit_identical",
+            float(all(row["identical"] for row in rows)),
+            higher_is_better=True,
+        )
+        # The in-process fused-kernel claim; the sharded speedup is gated in
+        # the bench's own --smoke assertions because it needs real cores.
+        put(
+            "contraction.best_serial_speedup",
+            max(row["speedup_serial"] for row in rows),
+            higher_is_better=True,
+        )
+
     rows = _rows(results_dir, "devices")
     if rows:
         reach = [row["n"] for row in rows if row.get("reuse") and row.get("status") == "ok"]
