@@ -36,7 +36,7 @@ from repro.simulator.batched import branch_bound
 from repro.workloads import Workload, WorkloadKind, make_workload
 
 from bench_engine import halved_ring_solution, ring_qaoa_workload
-from harness import publish
+from harness import add_smoke_argument, publish, smoke_passed
 
 #: Batch-size caps swept per workload (1 = scalar-shaped batches, ragged tails
 #: included whenever the cap does not divide a group).
@@ -146,11 +146,10 @@ def generate_batched_rows(smoke: bool = False, repeats: int = 3) -> List[Dict[st
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small sizes + hard assertions (bit-identity on every row, >= 5x "
-        "batched-vs-scalar throughput at batch caps >= 16); used by CI",
+    add_smoke_argument(
+        parser,
+        "small sizes + hard assertions (bit-identity on every row, >= 5x "
+        "batched-vs-scalar throughput at batch caps >= 16)",
     )
     args = parser.parse_args(argv)
     rows = generate_batched_rows(smoke=args.smoke)
@@ -173,7 +172,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 f"{workload}: expected >= 5x batched-vs-scalar throughput at "
                 f"batch >= 16, got {best}x"
             )
-        print("smoke assertions passed: bit-identical, >= 5x at batch >= 16")
+        smoke_passed("bit-identical, >= 5x at batch >= 16")
 
 
 if __name__ == "__main__":

@@ -46,7 +46,7 @@ from repro.circuits import Circuit
 from repro.cutting import CutReconstructor, CutSolution, WireCut
 from repro.engine import EngineConfig, ParallelEngine
 
-from harness import publish
+from harness import add_smoke_argument, publish, smoke_passed
 
 #: Chain widths benchmarked (qubits); each yields ``width/2 - 1`` wire cuts.
 SIZES = (12, 14)
@@ -178,11 +178,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="workers for the sharded contraction measurement (default 4, "
         "matching the paper-reproduction claim)",
     )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="small sizes + hard assertions (bit-identity on every row, >= 3x "
-        "contraction speedup at 4 workers when >= 4 real cores); used by CI",
+    add_smoke_argument(
+        parser,
+        "small sizes + hard assertions (bit-identity on every row, >= 3x "
+        "contraction speedup at 4 workers when >= 4 real cores)",
     )
     args = parser.parse_args(argv)
     rows = generate_contraction_rows(smoke=args.smoke, jobs=args.jobs)
@@ -206,8 +205,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 f"expected >= 3x contraction speedup with {args.jobs} workers, "
                 f"got {best}x"
             )
-        print(
-            "smoke assertions passed: bit-identical (full + pruned), "
+        smoke_passed(
+            "bit-identical (full + pruned), "
             f"serial fused >= 1.5x ({os.cpu_count()} CPUs visible)"
         )
 

@@ -46,8 +46,10 @@ from harness import (
     bench_backend,
     device_farm,
     is_paper_scale,
+    add_smoke_argument,
     parse_device_widths,
     publish,
+    smoke_passed,
 )
 
 #: The sweep workload: QFT is the paper's canonical probability benchmark and
@@ -216,11 +218,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     add_engine_arguments(parser)
     add_device_arguments(parser)
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI mode: one width, assertions on reach, accuracy and identity",
-    )
+    add_smoke_argument(parser, "one width, assertions on reach, accuracy and identity")
     parser.add_argument(
         "--widths",
         type=str,

@@ -35,10 +35,12 @@ from repro.workloads.qaoa import maxcut_observable, qaoa_circuit
 from harness import (
     add_engine_arguments,
     add_pruning_arguments,
+    add_smoke_argument,
     bench_backend,
     bench_jobs,
     publish,
     run_once,
+    smoke_passed,
 )
 
 #: Default ring size (matches the other engine-path harnesses).
@@ -238,11 +240,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         default=DEFAULT_GAMMA,
         help=f"QAOA cost angle; smaller = heavier prunable tail (default {DEFAULT_GAMMA})",
     )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI mode: fixed small grid; asserts >= 2x execution reduction at "
-        "< 1e-2 added error and that the bias bound holds on every row",
+    add_smoke_argument(
+        parser,
+        "fixed small grid; asserts >= 2x execution reduction at < 1e-2 added "
+        "error and that the bias bound holds on every row",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -262,8 +263,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     _publish(rows, num_qubits, gamma)
     if args.smoke:
         check_rows(rows)
-        print(
-            "smoke checks passed: bias bound holds on every row, "
+        smoke_passed(
+            "bias bound holds on every row, "
             f">= {SMOKE_REDUCTION_TARGET:g}x fewer executions at "
             f"< {SMOKE_ERROR_BOUND:g} added error"
         )

@@ -33,9 +33,11 @@ from bench_engine import halved_ring_solution, ring_qaoa_workload
 from harness import (
     add_engine_arguments,
     add_shot_arguments,
+    add_smoke_argument,
     bench_jobs,
     publish,
     run_once,
+    smoke_passed,
 )
 
 #: Default ring size; 8 qubits matches the engine throughput benchmark.
@@ -194,11 +196,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         default=3,
         help="executor seeds averaged per (policy, budget) cell (default 3)",
     )
-    parser.add_argument(
-        "--smoke",
-        action="store_true",
-        help="CI mode: tiny fixed-seed grid, asserts budget conservation, an "
-        "error bound and variance <= uniform within noise",
+    add_smoke_argument(
+        parser,
+        "tiny fixed-seed grid, asserts budget conservation, an error bound "
+        "and variance <= uniform within noise",
     )
     args = parser.parse_args(argv)
     if args.smoke:
@@ -217,7 +218,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     _publish(rows, num_qubits)
     if args.smoke:
         check_rows(rows, error_bound=0.2)
-        print("smoke checks passed: budgets conserved, error bounded, variance <= uniform")
+        smoke_passed("budgets conserved, error bounded, variance <= uniform")
 
 
 if __name__ == "__main__":

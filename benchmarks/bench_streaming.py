@@ -1,0 +1,217 @@
+"""Streaming evaluation: early-termination shot savings + batch bit-identity.
+
+The streaming service (:mod:`repro.service`) consumes a finite-shot budget in
+cumulative rounds and stops once its running confidence interval is tight
+enough.  This harness evaluates the QAOA ring under two regimes and prints one
+row per executor seed:
+
+* **identity** — a streaming evaluation run to completion (no stopping rule,
+  no re-planning) must reproduce the one-shot batch evaluation *bit for bit*:
+  every round's per-variant sample is a prefix of the final one, so the last
+  round's cumulative table (and hence the contraction) is the batch table.
+* **early termination** — with a target half-width, the session stops as soon
+  as the interval says the budget's answer is already known, spending a
+  fraction of the shots.  The claimed savings are honest only if the error at
+  stop is within the requested precision, so both are reported and asserted.
+
+Run directly (``PYTHONPATH=src python benchmarks/bench_streaming.py --smoke``)
+with ``--smoke`` for the CI regression mode (fixed seeds; asserts bit-identity
+on every seed, a >= 2x shot reduction, and error-at-stop within the target),
+or under pytest-benchmark (``QRCC_BENCH_JOBS=2 pytest benchmarks/bench_streaming.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Dict, List, Optional, Sequence
+
+import pytest
+
+from repro import CutConfig, EngineConfig, StoppingRule, StreamingConfig, evaluate_workload
+
+from bench_engine import ring_qaoa_workload
+from harness import (
+    add_engine_arguments,
+    add_shot_arguments,
+    add_smoke_argument,
+    add_streaming_arguments,
+    bench_jobs,
+    publish,
+    run_once,
+    smoke_passed,
+)
+
+#: Default ring size; 6 qubits keeps the ILP cut + 160-variant batch CI-fast.
+DEFAULT_QUBITS = int(os.environ.get("QRCC_BENCH_STREAMING_QUBITS", "6"))
+
+#: Device size the ILP cuts the ring down to.
+DEVICE_SIZE = 4
+
+#: Default total budget; large enough that early termination has room to save.
+DEFAULT_BUDGET = 65536
+
+#: The --smoke / CI grid: fixed seeds so the assertions are deterministic.
+SMOKE_SEEDS = 5
+SMOKE_TARGET = 0.3
+SMOKE_ROUNDS = 16
+#: Error-at-stop bound for the smoke assertions: the target half-width plus a
+#: small cushion (the interval is a statistical statement, not a hard bound).
+SMOKE_ERROR_BOUND = SMOKE_TARGET * 1.2
+#: Required early-termination shot savings at the smoke target.
+SMOKE_REDUCTION_TARGET = 2.0
+
+
+def generate_streaming_rows(
+    num_qubits: int = DEFAULT_QUBITS,
+    budget: int = DEFAULT_BUDGET,
+    num_seeds: int = SMOKE_SEEDS,
+    rounds: int = SMOKE_ROUNDS,
+    target_half_width: float = SMOKE_TARGET,
+    confidence: float = 0.95,
+    replan: bool = False,
+    jobs: int = 1,
+) -> List[Dict[str, object]]:
+    """One row per seed: batch vs run-to-completion identity, early-stop savings."""
+    workload = ring_qaoa_workload(num_qubits)
+    config = CutConfig(device_size=DEVICE_SIZE)
+    engine_config = EngineConfig(max_workers=jobs)
+
+    rows: List[Dict[str, object]] = []
+    for seed in range(num_seeds):
+        batch = evaluate_workload(
+            workload, config, shots=budget, seed=seed, engine_config=engine_config
+        )
+        # Identity leg: same budget, same seed, consumed in rounds.  Re-planning
+        # is deliberately off — it changes which variant gets which shot.
+        complete = evaluate_workload(
+            workload,
+            config,
+            shots=budget,
+            seed=seed,
+            engine_config=engine_config,
+            streaming=StreamingConfig(rounds=4),
+        )
+        # Early-termination leg: stop once the interval reaches the target.
+        stopped = evaluate_workload(
+            workload,
+            config,
+            shots=budget,
+            seed=seed,
+            engine_config=engine_config,
+            streaming=StreamingConfig(rounds=rounds, replan=replan),
+            stopping=StoppingRule(
+                target_half_width=target_half_width,
+                confidence=confidence,
+                max_rounds=rounds,
+            ),
+        )
+        rows.append(
+            {
+                "seed": seed,
+                "total_shots": budget,
+                "batch_error": round(batch.expectation_error, 5),
+                "identical": complete.expectation_value == batch.expectation_value,
+                "stop_reason": stopped.termination_reason,
+                "stop_rounds": stopped.rounds,
+                "shots_spent": stopped.shots_spent,
+                "shot_reduction": round(budget / max(1, stopped.shots_spent), 2),
+                "stop_error": round(stopped.expectation_error, 5),
+                "half_width": round(stopped.half_width, 5)
+                if stopped.half_width is not None
+                else None,
+            }
+        )
+    return rows
+
+
+def check_rows(rows: Sequence[Dict[str, object]], error_bound: float) -> None:
+    """The --smoke / CI assertions over a generated table."""
+    broken = [row["seed"] for row in rows if not row["identical"]]
+    assert not broken, (
+        f"streaming run-to-completion diverged from the batch result for "
+        f"seed(s) {broken} — the prefix-stable identity is broken"
+    )
+    for row in rows:
+        assert float(row["shot_reduction"]) >= SMOKE_REDUCTION_TARGET, (
+            f"seed {row['seed']}: early termination saved only "
+            f"{row['shot_reduction']}x (needed >= {SMOKE_REDUCTION_TARGET}x); "
+            f"stopped by {row['stop_reason']} after {row['shots_spent']} shots"
+        )
+        assert float(row["stop_error"]) <= error_bound, (
+            f"seed {row['seed']}: error at stop {row['stop_error']} exceeds "
+            f"{error_bound} — the interval terminated on an answer it did not have"
+        )
+
+
+def _publish(rows: Sequence[Dict[str, object]], num_qubits: int) -> None:
+    publish(
+        "streaming",
+        f"Streaming early termination vs one-shot batch evaluation "
+        f"({num_qubits}-qubit QAOA ring, ILP cut)",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="streaming")
+def test_streaming_savings_and_identity(benchmark):
+    jobs = bench_jobs([])  # env-driven under pytest
+    rows = run_once(benchmark, generate_streaming_rows, jobs=jobs)
+    _publish(rows, DEFAULT_QUBITS)
+    check_rows(rows, error_bound=SMOKE_ERROR_BOUND)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    add_engine_arguments(parser)
+    add_shot_arguments(parser)
+    add_streaming_arguments(parser)
+    parser.add_argument(
+        "--qubits",
+        type=int,
+        default=DEFAULT_QUBITS,
+        help=f"QAOA ring size (default {DEFAULT_QUBITS})",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=3,
+        help="executor seeds (one row each; default 3)",
+    )
+    add_smoke_argument(
+        parser,
+        "fixed seeds; asserts streaming-to-completion is bit-identical to "
+        "batch, >= 2x shot reduction from early termination, and "
+        "error-at-stop within the target",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        num_qubits, num_seeds = DEFAULT_QUBITS, SMOKE_SEEDS
+        budget, rounds, target = DEFAULT_BUDGET, SMOKE_ROUNDS, SMOKE_TARGET
+        confidence, replan = 0.95, False
+    else:
+        num_qubits, num_seeds = args.qubits, args.seeds
+        budget = args.shots if args.shots > 0 else DEFAULT_BUDGET
+        rounds, target = args.rounds, args.target_half_width or SMOKE_TARGET
+        confidence, replan = args.confidence, args.replan
+    rows = generate_streaming_rows(
+        num_qubits=num_qubits,
+        budget=budget,
+        num_seeds=num_seeds,
+        rounds=rounds,
+        target_half_width=target,
+        confidence=confidence,
+        replan=replan,
+        jobs=max(1, args.jobs),
+    )
+    _publish(rows, num_qubits)
+    if args.smoke:
+        check_rows(rows, error_bound=SMOKE_ERROR_BOUND)
+        smoke_passed(
+            "bit-identical to batch on every seed, >= 2x shot reduction, "
+            "error-at-stop within target"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -67,6 +67,9 @@ DEFAULT_CONTRACTION_WORKERS = os.environ.get("QRCC_BENCH_CONTRACTION_WORKERS", "
 #: ``QRCC_BENCH_DEVICE_WIDTHS``); empty means no farm (the implicit simulator).
 DEFAULT_DEVICE_WIDTHS = os.environ.get("QRCC_BENCH_DEVICE_WIDTHS", "")
 
+#: Default streaming round count (``--rounds`` / ``QRCC_BENCH_ROUNDS``).
+DEFAULT_ROUNDS = int(os.environ.get("QRCC_BENCH_ROUNDS", "8"))
+
 
 def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the shared execution-engine options to a benchmark CLI parser."""
@@ -168,6 +171,57 @@ def add_device_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPa
         "(default from QRCC_BENCH_ROUTING or best_fit)",
     )
     return parser
+
+
+def add_streaming_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared streaming-evaluation options to a benchmark CLI parser."""
+    parser.add_argument(
+        "--rounds",
+        type=int,
+        default=DEFAULT_ROUNDS,
+        help="cumulative sampling rounds per streaming evaluation (default from "
+        "QRCC_BENCH_ROUNDS or 8; 1 = the one-shot batch path)",
+    )
+    parser.add_argument(
+        "--target-half-width",
+        type=float,
+        default=None,
+        help="stop a streaming evaluation once its confidence interval's "
+        "half-width reaches this (default: no target, run every round)",
+    )
+    parser.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="confidence level of the streaming interval the target is "
+        "checked against (default 0.95)",
+    )
+    parser.add_argument(
+        "--replan",
+        action="store_true",
+        help="re-split each round's chunk budget from observed variances "
+        "(Neyman) instead of keeping the up-front plan; forfeits "
+        "bit-identity with the batch path",
+    )
+    return parser
+
+
+def add_smoke_argument(
+    parser: argparse.ArgumentParser, detail: str
+) -> argparse.ArgumentParser:
+    """Attach the shared ``--smoke`` CI flag with a harness-specific detail line.
+
+    Every ``bench_*.py`` exposes the same flag with the same semantics (small
+    fixed sizes + hard assertions, run by the CI bench gate); only the sentence
+    describing *which* assertions varies, and that is ``detail``.
+    """
+    parser.add_argument("--smoke", action="store_true", help=f"CI mode: {detail}")
+    return parser
+
+
+def smoke_passed(detail: str) -> None:
+    """Print the uniform smoke-success line every harness ends its CI mode with."""
+    print(f"smoke assertions passed: {detail}")
 
 
 def parse_device_widths(text: str) -> Sequence[int]:

@@ -10,14 +10,17 @@ A second pass then re-runs the same evaluation the way real hardware would see
 it: a finite total shot budget split across the variants by the variance-aware
 allocator (``shots`` / ``allocation`` / ``seed``), with the small-|weight|
 variant tail pruned away first (``pruning`` — truncated contraction with an
-a-priori bias bound).  See docs/engine.md for both subsystems.
+a-priori bias bound).  A third pass streams the same budget in cumulative
+rounds and lets a confidence-interval stopping rule terminate early once the
+answer is pinned down (``streaming`` / ``stopping``).  See docs/engine.md for
+all three subsystems.
 
 Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import CutConfig, PruningPolicy, evaluate_workload
+from repro import CutConfig, PruningPolicy, StoppingRule, StreamingConfig, evaluate_workload
 from repro.workloads import make_regular_qaoa
 
 
@@ -86,6 +89,32 @@ def main() -> None:
     print(f"a-priori bias bound  : {report.bias_bound:.4f}")
     print(f"sampled <H>          : {sampled.expectation_value:+.6f}")
     print(f"statistical error    : {sampled.expectation_error:.2e}")
+
+    # ---------------------------------------------------------------- streaming
+    # The same budget consumed incrementally: up to 16 cumulative rounds, with
+    # the session stopping as soon as its running 95% confidence interval is
+    # tighter than +-0.75 (or at the round cap — a stopping rule always needs a
+    # hard bound).  Run to completion (no stopping rule) a streaming evaluation
+    # is bit-identical to the one-shot batch above.
+    streamed = evaluate_workload(
+        workload,
+        config,
+        shots=32768,
+        seed=7,
+        streaming=StreamingConfig(rounds=16),
+        stopping=StoppingRule(target_half_width=0.75, max_rounds=16),
+    )
+
+    print("\n--- streaming + early termination ---")
+    print(f"terminated by        : {streamed.termination_reason}")
+    print(f"rounds consumed      : {streamed.rounds}")
+    print(
+        f"shots spent          : {streamed.shots_spent}/32768 "
+        f"({32768 / max(1, streamed.shots_spent):.1f}x saved)"
+    )
+    print(f"95% CI half-width    : {streamed.half_width:.4f}")
+    print(f"streamed <H>         : {streamed.expectation_value:+.6f}")
+    print(f"statistical error    : {streamed.expectation_error:.2e}")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,8 @@ Subpackages:
 * :mod:`repro.cutting` — wire/gate cutting, subcircuit extraction, reconstruction,
 * :mod:`repro.engine` — batched, parallel variant execution (dedup, cache, pools),
 * :mod:`repro.core` — the QRCC ILP formulation, pipeline and baselines,
+* :mod:`repro.service` — streaming evaluation sessions, confidence-interval
+  early termination, multi-tenant service queue,
 * :mod:`repro.analysis` — overhead models and scalability studies.
 """
 
@@ -49,6 +51,7 @@ from .engine import (
 from .exceptions import (
     AllocationError,
     CircuitError,
+    ConfigError,
     CuttingError,
     DeviceError,
     InfeasibleError,
@@ -62,12 +65,20 @@ from .exceptions import (
     SolverError,
     WorkloadError,
 )
+from .service import (
+    EvaluationSession,
+    ServiceQueue,
+    SessionTicket,
+    StoppingRule,
+    StreamingConfig,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AllocationError",
     "CircuitError",
+    "ConfigError",
     "CutConfig",
     "CutPlan",
     "CuttingError",
@@ -77,6 +88,7 @@ __all__ = [
     "DeviceUtilization",
     "EngineConfig",
     "EvaluationResult",
+    "EvaluationSession",
     "InfeasibleError",
     "InfeasibleVariantError",
     "ModelError",
@@ -89,9 +101,13 @@ __all__ = [
     "ReconstructionError",
     "ReproError",
     "SearchTimeoutError",
+    "ServiceQueue",
+    "SessionTicket",
     "ShotAllocation",
     "SimulationError",
     "SolverError",
+    "StoppingRule",
+    "StreamingConfig",
     "WorkloadError",
     "__version__",
     "allocate_shots",

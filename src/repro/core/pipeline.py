@@ -157,6 +157,15 @@ class EvaluationResult:
     dropped and the a-priori ``bias_bound`` on the induced reconstruction error)
     when the evaluation ran with a pruning policy; ``None`` when
     ``pruning="none"``.
+
+    The streaming service (see :mod:`repro.service`) adds its own fields:
+    ``rounds`` (sampling rounds executed; ``1`` on the batch path),
+    ``shots_spent`` (shots actually drawn, pilot included — less than the
+    budget when a stopping rule fired), ``termination_reason`` (one of
+    :data:`repro.service.STOP_REASONS` for streaming evaluations, ``None`` for
+    batch ones), and ``half_width`` / ``confidence`` (the streaming confidence
+    interval's half-width at the reported confidence level; ``None`` when no
+    interval was accumulated).
     """
 
     plan: CutPlan
@@ -170,6 +179,11 @@ class EvaluationResult:
     shot_allocation: Optional[ShotAllocation] = None
     pruning_report: Optional[PruningReport] = None
     contraction_report: Optional[ContractionReport] = None
+    rounds: int = 1
+    shots_spent: int = 0
+    termination_reason: Optional[str] = None
+    half_width: Optional[float] = None
+    confidence: Optional[float] = None
 
     @property
     def contraction_utilization(self) -> Optional[tuple]:
@@ -211,6 +225,54 @@ class EvaluationResult:
         if reference < 1e-12:
             return 1.0 if self.expectation_error < 1e-12 else 0.0
         return max(0.0, 1.0 - self.expectation_error / reference)
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-serialisable snapshot of the result (see :meth:`to_json`).
+
+        Numpy vectors become plain lists; nested reports (plan, engine stats,
+        shot allocation, pruning) flatten through their ``row()`` views.
+        Derived metrics (``expectation_error``, ``accuracy``) are included so
+        a consumer of the serialised form never recomputes them.
+        """
+
+        def _vector(array: Optional[np.ndarray]) -> Optional[list]:
+            return None if array is None else np.asarray(array, dtype=float).tolist()
+
+        return {
+            "plan": self.plan.row(),
+            "expectation_value": self.expectation_value,
+            "probabilities": _vector(self.probabilities),
+            "reference_expectation": self.reference_expectation,
+            "reference_probabilities": _vector(self.reference_probabilities),
+            "expectation_error": self.expectation_error,
+            "accuracy": self.accuracy,
+            "num_variant_evaluations": self.num_variant_evaluations,
+            "timings": dict(self.timings),
+            "engine_stats": None if self.engine_stats is None else self.engine_stats.row(),
+            "shot_allocation": None
+            if self.shot_allocation is None
+            else self.shot_allocation.row(),
+            "pruning_report": None
+            if self.pruning_report is None
+            else self.pruning_report.row(),
+            "rounds": self.rounds,
+            "shots_spent": self.shots_spent,
+            "termination_reason": self.termination_reason,
+            "half_width": self.half_width,
+            "confidence": self.confidence,
+        }
+
+    def to_json(self, **dumps_kwargs) -> str:
+        """Serialise :meth:`to_dict` to a JSON string.
+
+        Args:
+            **dumps_kwargs: forwarded to :func:`json.dumps` (``indent=``,
+                ``sort_keys=``...).  ``json.loads`` of the output round-trips
+                to exactly :meth:`to_dict`.
+        """
+        import json
+
+        return json.dumps(self.to_dict(), **dumps_kwargs)
 
 
 def cut_circuit(
@@ -315,6 +377,8 @@ def evaluate_workload(
     pruning: Optional[object] = None,
     devices: Optional[Sequence[DeviceSpec]] = None,
     routing: Optional[str] = None,
+    streaming: Optional[object] = None,
+    stopping: Optional[object] = None,
 ) -> EvaluationResult:
     """Cut, execute and reconstruct a workload end-to-end.
 
@@ -382,6 +446,71 @@ def evaluate_workload(
     configure the engine built here — configure a supplied engine through its
     own :class:`~repro.engine.EngineConfig` instead.  See
     :mod:`repro.engine.devices`.
+
+    Streaming and early termination: pass ``streaming`` (a
+    :class:`~repro.service.StreamingConfig`; or set ``EngineConfig.streaming``)
+    to consume the shot budget in cumulative rounds, and ``stopping`` (a
+    :class:`~repro.service.StoppingRule`; or set ``EngineConfig.stopping``) to
+    terminate once the running confidence interval is tight enough — or a shot
+    budget, deadline or round cap is hit.  Both require ``shots``.  Each
+    round's per-variant sample is a bitwise prefix of the next (the sampler is
+    prefix-stable), so a streaming evaluation that runs to completion without
+    re-planning reproduces the batch result *bit for bit*; one that stops early
+    reports how far it got on ``result.rounds`` / ``result.shots_spent`` /
+    ``result.termination_reason`` and the interval on ``result.half_width`` /
+    ``result.confidence``.  This function is a thin wrapper over
+    :class:`repro.service.EvaluationSession` — use that directly (or
+    :class:`repro.service.ServiceQueue` for multi-tenant scheduling) to drive
+    rounds manually.  See :mod:`repro.service`.
+    """
+    # Imported lazily: repro.service layers *above* this module (the session
+    # subsumes the old pipeline body) and importing it here at module level
+    # would be circular.
+    from ..service.session import EvaluationSession
+
+    session = EvaluationSession(
+        workload,
+        config,
+        executor=executor,
+        compute_reference=compute_reference,
+        force_ilp=force_ilp,
+        force_greedy=force_greedy,
+        engine=engine,
+        engine_config=engine_config,
+        shots=shots,
+        allocation=allocation,
+        seed=seed,
+        pruning=pruning,
+        devices=devices,
+        routing=routing,
+        streaming=streaming,
+        stopping=stopping,
+    )
+    return session.run()
+
+
+def _evaluate_workload_batch(
+    workload: Workload,
+    config: CutConfig,
+    executor: Optional[VariantExecutor] = None,
+    compute_reference: bool = True,
+    force_ilp: bool = False,
+    force_greedy: bool = False,
+    engine: Optional[ParallelEngine] = None,
+    engine_config: Optional[EngineConfig] = None,
+    shots: Optional[int] = None,
+    allocation: Optional[str] = None,
+    seed: Optional[int] = None,
+    pruning: Optional[object] = None,
+    devices: Optional[Sequence[DeviceSpec]] = None,
+    routing: Optional[str] = None,
+) -> EvaluationResult:
+    """The pre-service monolithic pipeline body, kept verbatim as a test oracle.
+
+    :func:`evaluate_workload` now delegates to
+    :class:`repro.service.EvaluationSession`; the regression suite pins the
+    session's batch path bit-identical to this original implementation.  Not
+    public API — prefer :func:`evaluate_workload`.
     """
     if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
         raise CuttingError(

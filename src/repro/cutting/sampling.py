@@ -32,7 +32,7 @@ from ..engine.cache import ResultCache
 from ..engine.requests import VariantResult, request_key, seed_from_fingerprint
 from ..exceptions import CuttingError
 from ..simulator.dynamic import BranchingSimulator
-from ..simulator.sampler import sample_weighted_counts
+from ..simulator.sampler import sample_weighted_counts_prefix
 from .executors import VariantExecutor, branch_output_index
 from .variants import SubcircuitVariant
 
@@ -41,13 +41,27 @@ __all__ = ["SamplingExecutor"]
 #: Default per-variant shot count when no allocation is applied.
 DEFAULT_SHOTS = 4096
 
+#: Entries kept in the per-executor branch-simulation memo (see
+#: :meth:`SamplingExecutor.execute_variant`): streaming sessions re-sample the
+#: same variant circuit every round, and the exact branch walk — not the
+#: multinomial draw — dominates that cost.
+_BRANCH_MEMO_SIZE = 4096
+
 
 def _respawn_sampling(
-    shots: int, seed: int, allocation_items: Tuple, stage: str
+    shots: int,
+    seed: int,
+    allocation_items: Tuple,
+    stage: str,
+    seed_shots_items: Optional[Tuple] = None,
 ) -> "SamplingExecutor":
     """Spawn factory: rebuild a worker-process copy from explicit constructor state."""
     executor = SamplingExecutor(shots=shots, seed=seed)
-    executor.set_allocation(dict(allocation_items) or None, stage=stage)
+    executor.set_allocation(
+        dict(allocation_items) or None,
+        stage=stage,
+        seed_shots_by_fingerprint=dict(seed_shots_items) if seed_shots_items else None,
+    )
     return executor
 
 
@@ -77,8 +91,10 @@ class SamplingExecutor(VariantExecutor):
         self._base_seed = int(seed)
         self._allocation: Dict[str, int] = {}
         self._allocation_floor: Optional[int] = None
+        self._seed_shots: Dict[str, int] = {}
         self._stage = ""
         self._simulator = BranchingSimulator()
+        self._branch_memo: Dict[str, object] = {}
 
     # ------------------------------------------------------------------ allocation
     @property
@@ -99,6 +115,7 @@ class SamplingExecutor(VariantExecutor):
         self,
         shots_by_fingerprint: Optional[Mapping[str, int]] = None,
         stage: str = "",
+        seed_shots_by_fingerprint: Optional[Mapping[str, int]] = None,
     ) -> None:
         """Apply (or clear, with ``None``) a per-variant shot allocation.
 
@@ -112,6 +129,17 @@ class SamplingExecutor(VariantExecutor):
         variance-aware allocator relies on this so its pilot sample (which chose
         the allocation) is never silently reused as the final estimate.
 
+        ``seed_shots_by_fingerprint`` decouples the *seed* shot count from the
+        *drawn* shot count for streaming sessions: each round re-applies the
+        growing cumulative counts here while pinning the seed material to the
+        final planned totals, so — the sampler being prefix-stable, see
+        :func:`~repro.simulator.sampler.sample_weighted_counts_prefix` — every
+        round's sample is a bitwise prefix of the final one, and the final
+        round (where drawn == seed counts) reproduces the one-shot batch draw
+        exactly.  Rounds whose seed and drawn counts differ carry a ``:seed=``
+        marker in their cache key so partial draws never alias complete ones.
+        ``None`` (the default, and the batch path) seeds from the drawn counts.
+
         While an allocation is active, a request whose fingerprint is *not*
         covered (a variant that escaped enumeration and reaches the executor
         through the reconstructor's defensive on-demand path) is sampled at the
@@ -121,6 +149,7 @@ class SamplingExecutor(VariantExecutor):
         if shots_by_fingerprint is None:
             self._allocation = {}
             self._allocation_floor = None
+            self._seed_shots = {}
             self._stage = ""
             return
         for fingerprint, count in shots_by_fingerprint.items():
@@ -128,8 +157,19 @@ class SamplingExecutor(VariantExecutor):
                 raise CuttingError(
                     f"allocated shots must be >= 1, got {count} for {fingerprint[:12]}..."
                 )
+        if seed_shots_by_fingerprint is not None:
+            for fingerprint, count in seed_shots_by_fingerprint.items():
+                if count < 1:
+                    raise CuttingError(
+                        f"seed shots must be >= 1, got {count} for {fingerprint[:12]}..."
+                    )
         self._allocation = {key: int(count) for key, count in shots_by_fingerprint.items()}
         self._allocation_floor = min(self._allocation.values(), default=None)
+        self._seed_shots = (
+            {key: int(count) for key, count in seed_shots_by_fingerprint.items()}
+            if seed_shots_by_fingerprint is not None
+            else {}
+        )
         self._stage = str(stage)
 
     def shots_for(self, fingerprint: str) -> int:
@@ -145,13 +185,25 @@ class SamplingExecutor(VariantExecutor):
             return self._allocation_floor
         return self._shots
 
+    def seed_shots_for(self, fingerprint: str) -> int:
+        """Shot count entering the seed material (see :meth:`set_allocation`).
+
+        Equals :meth:`shots_for` unless a streaming session pinned the seed to
+        the final planned totals while drawing a smaller cumulative prefix.
+        """
+        if fingerprint in self._seed_shots:
+            return self._seed_shots[fingerprint]
+        return self.shots_for(fingerprint)
+
     # ------------------------------------------------------------------ protocol
     def seed_for(self, fingerprint: str) -> Tuple[int, ...]:
-        # Shot count and stage label join the seed material so allocation passes
-        # (pilot vs final) always draw statistically independent samples.
+        # Seed shot count and stage label join the seed material so allocation
+        # passes (pilot vs final) always draw statistically independent samples,
+        # while streaming rounds (same seed shots, growing drawn counts) keep
+        # drawing prefixes of one final sample.
         return (
             *seed_from_fingerprint(fingerprint, self._base_seed),
-            self.shots_for(fingerprint),
+            self.seed_shots_for(fingerprint),
             zlib.crc32(self._stage.encode("utf-8")),
         )
 
@@ -162,6 +214,11 @@ class SamplingExecutor(VariantExecutor):
         key = f"{fingerprint}:shots={self.shots_for(fingerprint)}"
         if self._stage:
             key += f":stage={self._stage}"
+        seed_shots = self.seed_shots_for(fingerprint)
+        if seed_shots != self.shots_for(fingerprint):
+            # A partial (prefix) draw of a longer seeded stream: never alias
+            # the complete draw, nor partial draws of other stream lengths.
+            key += f":seed={seed_shots}"
         return key
 
     def spawn_spec(self) -> Tuple:
@@ -170,7 +227,16 @@ class SamplingExecutor(VariantExecutor):
             self._base_seed,
             tuple(sorted(self._allocation.items())),
             self._stage,
+            tuple(sorted(self._seed_shots.items())),
         )
+
+    def __getstate__(self) -> Dict:
+        # The branch memo holds full simulation payloads; like the result
+        # cache (see VariantExecutor.__getstate__) it never crosses the
+        # process boundary.
+        state = super().__getstate__()
+        state["_branch_memo"] = {}
+        return state
 
     # ------------------------------------------------------------------ execution
     def execute_variant(
@@ -181,10 +247,18 @@ class SamplingExecutor(VariantExecutor):
         if seed is None:
             seed = self.seed_for(fingerprint)
         rng = np.random.default_rng(seed)
-        result = self._simulator.run(variant.circuit)
+        # The exact branch walk depends only on the circuit, never on the shot
+        # count or seed; memoising it keeps streaming sessions (which re-sample
+        # every variant each round) from re-simulating R times.
+        result = self._branch_memo.get(fingerprint)
+        if result is None:
+            result = self._simulator.run(variant.circuit)
+            if len(self._branch_memo) >= _BRANCH_MEMO_SIZE:
+                self._branch_memo.pop(next(iter(self._branch_memo)))
+            self._branch_memo[fingerprint] = result
         probabilities = np.array([branch.probability for branch in result.branches])
         signs = np.array([branch.sign for branch in result.branches], dtype=float)
-        counts = sample_weighted_counts(probabilities, shots, rng)
+        counts = sample_weighted_counts_prefix(probabilities, shots, rng)
         value = float(np.dot(counts, signs) / shots)
         distribution: Optional[np.ndarray] = None
         if variant.mode == "probability":

@@ -105,6 +105,17 @@ class EngineConfig:
             process/thread pool as batch execution (``use_threads`` applies);
             with one worker the planned kernels still run, just unsharded and
             in-process.
+        streaming: a :class:`~repro.service.StreamingConfig` making finite-shot
+            evaluations consume their budget in cumulative rounds through an
+            :class:`~repro.service.EvaluationSession` (requires ``shots``).
+            ``None`` (the default) keeps the one-shot batch path.  Run to
+            completion without re-planning, streaming is bit-identical to the
+            batch path — the knob trades nothing unless a stopping rule fires.
+        stopping: a :class:`~repro.service.StoppingRule` checked between
+            streaming rounds (requires ``shots``; implies a default
+            ``streaming`` configuration when that is unset).  Early termination
+            changes the numbers — fewer shots are spent — and records its
+            reason on ``EvaluationResult.termination_reason``.
     """
 
     max_workers: Optional[int] = 1
@@ -120,6 +131,8 @@ class EngineConfig:
     backend: str = "batched"
     contraction: str = "planned"
     contraction_workers: Optional[int] = None
+    streaming: Optional[object] = None
+    stopping: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -151,6 +164,21 @@ class EngineConfig:
             raise ReproError(
                 f"routing must be one of {ROUTING_POLICIES}, got {self.routing!r}"
             )
+        if self.streaming is not None or self.stopping is not None:
+            # Imported lazily: repro.service sits above the engine layer, and
+            # these fields are None on every pre-service configuration.
+            from ..service.stopping import StoppingRule, StreamingConfig
+
+            if self.streaming is not None and not isinstance(self.streaming, StreamingConfig):
+                raise ReproError(
+                    f"streaming must be a StreamingConfig or None, "
+                    f"got {type(self.streaming).__name__}"
+                )
+            if self.stopping is not None and not isinstance(self.stopping, StoppingRule):
+                raise ReproError(
+                    f"stopping must be a StoppingRule or None, "
+                    f"got {type(self.stopping).__name__}"
+                )
         if self.devices is not None:
             object.__setattr__(self, "devices", tuple(self.devices))
             # Building a throwaway farm runs the full validation set (non-empty

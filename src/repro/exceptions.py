@@ -61,6 +61,15 @@ class InfeasibleVariantError(DeviceError):
     """
 
 
+class ConfigError(ReproError):
+    """Raised for invalid streaming/stopping service configurations.
+
+    In particular, a :class:`~repro.service.StoppingRule` that could never
+    terminate a session (no shot budget, no deadline, no round cap) is rejected
+    here — at construction time — instead of hanging a service queue later.
+    """
+
+
 class PruningError(ReproError):
     """Raised for invalid variant-pruning policies or parameters."""
 

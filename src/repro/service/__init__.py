@@ -1,0 +1,35 @@
+"""Streaming evaluation service: sessions, incremental reconstruction, queueing.
+
+The service layer decomposes the batch pipeline's one-shot evaluation into a
+resumable state machine, which is what enables confidence-interval early
+termination and multi-tenant scheduling:
+
+* :mod:`repro.service.session` — :class:`EvaluationSession`, one evaluation as
+  ``prepare -> step (rounds) -> finish``, bit-identical to the batch pipeline
+  when streaming is off (and, run to completion without re-planning, when on),
+* :mod:`repro.service.incremental` — :class:`IncrementalReconstructor` /
+  :class:`StreamingMoments`, folding per-round shot chunks into a running
+  estimate with a streaming confidence interval,
+* :mod:`repro.service.stopping` — :class:`StreamingConfig` (how the budget is
+  spread over rounds) and :class:`StoppingRule` (when to terminate early),
+* :mod:`repro.service.queue` — :class:`ServiceQueue` / :class:`SessionTicket`,
+  multiplexing many tenants' sessions over one shared engine with budget
+  admission and backpressure.
+"""
+
+from .incremental import IncrementalReconstructor, StreamingMoments, difference_tables
+from .queue import ServiceQueue, SessionTicket
+from .session import EvaluationSession
+from .stopping import STOP_REASONS, StoppingRule, StreamingConfig
+
+__all__ = [
+    "EvaluationSession",
+    "IncrementalReconstructor",
+    "STOP_REASONS",
+    "ServiceQueue",
+    "SessionTicket",
+    "StoppingRule",
+    "StreamingConfig",
+    "StreamingMoments",
+    "difference_tables",
+]

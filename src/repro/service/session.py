@@ -1,0 +1,614 @@
+"""One evaluation as a stateful streaming session: prepare, step rounds, finish.
+
+:class:`EvaluationSession` is the layered replacement for the monolithic
+pipeline body: it enumerates variants *once*, then consumes the shot budget in
+cumulative rounds (each round's per-variant sample is a bitwise prefix of the
+next, so the final round reproduces the one-shot batch draw exactly), folding
+every round's fresh chunk into an :class:`~repro.service.IncrementalReconstructor`
+whose running confidence interval feeds an optional
+:class:`~repro.service.StoppingRule`.  ``streaming=None`` (the default)
+degenerates to a single full-batch step that is bit-identical — cache keys,
+seeds, timings structure and all — to the pre-service pipeline, which is what
+lets :func:`repro.core.evaluate_workload` stay a thin wrapper.
+
+Sessions are single-threaded state machines (``prepare -> step* -> finish``);
+:class:`~repro.service.ServiceQueue` multiplexes many of them over one shared
+engine by interleaving their ``step()`` calls.  Per-session engine statistics
+stay correct under that interleaving because every engine interaction is
+wrapped in a snapshot window and the deltas are accumulated per session.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..cutting import CutReconstructor, SamplingExecutor, VariantExecutor
+from ..engine import (
+    ALLOCATION_POLICIES,
+    DeviceSpec,
+    EngineConfig,
+    EngineStats,
+    ParallelEngine,
+    PruningPolicy,
+    ResultCache,
+    allocate_shots,
+    prune_requests,
+)
+from ..engine.allocation import _MIN_SIGMA, _sigma_estimate, largest_remainder_split
+from ..engine.devices import DeviceUtilization
+from ..exceptions import ConfigError, CuttingError
+from ..workloads import Workload, WorkloadKind
+from .incremental import IncrementalReconstructor, difference_tables
+from .stopping import StoppingRule, StreamingConfig
+
+__all__ = ["EvaluationSession"]
+
+
+def _merge_stats(total: Optional[EngineStats], delta: EngineStats) -> EngineStats:
+    """Accumulate one snapshot-window delta into a session's running total.
+
+    Monotonic counters add; state descriptors (cache size/capacity, the active
+    allocation policy, routing) keep the latest window's values — exactly what
+    a single ``since()`` over an uninterleaved span would report.
+    """
+    if total is None:
+        return delta
+    cache = dict(delta.cache)
+    for counter in ("hits", "misses", "evictions"):
+        cache[counter] = cache.get(counter, 0) + total.cache.get(counter, 0)
+    devices = None
+    if delta.devices is not None or total.devices is not None:
+        merged: Dict[str, DeviceUtilization] = {
+            report.name: report for report in (total.devices or ())
+        }
+        for report in delta.devices or ():
+            earlier = merged.get(report.name)
+            if earlier is None:
+                merged[report.name] = report
+            else:
+                merged[report.name] = DeviceUtilization(
+                    name=report.name,
+                    max_qubits=report.max_qubits,
+                    assigned=earlier.assigned + report.assigned,
+                    busy_seconds=earlier.busy_seconds + report.busy_seconds,
+                    queue_seconds=earlier.queue_seconds + report.queue_seconds,
+                )
+        devices = tuple(merged.values())
+    return EngineStats(
+        requests=total.requests + delta.requests,
+        unique_executions=total.unique_executions + delta.unique_executions,
+        dedup_hits=total.dedup_hits + delta.dedup_hits,
+        cache_hits=total.cache_hits + delta.cache_hits,
+        batches=total.batches + delta.batches,
+        execute_seconds=total.execute_seconds + delta.execute_seconds,
+        cache=cache,
+        shots_total=delta.shots_total,
+        allocation_policy=delta.allocation_policy,
+        devices=devices,
+        routing=delta.routing,
+    )
+
+
+class EvaluationSession:
+    """One workload evaluation as an incremental, early-terminable session.
+
+    Args:
+        workload: the workload (circuit + kind + observable) to evaluate.
+        config: the cutting meta parameters (a ``CutConfig``).
+        executor: a variant-execution backend; mutually exclusive with
+            ``engine``.  ``None`` lets the engine build its configured default.
+        compute_reference: additionally simulate the uncut circuit so accuracy
+            can be reported (only feasible for small N).
+        force_ilp: always solve the exact ILP during cut search.
+        force_greedy: always use the greedy heuristic cutter.
+        engine: a prebuilt :class:`~repro.engine.ParallelEngine` to share
+            (pools, caches and device farm survive across sessions); the
+            session then never closes it.  Mutually exclusive with
+            ``executor``/``engine_config``.
+        engine_config: an :class:`~repro.engine.EngineConfig` to build a
+            per-session engine from (closed when the session finishes).
+        shots: total finite-shot budget (``None`` = exact execution).
+        allocation: shot-allocation policy (``"uniform"``, ``"weighted"``,
+            ``"variance"``); defaults to the engine config's.
+        seed: base seed for the sampling executor the session builds itself
+            (needs ``shots``; rejected alongside a supplied executor/engine).
+        pruning: truncated-contraction policy (name or
+            :class:`~repro.engine.PruningPolicy`); defaults to the config's.
+        devices: a device farm for the engine the session builds itself.
+        routing: the farm's routing policy (needs ``devices``).
+        streaming: a :class:`~repro.service.StreamingConfig` spreading the
+            budget over cumulative rounds (needs ``shots``); ``None`` (the
+            default, unless the engine config sets one) runs the one-shot
+            batch path, bit-identical to the classic pipeline.
+        stopping: a :class:`~repro.service.StoppingRule` checked after every
+            round (needs ``shots``; implies a default ``StreamingConfig`` when
+            ``streaming`` is unset).  Early termination records its reason on
+            ``EvaluationResult.termination_reason``.
+
+    Drive it either with :meth:`run` (prepare, consume every round, finish) or
+    manually — ``prepare()``, then ``step()`` until it returns ``False``, then
+    ``finish()`` — remembering ``close()`` in a ``finally``.  ``run()`` does
+    all of that and is what :func:`repro.core.evaluate_workload` calls.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        config,
+        executor: Optional[VariantExecutor] = None,
+        compute_reference: bool = True,
+        force_ilp: bool = False,
+        force_greedy: bool = False,
+        engine: Optional[ParallelEngine] = None,
+        engine_config: Optional[EngineConfig] = None,
+        shots: Optional[int] = None,
+        allocation: Optional[str] = None,
+        seed: Optional[int] = None,
+        pruning: Optional[object] = None,
+        devices: Optional[Sequence[DeviceSpec]] = None,
+        routing: Optional[str] = None,
+        streaming: Optional[StreamingConfig] = None,
+        stopping: Optional[StoppingRule] = None,
+    ) -> None:
+        if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
+            raise CuttingError(
+                "gate cutting cannot be used for probability-vector workloads (Section 2.3.2)"
+            )
+        if engine is not None and (executor is not None or engine_config is not None):
+            raise CuttingError(
+                "pass either a prebuilt engine or executor/engine_config, not both"
+            )
+        if seed is not None and (engine is not None or executor is not None):
+            raise CuttingError(
+                "seed only applies to the SamplingExecutor evaluate_workload builds "
+                "itself; seed a supplied executor/engine at construction instead"
+            )
+        if engine is not None and (devices is not None or routing is not None):
+            raise CuttingError(
+                "devices/routing configure the engine evaluate_workload builds "
+                "itself; a supplied engine carries its own farm (set "
+                "EngineConfig(devices=..., routing=...) when constructing it)"
+            )
+        resolved_config = engine.config if engine is not None else (engine_config or EngineConfig())
+        if devices is None:
+            devices = resolved_config.devices
+        if routing is not None and devices is None:
+            raise CuttingError("routing needs devices (a farm to route onto)")
+        if shots is None:
+            shots = resolved_config.shots
+        if allocation is None:
+            allocation = resolved_config.allocation
+        if allocation not in ALLOCATION_POLICIES:
+            raise CuttingError(
+                f"allocation must be one of {ALLOCATION_POLICIES}, got {allocation!r}"
+            )
+        if pruning is None:
+            pruning = resolved_config.pruning
+        pruning_policy = PruningPolicy.resolve(pruning)
+        if seed is not None and shots is None:
+            raise CuttingError(
+                "seed seeds the finite-shot SamplingExecutor and needs shots "
+                "(exact evaluation has nothing to seed)"
+            )
+        if streaming is None:
+            streaming = resolved_config.streaming
+        if stopping is None:
+            stopping = resolved_config.stopping
+        if streaming is not None and not isinstance(streaming, StreamingConfig):
+            raise ConfigError(
+                f"streaming must be a StreamingConfig or None, got {type(streaming).__name__}"
+            )
+        if stopping is not None and not isinstance(stopping, StoppingRule):
+            raise ConfigError(
+                f"stopping must be a StoppingRule or None, got {type(stopping).__name__}"
+            )
+        if stopping is not None and streaming is None:
+            # A stopping rule without an explicit round plan still needs rounds
+            # to check itself between; give it the default cadence.
+            streaming = StreamingConfig()
+        if streaming is not None and shots is None:
+            raise ConfigError(
+                "streaming/stopping need a finite shot budget (shots=...): exact "
+                "evaluation produces its answer in one pass and has no rounds to "
+                "stream or terminate early"
+            )
+
+        self.workload = workload
+        self.config = config
+        self.compute_reference = compute_reference
+        self.force_ilp = force_ilp
+        self.force_greedy = force_greedy
+        self.shots = shots
+        self.allocation_policy = allocation
+        self.pruning_policy = pruning_policy
+        self.streaming = streaming
+        self.stopping = stopping
+
+        self.owns_engine = engine is None
+        if engine is None:
+            if executor is None and shots is not None:
+                executor = SamplingExecutor(
+                    shots=shots, seed=seed, cache=ResultCache(resolved_config.cache_size)
+                )
+            build_config = engine_config or EngineConfig()
+            if devices is not None:
+                build_config = build_config.with_(
+                    devices=tuple(devices),
+                    routing=routing if routing is not None else build_config.routing,
+                )
+            engine = ParallelEngine(executor, build_config)
+        if shots is not None and not hasattr(engine.executor, "set_allocation"):
+            raise CuttingError(
+                f"shots={shots} needs a sampling-capable executor with per-variant shot "
+                f"allocation (e.g. SamplingExecutor), got {type(engine.executor).__name__}"
+            )
+        if shots is not None and engine.farm is not None and engine.farm.is_heterogeneous:
+            raise CuttingError(
+                "shots cannot combine with a heterogeneous device farm (devices "
+                "with noise/executor_factory run their own backends and would "
+                "silently ignore the per-variant shot allocation); use devices "
+                "that share the engine executor, or drop shots"
+            )
+        self.engine = engine
+
+        # ---------------------------------------------------------- run state
+        self._state = "created"
+        self._stats_delta: Optional[EngineStats] = None
+        self._window_before: Optional[EngineStats] = None
+        self._started: Optional[float] = None
+        self._plan = None
+        self._reconstructor: Optional[CutReconstructor] = None
+        self._batch: Optional[List] = None
+        self._weights: Optional[Dict[str, float]] = None
+        self._pruning_report = None
+        self._missing_mode = "execute"
+        self._shot_allocation = None
+        self._incremental: Optional[IncrementalReconstructor] = None
+        self._table = None
+        self._cum: Dict[str, int] = {}
+        self._seed_totals: Dict[str, int] = {}
+        self._base_chunks: Dict[str, List[int]] = {}
+        self._round_budgets: List[int] = []
+        self._num_rounds = 1
+        self._rounds_done = 0
+        self._shots_spent = 0
+        self._termination_reason: Optional[str] = None
+        self._cut_seconds = 0.0
+        self._enumerate_seconds = 0.0
+        self._prune_seconds = 0.0
+        self._allocate_seconds = 0.0
+        self._execute_seconds = 0.0
+        self._fold_seconds = 0.0
+
+    # ------------------------------------------------------------------ stats windows
+    def _open_window(self) -> None:
+        self._window_before = self.engine.stats
+
+    def _close_window(self) -> None:
+        delta = self.engine.stats.since(self._window_before)
+        self._stats_delta = _merge_stats(self._stats_delta, delta)
+        self._window_before = None
+
+    # ------------------------------------------------------------------ properties
+    @property
+    def state(self) -> str:
+        """``"created"``, ``"prepared"``, ``"done"`` or ``"finished"``."""
+        return self._state
+
+    @property
+    def rounds_done(self) -> int:
+        """Sampling rounds completed so far."""
+        return self._rounds_done
+
+    @property
+    def shots_spent(self) -> int:
+        """Shots drawn so far (pilot + cumulative rounds)."""
+        return self._shots_spent
+
+    @property
+    def termination_reason(self) -> Optional[str]:
+        """Why the session stopped (see ``STOP_REASONS``); ``None`` while running."""
+        return self._termination_reason
+
+    @property
+    def streaming_active(self) -> bool:
+        """Whether this session consumes its budget in cumulative rounds."""
+        return self.streaming is not None and self.shots is not None
+
+    # ------------------------------------------------------------------ lifecycle
+    def prepare(self) -> None:
+        """Cut, enumerate, prune and plan the shot rounds (no round executes yet)."""
+        if self._state != "created":
+            raise CuttingError(f"prepare() called on a session in state {self._state!r}")
+        from ..core.pipeline import cut_circuit
+
+        self._started = time.perf_counter()
+        self._open_window()
+        try:
+            cut_start = time.perf_counter()
+            self._plan = cut_circuit(
+                self.workload.circuit,
+                self.config,
+                force_ilp=self.force_ilp,
+                force_greedy=self.force_greedy,
+            )
+            self._cut_seconds = time.perf_counter() - cut_start
+            if self.engine.farm is not None:
+                self.engine.farm.check_width(self._plan.max_width)
+            self._reconstructor = CutReconstructor(
+                self._plan.solution, specs=self._plan.subcircuits, engine=self.engine
+            )
+
+            needs_weights = (
+                not self.pruning_policy.is_none
+                or (
+                    self.shots is not None
+                    and self.allocation_policy in ("weighted", "variance")
+                )
+                or (self.streaming_active and self.streaming.replan)
+            )
+            weights: Optional[Dict[str, float]] = {} if needs_weights else None
+            enumerate_start = time.perf_counter()
+            if self.workload.kind == WorkloadKind.EXPECTATION:
+                batch = self._reconstructor.enumerate_expectation_requests(
+                    self.workload.observable, weights_out=weights
+                )
+            else:
+                batch = self._reconstructor.enumerate_probability_requests(
+                    weights_out=weights
+                )
+            self._enumerate_seconds = time.perf_counter() - enumerate_start
+            self._weights = weights
+
+            if not self.pruning_policy.is_none:
+                prune_start = time.perf_counter()
+                batch, self._pruning_report = prune_requests(
+                    batch, weights, self.pruning_policy
+                )
+                self._missing_mode = "skip"
+                self._prune_seconds = time.perf_counter() - prune_start
+            self._batch = batch
+
+            if self.shots is not None:
+                allocate_start = time.perf_counter()
+                shot_allocation = allocate_shots(
+                    batch,
+                    self.shots,
+                    self.allocation_policy,
+                    weights=weights,
+                    engine=self.engine,
+                )
+                self.engine.apply_allocation(shot_allocation)
+                self._shot_allocation = shot_allocation
+                # The pilot batch (variance policy) is execution, not allocation math.
+                self._execute_seconds += shot_allocation.pilot_seconds
+                self._allocate_seconds = (
+                    time.perf_counter() - allocate_start - shot_allocation.pilot_seconds
+                )
+                self._shots_spent += sum(
+                    shot_allocation.pilot_shots_by_fingerprint.values()
+                )
+                self._plan_rounds(shot_allocation)
+            if self.streaming_active:
+                observable = (
+                    self.workload.observable
+                    if self.workload.kind == WorkloadKind.EXPECTATION
+                    else None
+                )
+                self._incremental = IncrementalReconstructor(
+                    self._reconstructor, observable=observable, missing=self._missing_mode
+                )
+        finally:
+            self._close_window()
+        self._state = "prepared"
+
+    def _plan_rounds(self, shot_allocation) -> None:
+        """Split every variant's final shot count into per-round cumulative chunks."""
+        totals = {key: int(count) for key, count in shot_allocation.shots_by_fingerprint.items()}
+        self._seed_totals = totals
+        if not self.streaming_active:
+            self._num_rounds = 1
+            return
+        # Every variant must receive >= 1 fresh shot per round (the allocator's
+        # own floor), so the round count is clamped to the smallest allocation.
+        rounds = max(1, min(self.streaming.rounds, min(totals.values(), default=1)))
+        self._num_rounds = rounds
+        self._base_chunks = {
+            key: [count // rounds + (1 if index < count % rounds else 0) for index in range(rounds)]
+            for key, count in totals.items()
+        }
+        self._round_budgets = [
+            sum(chunks[index] for chunks in self._base_chunks.values())
+            for index in range(rounds)
+        ]
+
+    def _chunk_for_round(self, round_index: int) -> Dict[str, int]:
+        """This round's fresh-shot counts per variant (re-planned when asked)."""
+        if not (self.streaming.replan and round_index > 0):
+            return {key: chunks[round_index] for key, chunks in self._base_chunks.items()}
+        # Neyman re-split of this round's chunk budget from the variances
+        # observed in the cumulative sample so far (same shape as the batch
+        # allocator's pilot pass, but fed by real rounds instead of a pilot).
+        weights = self._weights or {}
+        neyman: Dict[str, float] = {}
+        for key in self._seed_totals:
+            share = max(abs(float(weights.get(key, 1.0))), _MIN_SIGMA)
+            result = (self._table or {}).get(key)
+            sigma = (
+                _sigma_estimate(result, self._cum.get(key, 1)) if result is not None else 1.0
+            )
+            neyman[key] = share * sigma
+        return largest_remainder_split(self._round_budgets[round_index], neyman)
+
+    def step(self) -> bool:
+        """Execute one round; returns ``True`` while more rounds are pending.
+
+        The one-shot batch path (``streaming=None``) runs its entire batch in a
+        single step.  Streaming rounds re-apply the growing cumulative
+        allocation (seed pinned to the final totals, so draws are prefixes),
+        execute, fold the fresh chunk into the incremental estimate, and check
+        the stopping rule.
+        """
+        if self._state != "prepared":
+            raise CuttingError(f"step() called on a session in state {self._state!r}")
+        self._open_window()
+        try:
+            if not self.streaming_active:
+                if self._shot_allocation is not None:
+                    # Re-apply before executing: on a shared engine another
+                    # session may have applied its own allocation since
+                    # prepare().  Idempotent (and state-identical) when solo.
+                    self.engine.apply_allocation(self._shot_allocation)
+                table, seconds = self.engine.run_batch_timed(self._batch)
+                self._execute_seconds += seconds
+                self._table = table
+                self._rounds_done = 1
+                if self._shot_allocation is not None:
+                    self._shots_spent += sum(
+                        self._shot_allocation.shots_by_fingerprint.values()
+                    )
+                self._state = "done"
+                return False
+
+            round_index = self._rounds_done
+            chunk = self._chunk_for_round(round_index)
+            cumulative = {
+                key: self._cum.get(key, 0) + count for key, count in chunk.items()
+            }
+            # Same stage ("") and seed totals every round: the prefix-stable
+            # sampler then guarantees each round's sample extends the last,
+            # and the final round (cumulative == totals) lands on exactly the
+            # batch path's seed and cache key.
+            self.engine.executor.set_allocation(
+                cumulative, stage="", seed_shots_by_fingerprint=self._seed_totals
+            )
+            table, seconds = self.engine.run_batch_timed(self._batch)
+            self._execute_seconds += seconds
+
+            fold_start = time.perf_counter()
+            chunk_table = difference_tables(table, self._table, cumulative, self._cum)
+            chunk_shots = sum(chunk.values())
+            self._incremental.fold(chunk_table, weight=chunk_shots)
+            self._fold_seconds += time.perf_counter() - fold_start
+
+            self._table = table
+            self._cum = cumulative
+            self._rounds_done += 1
+            self._shots_spent += chunk_shots
+
+            reason = None
+            if self.stopping is not None:
+                reason = self.stopping.should_stop(
+                    rounds=self._rounds_done,
+                    shots_spent=self._shots_spent,
+                    elapsed_seconds=time.perf_counter() - self._started,
+                    half_width=self._incremental.half_width(self.stopping.z_value),
+                )
+            if reason is None and self._rounds_done >= self._num_rounds:
+                reason = "completed"
+            if reason is not None:
+                self._termination_reason = reason
+                self._state = "done"
+                return False
+            return True
+        finally:
+            self._close_window()
+
+    def finish(self):
+        """Contract the final estimate, build and return the ``EvaluationResult``."""
+        if self._state != "done":
+            raise CuttingError(f"finish() called on a session in state {self._state!r}")
+        from ..core.pipeline import EvaluationResult
+        from ..simulator import simulate_statevector
+
+        result = EvaluationResult(plan=self._plan)
+        result.pruning_report = self._pruning_report
+        result.shot_allocation = self._shot_allocation
+
+        self._open_window()
+        try:
+            contract_start = time.perf_counter()
+            if self.workload.kind == WorkloadKind.EXPECTATION:
+                result.expectation_value = self._reconstructor.reconstruct_expectation(
+                    self.workload.observable, table=self._table, missing=self._missing_mode
+                )
+            else:
+                result.probabilities = self._reconstructor.reconstruct_probabilities(
+                    table=self._table, missing=self._missing_mode
+                )
+            contract_seconds = time.perf_counter() - contract_start
+            result.contraction_report = self._reconstructor.last_contraction_report
+        finally:
+            self._close_window()
+
+        reference_seconds = 0.0
+        if self.compute_reference:
+            reference_start = time.perf_counter()
+            if self.workload.kind == WorkloadKind.EXPECTATION:
+                result.reference_expectation = simulate_statevector(
+                    self.workload.circuit
+                ).expectation(self.workload.observable)
+            else:
+                result.reference_probabilities = simulate_statevector(
+                    self.workload.circuit
+                ).probabilities()
+            reference_seconds = time.perf_counter() - reference_start
+
+        reconstruct_seconds = self._enumerate_seconds + self._fold_seconds + contract_seconds
+        result.num_variant_evaluations = self._stats_delta.unique_executions
+        result.engine_stats = self._stats_delta
+        result.rounds = self._rounds_done
+        result.shots_spent = self._shots_spent
+        result.termination_reason = self._termination_reason
+        if self._incremental is not None:
+            z_value = self.stopping.z_value if self.stopping is not None else 1.96
+            result.half_width = self._incremental.half_width(z_value)
+            result.confidence = (
+                self.stopping.confidence if self.stopping is not None else 0.95
+            )
+        result.timings = {
+            "cut": self._cut_seconds,
+            "execute": self._execute_seconds,
+            "reconstruct": reconstruct_seconds,
+            "total": self._cut_seconds
+            + self._execute_seconds
+            + reconstruct_seconds
+            + self._allocate_seconds
+            + self._prune_seconds
+            + reference_seconds,
+        }
+        report = result.contraction_report
+        if report is not None:
+            result.timings["plan"] = report.plan_seconds
+            result.timings["contract"] = report.contract_seconds
+            result.timings["merge"] = report.merge_seconds
+        if self.shots is not None:
+            result.timings["allocate"] = self._allocate_seconds
+        if not self.pruning_policy.is_none:
+            result.timings["prune"] = self._prune_seconds
+        if self.compute_reference:
+            result.timings["reference"] = reference_seconds
+        self._state = "finished"
+        return result
+
+    def close(self) -> None:
+        """Release shared engine state (idempotent; call from a ``finally``).
+
+        Clears the per-session shot allocation from the (possibly shared)
+        engine and closes the engine when this session built it itself.
+        """
+        if self.shots is not None:
+            self.engine.clear_allocation()
+        if self.owns_engine:
+            self.engine.close()
+
+    def run(self):
+        """Prepare, consume every round, finish, close; returns the result."""
+        try:
+            self.prepare()
+            while self.step():
+                pass
+            return self.finish()
+        finally:
+            self.close()

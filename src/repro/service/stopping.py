@@ -1,0 +1,151 @@
+"""Streaming/stopping configuration for the evaluation service.
+
+:class:`StreamingConfig` describes *how* a session consumes its shot budget —
+in how many cumulative rounds, and whether the per-round split is re-planned
+from observed variances.  :class:`StoppingRule` describes *when* a session may
+terminate before consuming every round: a target confidence-interval
+half-width, a shot budget, a wall-clock deadline, a round cap.
+
+Both are validated at construction time: a rule that could never fire (no shot
+budget, no deadline, no round cap — only an aspirational target the data may
+never reach) raises :class:`~repro.exceptions.ConfigError` immediately instead
+of hanging a :class:`~repro.service.ServiceQueue` later.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Optional
+
+from ..exceptions import ConfigError
+
+__all__ = ["STOP_REASONS", "StoppingRule", "StreamingConfig"]
+
+#: Termination reasons a session records (``EvaluationResult.termination_reason``).
+#: ``"completed"`` means every planned round was consumed without a rule firing.
+STOP_REASONS = ("target_reached", "budget_exhausted", "deadline", "max_rounds", "completed")
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """How a streaming session spreads its shot budget over rounds.
+
+    Args:
+        rounds: cumulative sampling rounds the session plans (clamped down so
+            every variant still receives at least one shot per round).  ``1``
+            degenerates to the one-shot batch path.
+        replan: re-split each upcoming round's chunk budget across variants by
+            Neyman allocation from the variances *observed so far* (instead of
+            keeping the up-front plan).  Re-planning changes which variant gets
+            which shot, so run-to-completion results are only bit-identical to
+            the batch path with ``replan=False`` (the default).
+    """
+
+    rounds: int = 8
+    replan: bool = False
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise ConfigError(f"streaming rounds must be >= 1, got {self.rounds}")
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """Early-termination criteria for a streaming evaluation session.
+
+    Args:
+        target_half_width: stop once the running confidence interval's
+            half-width is at or below this (``None`` = no target).  Positive.
+        confidence: two-sided confidence level of the interval the target is
+            compared against (strictly between 0 and 1; default 0.95).
+        min_rounds: rounds that must complete before ``target_half_width`` may
+            fire (default 3; at least 2).  The interval needs several chunks
+            before its variance estimate is trustworthy — with one degree of
+            freedom, two chunk estimates that happen to land close together
+            produce an arbitrarily (and wrongly) tight interval.  The hard
+            bounds below are not gated.
+        shot_budget: stop once this many shots were spent (``None`` = the
+            session's own allocation bounds spending).  Positive.
+        deadline_seconds: stop once this much wall clock elapsed since the
+            session started executing (``None`` = no deadline).  Positive.
+        max_rounds: stop after this many completed rounds (``None`` = the
+            session's planned round count bounds it).  Positive.
+
+    At least one *hard* bound — ``shot_budget``, ``deadline_seconds`` or
+    ``max_rounds`` — must be set: a rule with only ``target_half_width`` can
+    never be guaranteed to fire (the data's variance may keep the interval
+    above the target forever), so it is rejected with
+    :class:`~repro.exceptions.ConfigError` at construction time rather than
+    hanging a service queue at run time.
+    """
+
+    target_half_width: Optional[float] = None
+    confidence: float = 0.95
+    min_rounds: int = 3
+    shot_budget: Optional[int] = None
+    deadline_seconds: Optional[float] = None
+    max_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.target_half_width is not None and not self.target_half_width > 0:
+            raise ConfigError(
+                f"target_half_width must be positive, got {self.target_half_width}"
+            )
+        if not 0.0 < self.confidence < 1.0:
+            raise ConfigError(
+                f"confidence must be strictly between 0 and 1, got {self.confidence}"
+            )
+        if self.min_rounds < 2:
+            raise ConfigError(
+                f"min_rounds must be >= 2 (the interval needs two chunks for a "
+                f"variance at all), got {self.min_rounds}"
+            )
+        if self.shot_budget is not None and self.shot_budget < 1:
+            raise ConfigError(f"shot_budget must be >= 1, got {self.shot_budget}")
+        if self.deadline_seconds is not None and not self.deadline_seconds > 0:
+            raise ConfigError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ConfigError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.shot_budget is None and self.deadline_seconds is None and self.max_rounds is None:
+            raise ConfigError(
+                "a StoppingRule needs at least one hard bound (shot_budget, "
+                "deadline_seconds or max_rounds): a target_half_width alone may "
+                "never be reached, which would hang the session"
+            )
+
+    @property
+    def z_value(self) -> float:
+        """Two-sided normal quantile for :attr:`confidence` (e.g. ~1.96 at 0.95)."""
+        return NormalDist().inv_cdf(0.5 * (1.0 + self.confidence))
+
+    def should_stop(
+        self,
+        *,
+        rounds: int,
+        shots_spent: int,
+        elapsed_seconds: float,
+        half_width: Optional[float],
+    ) -> Optional[str]:
+        """The first termination reason that applies, or ``None`` to continue.
+
+        Checked in order of desirability: ``"target_reached"`` (the interval is
+        tight enough — the success case), then the hard bounds
+        ``"budget_exhausted"``, ``"deadline"`` and ``"max_rounds"``.
+        """
+        if (
+            self.target_half_width is not None
+            and half_width is not None
+            and rounds >= self.min_rounds
+            and half_width <= self.target_half_width
+        ):
+            return "target_reached"
+        if self.shot_budget is not None and shots_spent >= self.shot_budget:
+            return "budget_exhausted"
+        if self.deadline_seconds is not None and elapsed_seconds >= self.deadline_seconds:
+            return "deadline"
+        if self.max_rounds is not None and rounds >= self.max_rounds:
+            return "max_rounds"
+        return None

@@ -19,6 +19,7 @@ from .statevector import simulate_statevector
 
 __all__ = [
     "sample_weighted_counts",
+    "sample_weighted_counts_prefix",
     "sample_counts",
     "counts_to_distribution",
     "distribution_to_counts",
@@ -63,6 +64,45 @@ def sample_weighted_counts(
         raise SimulationError("probability vector sums to zero")
     rng = rng or np.random.default_rng()
     return rng.multinomial(shots, weights / total)
+
+
+def sample_weighted_counts_prefix(
+    weights: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Like :func:`sample_weighted_counts`, but *prefix-stable* in ``shots``.
+
+    Shots are drawn as a sequence of inverse-CDF lookups over ``shots``
+    sequential uniforms, so for a fixed generator state the first ``m`` shots
+    of an ``n``-shot draw are exactly the ``m``-shot draw (numpy's
+    ``Generator.random(n)`` fills its output sequentially):
+
+    ``sample(w, m, rng(s)) == sample(w, n, rng(s))``'s first-``m`` histogram
+    for every ``m <= n``.
+
+    This is what lets the streaming evaluation service grow a variant's sample
+    *cumulatively* across rounds — each round redraws with the same seed and a
+    larger count, and earlier rounds' shots are bitwise prefixes of later ones —
+    while the bulk :func:`sample_weighted_counts` (``rng.multinomial``) gives no
+    such guarantee.  Both draw exact multinomial samples; they differ only in
+    how the generator stream is consumed.
+    """
+    if shots <= 0:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    weights = np.asarray(weights, dtype=float)
+    weights = np.clip(weights, 0.0, None)
+    total = weights.sum()
+    if total <= 0:
+        raise SimulationError("probability vector sums to zero")
+    rng = rng or np.random.default_rng()
+    cumulative = np.cumsum(weights / total)
+    # side="right" maps u in [cum[i-1], cum[i]) to outcome i; zero-weight bins
+    # have equal adjacent cumulative entries and are therefore unreachable.
+    indices = np.searchsorted(cumulative, rng.random(shots), side="right")
+    # Floating-point rounding can leave cumulative[-1] a hair under 1.0; clip
+    # any overflowing draw onto the last positive-weight outcome.
+    last = int(np.flatnonzero(weights > 0)[-1])
+    np.clip(indices, None, last, out=indices)
+    return np.bincount(indices, minlength=len(weights))
 
 
 def sample_counts(

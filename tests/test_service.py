@@ -1,0 +1,215 @@
+"""Tests for the multi-tenant service queue: admission control (backpressure
+and per-tenant shot budgets), round-robin interleaving of concurrent sessions
+over one shared engine, refunds on early termination, failure isolation, and
+per-session stats windows that sum to the engine's executed work."""
+
+import pytest
+
+from repro import (
+    ConfigError,
+    CutConfig,
+    ServiceQueue,
+    StoppingRule,
+    StreamingConfig,
+    evaluate_workload,
+)
+from repro.cutting import SamplingExecutor
+from repro.engine import DeviceSpec, EngineConfig, ParallelEngine
+from repro.workloads import make_workload
+
+CONFIG = CutConfig(device_size=3, max_subcircuits=2)
+#: Cut search cannot fit a 5-qubit VQE onto width-2 devices (InfeasibleError
+#: at prepare time) — used to exercise failure isolation.
+INFEASIBLE = CutConfig(device_size=2, max_subcircuits=2)
+SHOTS = 4096
+
+
+def workload(seed=3):
+    return make_workload("VQE", 5, layers=1, seed=seed)
+
+
+def shared_engine(**config_kwargs):
+    return ParallelEngine(
+        SamplingExecutor(shots=SHOTS, seed=0),
+        EngineConfig(**config_kwargs) if config_kwargs else None,
+    )
+
+
+class TestQueueConstruction:
+    def test_rejects_nonpositive_max_pending(self):
+        with pytest.raises(ConfigError, match="max_pending"):
+            ServiceQueue(shared_engine(), max_pending=0)
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ConfigError, match="budget"):
+            ServiceQueue(shared_engine(), budgets={"alice": -1})
+
+    def test_unmetered_tenant_has_no_budget(self):
+        queue = ServiceQueue(shared_engine(), budgets={"alice": 100})
+        assert queue.remaining_budget("alice") == 100
+        assert queue.remaining_budget("bob") is None
+
+
+class TestConcurrentSessions:
+    def test_three_sessions_interleave_on_one_engine(self):
+        # The acceptance scenario: >= 3 concurrent sessions multiplexed over
+        # one shared engine, every one completing with the same answer its
+        # solo (dedicated-engine) evaluation produces at the same seed.
+        engine = shared_engine()
+        queue = ServiceQueue(engine, max_pending=4)
+        seeds = [3, 4, 5]
+        tickets = [
+            queue.submit(
+                workload(seed),
+                CONFIG,
+                tenant=f"tenant-{seed}",
+                shots=SHOTS,
+                streaming=StreamingConfig(rounds=3),
+            )
+            for seed in seeds
+        ]
+        assert queue.pending == 3
+        finished = queue.run()
+        assert len(finished) == 3 and queue.pending == 0
+        for ticket, seed in zip(tickets, seeds):
+            assert ticket.status == "done"
+            solo = evaluate_workload(
+                workload(seed),
+                CONFIG,
+                shots=SHOTS,
+                seed=0,
+                streaming=StreamingConfig(rounds=3),
+            )
+            assert ticket.result.expectation_value == solo.expectation_value
+            assert ticket.result.termination_reason == "completed"
+
+    def test_session_stats_windows_sum_to_engine_work(self):
+        # Per-session stats deltas must partition the engine's lifetime
+        # counters: nothing double-counted, nothing unattributed.
+        engine = shared_engine()
+        before = engine.stats
+        queue = ServiceQueue(engine, max_pending=4)
+        tickets = [
+            queue.submit(workload(seed), CONFIG, shots=SHOTS) for seed in (3, 4)
+        ]
+        queue.run()
+        lifetime = engine.stats.since(before)
+        per_session = [ticket.result.engine_stats for ticket in tickets]
+        assert sum(s.unique_executions for s in per_session) == lifetime.unique_executions
+        assert sum(s.requests for s in per_session) == lifetime.requests
+        for ticket in tickets:
+            assert (
+                ticket.result.num_variant_evaluations
+                == ticket.result.engine_stats.unique_executions
+            )
+
+    def test_device_utilization_sums_to_assigned_work(self):
+        # With a homogeneous farm on the shared engine, the per-session device
+        # reports must add up to the farm's lifetime assignment counts.
+        farm = (
+            DeviceSpec(name="q3-a", max_qubits=3),
+            DeviceSpec(name="q3-b", max_qubits=3),
+        )
+        engine = ParallelEngine(
+            SamplingExecutor(shots=SHOTS, seed=0), EngineConfig(devices=farm)
+        )
+        queue = ServiceQueue(engine, max_pending=4)
+        tickets = [
+            queue.submit(workload(seed), CONFIG, shots=SHOTS) for seed in (3, 4)
+        ]
+        queue.run()
+        lifetime = {u.name: u.assigned for u in engine.stats.devices}
+        summed = {}
+        for ticket in tickets:
+            assert ticket.status == "done"
+            for report in ticket.result.engine_stats.devices:
+                summed[report.name] = summed.get(report.name, 0) + report.assigned
+        assert summed == lifetime
+        assert sum(lifetime.values()) > 0
+
+
+class TestAdmissionControl:
+    def test_backpressure_rejects_with_queue_full(self):
+        queue = ServiceQueue(shared_engine(), max_pending=1)
+        first = queue.submit(workload(), CONFIG, shots=SHOTS)
+        second = queue.submit(workload(), CONFIG, shots=SHOTS)
+        assert first.status == "queued"
+        assert second.status == "rejected" and second.reason == "queue_full"
+        # Draining the queue restores admission.
+        queue.run()
+        third = queue.submit(workload(), CONFIG, shots=SHOTS)
+        assert third.status == "queued"
+
+    def test_budget_overdraft_rejected_and_never_exceeded(self):
+        queue = ServiceQueue(
+            shared_engine(), max_pending=4, budgets={"alice": SHOTS + SHOTS // 2}
+        )
+        first = queue.submit(workload(3), CONFIG, tenant="alice", shots=SHOTS)
+        second = queue.submit(workload(4), CONFIG, tenant="alice", shots=SHOTS)
+        assert first.status == "queued"
+        assert second.status == "rejected" and second.reason == "budget_exceeded"
+        queue.run()
+        assert first.status == "done"
+        assert queue.shots_spent("alice") <= SHOTS + SHOTS // 2
+
+    def test_invalid_configuration_rejected_with_message(self):
+        queue = ServiceQueue(shared_engine(), max_pending=4)
+        ticket = queue.submit(
+            workload(), CONFIG, streaming=StreamingConfig(rounds=2)  # no shots
+        )
+        assert ticket.status == "rejected"
+        assert "shot budget" in ticket.reason
+
+    def test_rejected_tickets_reserve_nothing(self):
+        queue = ServiceQueue(shared_engine(), max_pending=4, budgets={"alice": 100})
+        ticket = queue.submit(workload(), CONFIG, tenant="alice", shots=SHOTS)
+        assert ticket.status == "rejected"
+        assert queue.remaining_budget("alice") == 100
+
+
+class TestAccounting:
+    def test_early_termination_refunds_unspent_shots(self):
+        budget = 4 * SHOTS
+        queue = ServiceQueue(shared_engine(), max_pending=4, budgets={"alice": budget})
+        ticket = queue.submit(
+            workload(),
+            CONFIG,
+            tenant="alice",
+            shots=SHOTS,
+            streaming=StreamingConfig(rounds=8),
+            stopping=StoppingRule(max_rounds=2),
+        )
+        queue.run()
+        assert ticket.status == "done"
+        assert ticket.result.termination_reason == "max_rounds"
+        spent = queue.shots_spent("alice")
+        assert 0 < spent < SHOTS  # it really did stop early
+        # Refund leaves the budget debited by exactly what was spent.
+        assert queue.remaining_budget("alice") == budget - spent
+
+    def test_failed_session_keeps_its_reservation(self):
+        budget = 2 * SHOTS
+        queue = ServiceQueue(shared_engine(), max_pending=4, budgets={"alice": budget})
+        ticket = queue.submit(workload(), INFEASIBLE, tenant="alice", shots=SHOTS)
+        assert ticket.status == "queued"
+        queue.run()
+        assert ticket.status == "failed"
+        assert ticket.error is not None and ticket.result is None
+        assert queue.remaining_budget("alice") == budget - SHOTS
+
+    def test_failure_does_not_take_down_the_batch(self):
+        engine = shared_engine()
+        queue = ServiceQueue(engine, max_pending=4)
+        bad = queue.submit(workload(3), INFEASIBLE, shots=SHOTS)
+        good = queue.submit(workload(4), CONFIG, shots=SHOTS)
+        queue.run()
+        assert bad.status == "failed"
+        assert good.status == "done" and good.result is not None
+
+    def test_tickets_are_fifo_and_copied(self):
+        queue = ServiceQueue(shared_engine(), max_pending=4)
+        ids = [queue.submit(workload(), CONFIG, shots=SHOTS).ticket_id for _ in range(3)]
+        assert ids == [0, 1, 2]
+        tickets = queue.tickets
+        tickets.clear()
+        assert len(queue.tickets) == 3

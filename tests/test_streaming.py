@@ -1,0 +1,431 @@
+"""Tests for the streaming evaluation layer: prefix-stable sampling, the
+incremental reconstructor's accumulator and confidence intervals, streaming
+sessions' bit-identity with the batch pipeline, and the never-terminating
+configuration guards."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    ConfigError,
+    CutConfig,
+    EngineConfig,
+    EvaluationSession,
+    StoppingRule,
+    StreamingConfig,
+    evaluate_workload,
+)
+from repro.core.pipeline import _evaluate_workload_batch
+from repro.service.incremental import StreamingMoments, difference_tables
+from repro.simulator.sampler import sample_weighted_counts_prefix
+from repro.workloads import make_workload
+
+
+def small_workload():
+    return make_workload("VQE", 5, layers=1)
+
+
+SMALL_CONFIG = CutConfig(device_size=3, max_subcircuits=2)
+#: Plenty per variant for the 60-variant VQE cut, and divisible many ways.
+SMALL_SHOTS = 6144
+
+
+class TestPrefixStableSampler:
+    @given(
+        num_outcomes=st.integers(min_value=1, max_value=12),
+        shots=st.integers(min_value=1, max_value=300),
+        prefix=st.integers(min_value=1, max_value=300),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_property(self, num_outcomes, shots, prefix, seed):
+        # The m-shot draw must be the literal first-m-shots histogram of the
+        # n-shot draw at the same generator state, for every m <= n.
+        prefix = min(prefix, shots)
+        weights = np.random.default_rng(seed ^ 0xABCDEF).random(num_outcomes)
+        full = sample_weighted_counts_prefix(
+            weights, shots, np.random.default_rng(seed)
+        )
+        short = sample_weighted_counts_prefix(
+            weights, prefix, np.random.default_rng(seed)
+        )
+        assert short.sum() == prefix and full.sum() == shots
+        assert np.all(short <= full)
+
+    def test_zero_weight_bins_never_hit(self):
+        weights = np.array([0.5, 0.0, 0.5, 0.0])
+        counts = sample_weighted_counts_prefix(
+            weights, 10_000, np.random.default_rng(1)
+        )
+        assert counts[1] == 0 and counts[3] == 0
+        assert counts.sum() == 10_000
+
+    def test_matches_multinomial_distribution(self):
+        # Same marginal law as the bulk sampler: chi-square sanity at 3 sigma.
+        weights = np.array([0.2, 0.3, 0.5])
+        counts = sample_weighted_counts_prefix(
+            weights, 30_000, np.random.default_rng(7)
+        )
+        expected = weights * 30_000
+        sigma = np.sqrt(expected * (1 - weights))
+        assert np.all(np.abs(counts - expected) < 4 * sigma)
+
+
+class TestStreamingMoments:
+    @given(
+        chunks=st.lists(
+            st.tuples(
+                st.floats(min_value=-100, max_value=100),
+                st.floats(min_value=0.5, max_value=50),
+            ),
+            min_size=2,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_brute_force_recompute(self, chunks):
+        # The one-pass weighted Welford must equal the two-pass textbook
+        # formulas over the full chunk history.
+        moments = StreamingMoments()
+        for value, weight in chunks:
+            moments.add(value, weight=weight)
+        values = np.array([value for value, _ in chunks])
+        weights = np.array([weight for _, weight in chunks])
+        mean = np.average(values, weights=weights)
+        m2 = float(np.sum(weights * (values - mean) ** 2))
+        assert moments.count == len(chunks)
+        assert math.isclose(moments.weight, float(weights.sum()), rel_tol=1e-9)
+        assert math.isclose(moments.mean, float(mean), rel_tol=1e-9, abs_tol=1e-9)
+        variance = moments.variance()
+        assert math.isclose(
+            variance, m2 / (len(chunks) - 1), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    def test_vector_accumulation(self):
+        moments = StreamingMoments()
+        moments.add(np.array([1.0, 3.0]), weight=2.0)
+        moments.add(np.array([2.0, 1.0]), weight=2.0)
+        assert np.allclose(moments.mean, [1.5, 2.0])
+        # half_width is the widest per-component interval.
+        widths = moments.half_widths(1.96)
+        assert moments.half_width(1.96) == pytest.approx(float(np.max(widths)))
+
+    def test_needs_two_chunks_for_an_interval(self):
+        moments = StreamingMoments()
+        assert moments.half_width(1.96) is None
+        moments.add(1.0, weight=4.0)
+        assert moments.variance() is None and moments.half_width(1.96) is None
+
+    def test_rejects_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            StreamingMoments().add(1.0, weight=0.0)
+
+    def test_empirical_coverage_at_least_nominal(self):
+        # Seeded multinomial data: estimate a known mean from R chunked
+        # samples; the 95% interval must cover the truth at >= ~nominal rate.
+        rng = np.random.default_rng(1234)
+        probabilities = np.array([0.15, 0.25, 0.6])
+        outcome_values = np.array([-1.0, 0.0, 1.0])
+        truth = float(probabilities @ outcome_values)
+        z95 = 1.959963984540054
+        covered = 0
+        trials = 300
+        for _ in range(trials):
+            moments = StreamingMoments()
+            for _ in range(12):  # 12 chunks of 200 shots each
+                counts = rng.multinomial(200, probabilities)
+                moments.add(float(counts @ outcome_values) / 200, weight=200)
+            half = moments.half_width(z95)
+            if abs(moments.mean - truth) <= half:
+                covered += 1
+        coverage = covered / trials
+        # Nominal 0.95 minus 3 binomial standard errors of slack.
+        assert coverage >= 0.95 - 3 * math.sqrt(0.95 * 0.05 / trials)
+
+
+class TestDifferenceTables:
+    def test_first_round_returns_cumulative(self):
+        from repro.engine import VariantResult
+
+        table = {"a": VariantResult(value=0.5)}
+        assert difference_tables(table, None, {"a": 10}, {}) == table
+
+    def test_chunk_mean_recovers_fresh_shots(self):
+        from repro.engine import VariantResult
+
+        # 10 shots mean 0.2, then 25 shots mean 0.4: the 15 fresh shots must
+        # average (25*0.4 - 10*0.2) / 15.
+        previous = {"a": VariantResult(value=0.2)}
+        cumulative = {"a": VariantResult(value=0.4)}
+        chunk = difference_tables(cumulative, previous, {"a": 25}, {"a": 10})
+        assert chunk["a"].value == pytest.approx((25 * 0.4 - 10 * 0.2) / 15)
+
+    def test_stagnant_count_keeps_cumulative_value(self):
+        from repro.engine import VariantResult
+
+        previous = {"a": VariantResult(value=0.2)}
+        cumulative = {"a": VariantResult(value=0.3)}
+        chunk = difference_tables(cumulative, previous, {"a": 10}, {"a": 10})
+        assert chunk["a"].value == 0.3
+
+    def test_distribution_differencing(self):
+        from repro.engine import VariantResult
+
+        previous = {"a": VariantResult(value=0.0, distribution=np.array([1.0, 0.0]))}
+        cumulative = {"a": VariantResult(value=0.0, distribution=np.array([0.5, 0.5]))}
+        chunk = difference_tables(cumulative, previous, {"a": 20}, {"a": 10})
+        assert np.allclose(chunk["a"].distribution, [0.0, 1.0])
+
+
+class TestStreamingBitIdentity:
+    def test_streaming_disabled_matches_legacy_pipeline(self):
+        workload = small_workload()
+        new = evaluate_workload(workload, SMALL_CONFIG, shots=SMALL_SHOTS, seed=11)
+        old = _evaluate_workload_batch(workload, SMALL_CONFIG, shots=SMALL_SHOTS, seed=11)
+        assert new.expectation_value == old.expectation_value
+        assert new.num_variant_evaluations == old.num_variant_evaluations
+        assert new.rounds == 1 and new.termination_reason is None
+
+    def test_exact_path_matches_legacy_pipeline(self):
+        workload = small_workload()
+        new = evaluate_workload(workload, SMALL_CONFIG)
+        old = _evaluate_workload_batch(workload, SMALL_CONFIG)
+        assert new.expectation_value == old.expectation_value
+
+    @given(rounds=st.integers(min_value=1, max_value=7), seed=st.integers(0, 50))
+    @settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_streaming_to_completion_is_bit_identical(self, rounds, seed):
+        # Run-to-completion streaming must reproduce the one-shot batch draw
+        # exactly, for any round count and seed (the prefix-stable identity).
+        workload = small_workload()
+        batch = evaluate_workload(workload, SMALL_CONFIG, shots=SMALL_SHOTS, seed=seed)
+        streamed = evaluate_workload(
+            workload,
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=seed,
+            streaming=StreamingConfig(rounds=rounds),
+        )
+        assert streamed.expectation_value == batch.expectation_value
+        assert streamed.termination_reason == "completed"
+        assert streamed.shots_spent == batch.shots_spent
+
+    def test_streaming_reports_interval_and_rounds(self):
+        result = evaluate_workload(
+            small_workload(),
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=3,
+            streaming=StreamingConfig(rounds=4),
+        )
+        assert result.rounds == 4
+        assert result.half_width is not None and result.half_width > 0
+        assert result.confidence == 0.95
+
+    def test_parallel_streaming_identical_to_serial(self):
+        workload = small_workload()
+        serial = evaluate_workload(
+            workload,
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=5,
+            streaming=StreamingConfig(rounds=3),
+        )
+        parallel = evaluate_workload(
+            workload,
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=5,
+            engine_config=EngineConfig(max_workers=2),
+            streaming=StreamingConfig(rounds=3),
+        )
+        assert parallel.expectation_value == serial.expectation_value
+
+
+class TestStoppingRules:
+    def test_budget_exhaustion_stops_early(self):
+        result = evaluate_workload(
+            small_workload(),
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=0,
+            streaming=StreamingConfig(rounds=6),
+            stopping=StoppingRule(shot_budget=SMALL_SHOTS // 2),
+        )
+        assert result.termination_reason == "budget_exhausted"
+        assert result.shots_spent < SMALL_SHOTS
+        assert result.rounds < 6
+
+    def test_max_rounds_stops_early(self):
+        result = evaluate_workload(
+            small_workload(),
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=0,
+            streaming=StreamingConfig(rounds=6),
+            stopping=StoppingRule(max_rounds=2),
+        )
+        assert result.termination_reason == "max_rounds"
+        assert result.rounds == 2
+
+    def test_stopping_without_streaming_gets_default_rounds(self):
+        result = evaluate_workload(
+            small_workload(),
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=0,
+            stopping=StoppingRule(max_rounds=2),
+        )
+        assert result.termination_reason == "max_rounds"
+
+    def test_target_gated_by_min_rounds(self):
+        rule = StoppingRule(target_half_width=1e9, min_rounds=3, max_rounds=50)
+        assert (
+            rule.should_stop(
+                rounds=2, shots_spent=0, elapsed_seconds=0.0, half_width=0.0
+            )
+            is None
+        )
+        assert (
+            rule.should_stop(
+                rounds=3, shots_spent=0, elapsed_seconds=0.0, half_width=0.0
+            )
+            == "target_reached"
+        )
+
+    def test_deadline_reason(self):
+        rule = StoppingRule(deadline_seconds=0.5)
+        assert (
+            rule.should_stop(
+                rounds=1, shots_spent=0, elapsed_seconds=1.0, half_width=None
+            )
+            == "deadline"
+        )
+
+    def test_z_value_matches_normal_quantile(self):
+        assert StoppingRule(max_rounds=1).z_value == pytest.approx(1.96, abs=1e-3)
+
+
+class TestConfigGuards:
+    def test_target_alone_never_terminates_rejected(self):
+        with pytest.raises(ConfigError, match="hard bound"):
+            StoppingRule(target_half_width=0.1)
+
+    def test_invalid_rounds_rejected(self):
+        with pytest.raises(ConfigError):
+            StreamingConfig(rounds=0)
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ConfigError):
+            StoppingRule(confidence=1.0, max_rounds=2)
+
+    def test_min_rounds_below_two_rejected(self):
+        with pytest.raises(ConfigError, match="min_rounds"):
+            StoppingRule(min_rounds=1, max_rounds=4)
+
+    def test_streaming_without_shots_rejected(self):
+        with pytest.raises(ConfigError, match="shot budget"):
+            evaluate_workload(
+                small_workload(), SMALL_CONFIG, streaming=StreamingConfig(rounds=2)
+            )
+
+    def test_streaming_wrong_type_rejected(self):
+        with pytest.raises(ConfigError, match="StreamingConfig"):
+            evaluate_workload(
+                small_workload(), SMALL_CONFIG, shots=SMALL_SHOTS, streaming=4
+            )
+
+    def test_engine_config_validates_streaming_types(self):
+        from repro.exceptions import ReproError
+
+        with pytest.raises(ReproError, match="StreamingConfig"):
+            EngineConfig(streaming="fast")
+        with pytest.raises(ReproError, match="StoppingRule"):
+            EngineConfig(stopping="soon")
+
+    def test_engine_config_carries_streaming(self):
+        config = EngineConfig(
+            shots=SMALL_SHOTS,
+            streaming=StreamingConfig(rounds=3),
+            stopping=StoppingRule(max_rounds=2),
+        )
+        result = evaluate_workload(
+            small_workload(), SMALL_CONFIG, engine_config=config, seed=1
+        )
+        assert result.termination_reason == "max_rounds"
+
+
+class TestSerialization:
+    def test_to_dict_to_json_round_trip(self):
+        import json
+
+        result = evaluate_workload(
+            small_workload(),
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=2,
+            streaming=StreamingConfig(rounds=3),
+        )
+        payload = result.to_dict()
+        assert payload["rounds"] == 3
+        assert payload["shots_spent"] == result.shots_spent
+        assert payload["expectation_value"] == result.expectation_value
+        assert json.loads(result.to_json()) == payload
+
+    def test_probability_vectors_serialise_as_lists(self):
+        import json
+
+        workload = make_workload("QFT", 4)
+        result = evaluate_workload(workload, CutConfig(device_size=3))
+        payload = json.loads(result.to_json())
+        assert isinstance(payload["probabilities"], list)
+        assert payload["probabilities"] == pytest.approx(
+            list(result.probabilities)
+        )
+
+
+class TestSessionLifecycle:
+    def test_manual_drive_matches_run(self):
+        workload = small_workload()
+        auto = evaluate_workload(
+            workload,
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=9,
+            streaming=StreamingConfig(rounds=3),
+        )
+        session = EvaluationSession(
+            workload,
+            SMALL_CONFIG,
+            shots=SMALL_SHOTS,
+            seed=9,
+            streaming=StreamingConfig(rounds=3),
+        )
+        try:
+            session.prepare()
+            while session.step():
+                pass
+            manual = session.finish()
+        finally:
+            session.close()
+        assert manual.expectation_value == auto.expectation_value
+
+    def test_out_of_order_calls_rejected(self):
+        from repro.exceptions import CuttingError
+
+        session = EvaluationSession(small_workload(), SMALL_CONFIG)
+        try:
+            with pytest.raises(CuttingError, match="step"):
+                session.step()
+            with pytest.raises(CuttingError, match="finish"):
+                session.finish()
+        finally:
+            session.close()

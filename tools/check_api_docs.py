@@ -21,7 +21,7 @@ import sys
 from typing import List
 
 #: Modules whose ``__all__`` must be fully documented.
-MODULES = ("repro", "repro.engine", "repro.cutting", "repro.core")
+MODULES = ("repro", "repro.engine", "repro.cutting", "repro.core", "repro.service")
 
 #: (module, name): every parameter of these callables/classes must appear in
 #: their docstring (class doc + __init__ doc for classes).
@@ -37,6 +37,10 @@ FLAGSHIP = (
     ("repro.engine", "prune_requests"),
     ("repro.engine", "DeviceSpec"),
     ("repro.engine", "DeviceFarm"),
+    ("repro.service", "EvaluationSession"),
+    ("repro.service", "ServiceQueue"),
+    ("repro.service", "StreamingConfig"),
+    ("repro.service", "StoppingRule"),
 )
 
 #: Parameters that never need prose (self/cls and private underscore args).

@@ -150,6 +150,27 @@ def collect_metrics(results_dir: Path) -> Dict[str, Dict]:
             higher_is_better=True,
         )
 
+    rows = _rows(results_dir, "streaming")
+    if rows:
+        put(
+            "streaming.bit_identical",
+            float(all(row["identical"] for row in rows)),
+            higher_is_better=True,
+        )
+        # Worst-over-seeds early-termination savings: the headline streaming
+        # claim (>= 2x fewer shots at equal error, gated in the bench's own
+        # --smoke assertions alongside the error-at-stop bound).
+        put(
+            "streaming.min_shot_reduction",
+            min(row["shot_reduction"] for row in rows),
+            higher_is_better=True,
+        )
+        put(
+            "streaming.max_stop_error",
+            max(row["stop_error"] for row in rows),
+            higher_is_better=False,
+        )
+
     rows = _rows(results_dir, "devices")
     if rows:
         reach = [row["n"] for row in rows if row.get("reuse") and row.get("status") == "ok"]
