@@ -166,11 +166,17 @@ class EvaluationResult:
     batch ones), and ``half_width`` / ``confidence`` (the streaming confidence
     interval's half-width at the reported confidence level; ``None`` when no
     interval was accumulated).
+
+    ``dynamic_result`` carries the sparse
+    :class:`~repro.cutting.DynamicDefinitionResult` when the evaluation ran
+    with ``qubit_limit`` (dynamic-definition reconstruction); ``probabilities``
+    is then ``None`` — the full vector was deliberately never materialised.
     """
 
     plan: CutPlan
     expectation_value: Optional[float] = None
     probabilities: Optional[np.ndarray] = None
+    dynamic_result: Optional[object] = None
     reference_expectation: Optional[float] = None
     reference_probabilities: Optional[np.ndarray] = None
     num_variant_evaluations: int = 0
@@ -242,6 +248,9 @@ class EvaluationResult:
             "plan": self.plan.row(),
             "expectation_value": self.expectation_value,
             "probabilities": _vector(self.probabilities),
+            "dynamic_result": None
+            if self.dynamic_result is None
+            else self.dynamic_result.row(),
             "reference_expectation": self.reference_expectation,
             "reference_probabilities": _vector(self.reference_probabilities),
             "expectation_error": self.expectation_error,
@@ -379,6 +388,8 @@ def evaluate_workload(
     routing: Optional[str] = None,
     streaming: Optional[object] = None,
     stopping: Optional[object] = None,
+    qubit_limit: Optional[int] = None,
+    recursion_depth: Optional[int] = None,
 ) -> EvaluationResult:
     """Cut, execute and reconstruct a workload end-to-end.
 
@@ -462,6 +473,24 @@ def evaluate_workload(
     :class:`repro.service.EvaluationSession` — use that directly (or
     :class:`repro.service.ServiceQueue` for multi-tenant scheduling) to drive
     rounds manually.  See :mod:`repro.service`.
+
+    Dynamic definition: pass ``qubit_limit`` (or set
+    ``EngineConfig.qubit_limit``) to reconstruct a probability workload without
+    ever materialising its ``2**n``-element vector — the contraction bins the
+    distribution into at most ``2**qubit_limit`` elements per recursion level
+    and recursively zooms into the heaviest bins down to ``recursion_depth``
+    levels (``None`` resolves every zoomed path fully).  The result carries a
+    sparse :class:`~repro.cutting.DynamicDefinitionResult` on
+    ``result.dynamic_result`` (heavy bins, an a-priori lower bound on the
+    probability mass they cover, per-level reports); ``result.probabilities``
+    stays ``None``.  When ``qubit_limit`` covers every output qubit the heavy
+    bins are bit-identical to the planned full-vector contraction.  For wide
+    circuits also pass ``compute_reference=False`` — the uncut reference is a
+    full statevector simulation and defeats the point.  Composes with
+    ``streaming``/``stopping``: rounds fold binned chunk estimates, and the
+    recorded chunk history replays through every zoom level so each
+    :class:`~repro.cutting.LevelReport` carries its own confidence half-width.
+    See :mod:`repro.cutting.dynamic_definition`.
     """
     # Imported lazily: repro.service layers *above* this module (the session
     # subsumes the old pipeline body) and importing it here at module level
@@ -485,6 +514,8 @@ def evaluate_workload(
         routing=routing,
         streaming=streaming,
         stopping=stopping,
+        qubit_limit=qubit_limit,
+        recursion_depth=recursion_depth,
     )
     return session.run()
 

@@ -15,6 +15,16 @@ from .cuts import (
     effective_wire_cuts,
     postprocessing_cost,
 )
+from .dynamic_definition import (
+    BinSpace,
+    DynamicDefinitionPlan,
+    DynamicDefinitionResult,
+    HeavyBin,
+    LevelReport,
+    binned_probabilities,
+    plan_dynamic_definition,
+    reconstruct_dynamic,
+)
 from .executors import BatchedExactExecutor, ExactExecutor, NoisyExecutor, VariantExecutor
 from .fragments import Fragment, FragmentElement, SubcircuitSpec, extract_subcircuits
 from .gate_cut import (
@@ -44,13 +54,18 @@ from .variants import (
 
 __all__ = [
     "BatchedExactExecutor",
+    "BinSpace",
     "CUTTABLE_GATES",
     "ContractionCost",
     "ContractionPlan",
     "ContractionReport",
     "CutReconstructor",
     "CutSolution",
+    "DynamicDefinitionPlan",
+    "DynamicDefinitionResult",
     "ExactExecutor",
+    "HeavyBin",
+    "LevelReport",
     "Fragment",
     "FragmentElement",
     "GateCut",
@@ -71,6 +86,7 @@ __all__ = [
     "WIRE_CUT_MEASUREMENT_BASES",
     "WireCut",
     "arp_operations",
+    "binned_probabilities",
     "decompose_gate_cut",
     "effective_wire_cuts",
     "extract_subcircuits",
@@ -78,7 +94,9 @@ __all__ = [
     "frp_operations",
     "full_state_simulation_threshold",
     "plan_contraction",
+    "plan_dynamic_definition",
     "postprocessing_cost",
     "postprocessing_speedup",
+    "reconstruct_dynamic",
     "reconstruction_overhead_curves",
 ]

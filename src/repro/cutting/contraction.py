@@ -270,6 +270,7 @@ def plan_contraction(
     workers: int = 1,
     kind: str = "probability",
     num_terms: int = 1,
+    output_widths: Optional[Sequence[int]] = None,
 ) -> ContractionPlan:
     """Build a :class:`ContractionPlan` for ``solution``'s cut structure.
 
@@ -282,6 +283,12 @@ def plan_contraction(
         kind: ``"probability"`` or ``"expectation"``.
         num_terms: observable term count (expectation mode only; bounds the
             term-level shard count).
+        output_widths: per-subcircuit output widths overriding the default
+            ``2**len(spec.output_qubits)`` — the dynamic-definition path plans
+            over *binned* widths (``2**active_bits`` per subcircuit) so the
+            schedule, shard blocks and chunk sizes are sized for the reduced
+            stacks.  When every width equals the default, the plan is
+            identical to the unbinned one.
 
     Returns:
         The plan: per-subcircuit axes, the cost model, the shard schedule and
@@ -291,10 +298,15 @@ def plan_contraction(
         raise ValueError(f"kind must be 'probability' or 'expectation', got {kind!r}")
     if not specs:
         raise ValueError("cannot plan a contraction over zero subcircuits")
+    if output_widths is not None and len(output_widths) != len(specs):
+        raise ValueError(
+            f"output_widths must give one width per spec "
+            f"({len(specs)}), got {len(output_widths)}"
+        )
     wire_position = {cut.identifier(): p for p, cut in enumerate(solution.wire_cuts)}
     gate_position = {cut.op_index: p for p, cut in enumerate(solution.gate_cuts)}
     axes: List[SpecAxis] = []
-    for spec in specs:
+    for spec_position, spec in enumerate(specs):
         identifiers = {
             cut.identifier() for cut in list(spec.upstream_cuts) + list(spec.downstream_cuts)
         }
@@ -308,7 +320,11 @@ def plan_contraction(
                 spec_index=spec.index,
                 wire_positions=tuple(sorted(wire_position[i] for i in identifiers)),
                 gate_positions=gate_positions,
-                output_width=2 ** len(spec.output_qubits),
+                output_width=(
+                    2 ** len(spec.output_qubits)
+                    if output_widths is None
+                    else int(output_widths[spec_position])
+                ),
             )
         )
 

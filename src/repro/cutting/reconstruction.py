@@ -233,6 +233,9 @@ class CutReconstructor:
         table: Optional[Mapping[str, VariantResult]] = None,
         missing: str = "execute",
         contraction: Optional[str] = None,
+        qubit_limit: Optional[int] = None,
+        recursion_depth: Optional[int] = None,
+        zoom_fanout: int = 2,
     ) -> np.ndarray:
         """Full probability vector of the original circuit (wire cuts only).
 
@@ -253,21 +256,54 @@ class CutReconstructor:
                 bit-identical (see :mod:`repro.cutting.contraction`); only
                 wall clock differs.  The run's stage timings and shard
                 utilization land on :attr:`last_contraction_report`.
+            qubit_limit: switch to *dynamic definition*: never materialise the
+                ``2**n`` vector; instead contract into binned distributions of
+                at most ``2**qubit_limit`` elements per recursion level and
+                zoom into the heavy bins (see
+                :mod:`repro.cutting.dynamic_definition`).  The return type
+                changes to
+                :class:`~repro.cutting.DynamicDefinitionResult`.
+                Requires the planned contraction mode.
+            recursion_depth: recursion levels for the dynamic-definition zoom
+                (needs ``qubit_limit``); ``None`` resolves every zoomed path
+                fully.
+            zoom_fanout: bins descended into per dynamic-definition level
+                (needs ``qubit_limit``; ignored otherwise).
 
         Returns:
             The reconstructed quasi-probability vector over all
             ``2**num_qubits`` basis states (exact probabilities for exact
-            executors; a statistical/truncated estimate otherwise).
+            executors; a statistical/truncated estimate otherwise) — or, with
+            ``qubit_limit``, the sparse
+            :class:`~repro.cutting.DynamicDefinitionResult`.
         """
         self._check_missing_mode(missing)
         mode = self._resolve_contraction(contraction)
-        if table is None:
+        if qubit_limit is None and recursion_depth is not None:
+            raise ReconstructionError("recursion_depth needs qubit_limit (dynamic definition)")
+        if table is None and qubit_limit is None:
             table = self.engine.run_batch(self.enumerate_probability_requests())
         elif self.solution.gate_cuts:
             raise ReconstructionError(
                 "probability vectors cannot be reconstructed after gate cutting; "
                 "gate cuts only support expectation values (Section 2.3.2)"
             )
+        if qubit_limit is not None:
+            if mode != "planned":
+                raise ReconstructionError(
+                    "dynamic definition (qubit_limit) requires the planned "
+                    "contraction mode; the naive walk materialises the full vector"
+                )
+            from .dynamic_definition import plan_dynamic_definition, reconstruct_dynamic
+
+            dd_plan = plan_dynamic_definition(
+                self.solution,
+                self.specs,
+                qubit_limit=qubit_limit,
+                recursion_depth=recursion_depth,
+                zoom_fanout=zoom_fanout,
+            )
+            return reconstruct_dynamic(self, dd_plan, table=table, missing=missing)
         # Effective-value memos are per call: successive calls may pass tables
         # with different values (different seeds, allocations or prunings), so
         # reusing memos across calls would silently return stale results.  The

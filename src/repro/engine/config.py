@@ -116,6 +116,17 @@ class EngineConfig:
             ``streaming`` configuration when that is unset).  Early termination
             changes the numbers — fewer shots are spent — and records its
             reason on ``EvaluationResult.termination_reason``.
+        qubit_limit: dynamic-definition reconstruction for probability
+            workloads: never materialise the ``2**n`` output vector, contract
+            into binned distributions of at most ``2**qubit_limit`` elements
+            per recursion level and zoom into the heavy bins (see
+            :mod:`repro.cutting.dynamic_definition`).  ``None`` (the default)
+            reconstructs the full vector.  The evaluation result then carries
+            a sparse :class:`~repro.cutting.DynamicDefinitionResult` on
+            ``EvaluationResult.dynamic_result`` instead of ``probabilities``.
+        recursion_depth: recursion levels for the dynamic-definition zoom
+            (requires ``qubit_limit``); ``None`` spends exactly enough levels
+            to fully resolve every zoomed path.
     """
 
     max_workers: Optional[int] = 1
@@ -133,6 +144,8 @@ class EngineConfig:
     contraction_workers: Optional[int] = None
     streaming: Optional[object] = None
     stopping: Optional[object] = None
+    qubit_limit: Optional[int] = None
+    recursion_depth: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -178,6 +191,18 @@ class EngineConfig:
                 raise ReproError(
                     f"stopping must be a StoppingRule or None, "
                     f"got {type(self.stopping).__name__}"
+                )
+        if self.qubit_limit is not None and self.qubit_limit < 1:
+            raise ReproError(f"qubit_limit must be >= 1 or None, got {self.qubit_limit}")
+        if self.recursion_depth is not None:
+            if self.recursion_depth < 1:
+                raise ReproError(
+                    f"recursion_depth must be >= 1 or None, got {self.recursion_depth}"
+                )
+            if self.qubit_limit is None:
+                raise ReproError(
+                    "recursion_depth configures the dynamic-definition zoom and "
+                    "needs qubit_limit"
                 )
         if self.devices is not None:
             object.__setattr__(self, "devices", tuple(self.devices))

@@ -165,18 +165,50 @@ class IncrementalReconstructor:
             contracts the full probability vector instead.
         missing: the table-miss mode forwarded to the contraction (``"skip"``
             under pruning, else ``"execute"``).
+        qubit_limit: dynamic-definition streaming (probability mode only):
+            contract every chunk into the *root binned* distribution
+            (``2**qubit_limit`` elements, see
+            :mod:`repro.cutting.dynamic_definition`) instead of the full
+            ``2**n`` vector, so the per-round fold — and the confidence
+            interval the stopping rule reads — stays memory-bounded.  The
+            interval then covers the coarse bin masses, which upper-bound
+            every finer-grained probability below them.
     """
 
-    def __init__(self, reconstructor, observable=None, missing: str = "execute") -> None:
+    def __init__(
+        self,
+        reconstructor,
+        observable=None,
+        missing: str = "execute",
+        qubit_limit: Optional[int] = None,
+    ) -> None:
         self._reconstructor = reconstructor
         self._observable = observable
         self._missing = missing
+        self._qubit_limit = qubit_limit
+        self._root_space = None
         self.moments = StreamingMoments()
 
     def _contract(self, table: Mapping[str, VariantResult]):
         if self._observable is not None:
             return self._reconstructor.reconstruct_expectation(
                 self._observable, table=table, missing=self._missing
+            )
+        if self._qubit_limit is not None:
+            from ..cutting.dynamic_definition import (
+                binned_probabilities,
+                plan_dynamic_definition,
+            )
+
+            if self._root_space is None:
+                dd_plan = plan_dynamic_definition(
+                    self._reconstructor.solution,
+                    self._reconstructor.specs,
+                    qubit_limit=self._qubit_limit,
+                )
+                self._root_space = dd_plan.space(0, ())
+            return binned_probabilities(
+                self._reconstructor, self._root_space, table=table, missing=self._missing
             )
         return self._reconstructor.reconstruct_probabilities(
             table=table, missing=self._missing

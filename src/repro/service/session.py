@@ -125,6 +125,20 @@ class EvaluationSession:
             round (needs ``shots``; implies a default ``StreamingConfig`` when
             ``streaming`` is unset).  Early termination records its reason on
             ``EvaluationResult.termination_reason``.
+        qubit_limit: dynamic-definition reconstruction for probability
+            workloads (defaults to the engine config's): never materialise the
+            full ``2**n`` output vector; contract into binned distributions of
+            at most ``2**qubit_limit`` elements per recursion level, zoom into
+            the heavy bins, and report a sparse
+            :class:`~repro.cutting.DynamicDefinitionResult` on
+            ``EvaluationResult.dynamic_result`` (``probabilities`` stays
+            ``None``).  Under streaming, each round's chunk is folded in the
+            binned space and the recorded chunk history re-runs through every
+            recursion level, so the stopping rule's confidence interval and the
+            per-level intervals compose with the zoom.
+        recursion_depth: recursion levels for the dynamic-definition zoom
+            (needs ``qubit_limit``; defaults to the engine config's); ``None``
+            spends exactly enough levels to fully resolve every zoomed path.
 
     Drive it either with :meth:`run` (prepare, consume every round, finish) or
     manually — ``prepare()``, then ``step()`` until it returns ``False``, then
@@ -150,6 +164,8 @@ class EvaluationSession:
         routing: Optional[str] = None,
         streaming: Optional[StreamingConfig] = None,
         stopping: Optional[StoppingRule] = None,
+        qubit_limit: Optional[int] = None,
+        recursion_depth: Optional[int] = None,
     ) -> None:
         if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
             raise CuttingError(
@@ -213,6 +229,28 @@ class EvaluationSession:
                 "evaluation produces its answer in one pass and has no rounds to "
                 "stream or terminate early"
             )
+        if qubit_limit is None:
+            qubit_limit = resolved_config.qubit_limit
+        if recursion_depth is None:
+            recursion_depth = resolved_config.recursion_depth
+        if qubit_limit is not None and qubit_limit < 1:
+            raise ConfigError(f"qubit_limit must be >= 1 or None, got {qubit_limit}")
+        if recursion_depth is not None:
+            if recursion_depth < 1:
+                raise ConfigError(
+                    f"recursion_depth must be >= 1 or None, got {recursion_depth}"
+                )
+            if qubit_limit is None:
+                raise ConfigError(
+                    "recursion_depth configures the dynamic-definition zoom and "
+                    "needs qubit_limit"
+                )
+        if qubit_limit is not None and workload.kind != WorkloadKind.PROBABILITY:
+            raise ConfigError(
+                "qubit_limit (dynamic definition) bins the reconstructed "
+                "probability vector and only applies to probability workloads; "
+                "expectation values are already scalar"
+            )
 
         self.workload = workload
         self.config = config
@@ -224,6 +262,8 @@ class EvaluationSession:
         self.pruning_policy = pruning_policy
         self.streaming = streaming
         self.stopping = stopping
+        self.qubit_limit = qubit_limit
+        self.recursion_depth = recursion_depth
 
         self.owns_engine = engine is None
         if engine is None:
@@ -265,6 +305,7 @@ class EvaluationSession:
         self._missing_mode = "execute"
         self._shot_allocation = None
         self._incremental: Optional[IncrementalReconstructor] = None
+        self._chunk_history: List = []
         self._table = None
         self._cum: Dict[str, int] = {}
         self._seed_totals: Dict[str, int] = {}
@@ -397,7 +438,10 @@ class EvaluationSession:
                     else None
                 )
                 self._incremental = IncrementalReconstructor(
-                    self._reconstructor, observable=observable, missing=self._missing_mode
+                    self._reconstructor,
+                    observable=observable,
+                    missing=self._missing_mode,
+                    qubit_limit=self.qubit_limit,
                 )
         finally:
             self._close_window()
@@ -490,6 +534,11 @@ class EvaluationSession:
             chunk_table = difference_tables(table, self._table, cumulative, self._cum)
             chunk_shots = sum(chunk.values())
             self._incremental.fold(chunk_table, weight=chunk_shots)
+            if self.qubit_limit is not None:
+                # The dynamic-definition zoom replays every chunk at every
+                # recursion level, so per-level confidence intervals compose
+                # with early termination (fewer chunks -> wider intervals).
+                self._chunk_history.append((chunk_table, chunk_shots))
             self._fold_seconds += time.perf_counter() - fold_start
 
             self._table = table
@@ -532,6 +581,27 @@ class EvaluationSession:
             if self.workload.kind == WorkloadKind.EXPECTATION:
                 result.expectation_value = self._reconstructor.reconstruct_expectation(
                     self.workload.observable, table=self._table, missing=self._missing_mode
+                )
+            elif self.qubit_limit is not None:
+                from ..cutting.dynamic_definition import (
+                    plan_dynamic_definition,
+                    reconstruct_dynamic,
+                )
+
+                dd_plan = plan_dynamic_definition(
+                    self._reconstructor.solution,
+                    self._reconstructor.specs,
+                    qubit_limit=self.qubit_limit,
+                    recursion_depth=self.recursion_depth,
+                )
+                z_value = self.stopping.z_value if self.stopping is not None else 1.96
+                result.dynamic_result = reconstruct_dynamic(
+                    self._reconstructor,
+                    dd_plan,
+                    table=self._table,
+                    missing=self._missing_mode,
+                    chunk_history=self._chunk_history or None,
+                    z_value=z_value,
                 )
             else:
                 result.probabilities = self._reconstructor.reconstruct_probabilities(

@@ -22,15 +22,11 @@ from repro.cutting import (
     BatchedExactExecutor,
     CutReconstructor,
     ExactExecutor,
-    SubcircuitVariant,
-    VariantSettings,
 )
-from repro.cutting.executors import _signed_distribution, _signed_value
 from repro.engine import EngineConfig, ParallelEngine, request_key
 from repro.exceptions import CuttingError, ReproError, SimulationError
 from repro.simulator import (
     BatchedStatevector,
-    BranchingSimulator,
     Statevector,
     simulate_batch,
     simulate_statevector,
@@ -39,97 +35,12 @@ from repro.simulator import (
 )
 from repro.workloads import make_workload
 
-# --------------------------------------------------------------------------- helpers
-_ONE_QUBIT_GATES = (
-    ("h", ()),
-    ("x", ()),
-    ("s", ()),
-    ("sdg", ()),
-    ("t", ()),
-    ("rx", (0.37,)),
-    ("ry", (1.1,)),
-    ("rz", (-0.63,)),
-    ("p", (0.81,)),
+from strategies import (
+    assert_tables_bit_identical as _assert_tables_bit_identical,
+    make_variant as _variant,
+    scalar_reference as _scalar_reference,
+    variant_groups,
 )
-
-_TWO_QUBIT_GATES = (
-    ("cx", ()),
-    ("cz", ()),
-    ("rzz", (0.45,)),
-    ("cp", (-0.7,)),
-)
-
-
-def _variant(circuit: Circuit, mode: str = "expectation", output=()) -> SubcircuitVariant:
-    return SubcircuitVariant(
-        subcircuit_index=0,
-        circuit=circuit,
-        num_wires=circuit.num_qubits,
-        output_qubit_order=tuple(output),
-        settings=VariantSettings(),
-        mode=mode,
-    )
-
-
-def _scalar_reference(variant: SubcircuitVariant):
-    result = BranchingSimulator().run(variant.circuit)
-    distribution = (
-        _signed_distribution(result, variant) if variant.mode == "probability" else None
-    )
-    return _signed_value(result), distribution
-
-
-def _assert_tables_bit_identical(left, right):
-    assert set(left) == set(right)
-    for key, a in left.items():
-        b = right[key]
-        assert a.value == b.value, f"value mismatch for {key}: {a.value} != {b.value}"
-        if a.distribution is None:
-            assert b.distribution is None
-        else:
-            assert a.distribution.tobytes() == b.distribution.tobytes()
-
-
-# --------------------------------------------------------------------------- strategies
-@st.composite
-def variant_groups(draw):
-    """A group of variants sharing an anchor skeleton, plus unrelated strays.
-
-    The skeleton (two-qubit gates, measurements, resets) is drawn once; every
-    variant fills the segments between anchors with its own random single-qubit
-    gates (possibly none — ragged alignment is the point).  Measurement tags
-    vary per variant (unsigned / signed), covering the per-row sign machinery.
-    """
-    num_qubits = draw(st.integers(min_value=1, max_value=3))
-    num_anchors = draw(st.integers(min_value=0, max_value=4))
-    anchors = []
-    for _ in range(num_anchors):
-        kind = draw(st.sampled_from(["u2", "m", "r"] if num_qubits > 1 else ["m", "r"]))
-        if kind == "u2":
-            name, params = draw(st.sampled_from(_TWO_QUBIT_GATES))
-            qubits = draw(st.permutations(range(num_qubits)))[:2]
-            anchors.append(("u2", name, tuple(qubits), params))
-        else:
-            anchors.append((kind, draw(st.integers(0, num_qubits - 1))))
-    batch = draw(st.integers(min_value=1, max_value=6))
-    variants = []
-    for _ in range(batch):
-        circuit = Circuit(num_qubits)
-        for token in anchors + [None]:
-            for _ in range(draw(st.integers(0, 2))):
-                name, params = draw(st.sampled_from(_ONE_QUBIT_GATES))
-                circuit.add(name, [draw(st.integers(0, num_qubits - 1))], params)
-            if token is None:
-                continue
-            if token[0] == "u2":
-                circuit.add(token[1], list(token[2]), token[3])
-            elif token[0] == "m":
-                tag = draw(st.sampled_from([None, "cut:a", "signed:cut:a", "signed:out:0"]))
-                circuit.measure(token[1], tag=tag)
-            else:
-                circuit.reset(token[1], tag="reuse:0")
-        variants.append(_variant(circuit))
-    return variants
 
 
 # --------------------------------------------------------------------------- properties

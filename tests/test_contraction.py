@@ -13,7 +13,6 @@ from repro.cutting import (
     CutReconstructor,
     CutSolution,
     GateCut,
-    WireCut,
     plan_contraction,
 )
 from repro.cutting.contraction import balanced_blocks
@@ -22,52 +21,12 @@ from repro.exceptions import ReconstructionError, ReproError
 from repro.simulator import simulate_statevector
 from repro.utils.pauli import PauliObservable, PauliString
 
-
-def _two_cut_solution():
-    """A 4-qubit circuit with two wire cuts into three subcircuits."""
-    circuit = Circuit(4)
-    circuit.h(0).ry(0.4, 1).rx(0.7, 2).h(3)
-    circuit.cx(0, 1)      # 4
-    circuit.rz(0.3, 1)    # 5
-    circuit.cz(1, 2)      # 6
-    circuit.ry(0.6, 2)    # 7
-    circuit.cx(2, 3)      # 8
-    circuit.rz(0.9, 3)    # 9
-    solution = CutSolution(
-        circuit=circuit,
-        op_subcircuit={0: 0, 1: 0, 2: 1, 3: 2, 4: 0, 5: 0, 6: 1, 7: 1, 8: 2, 9: 2},
-        wire_cuts=[WireCut(qubit=1, downstream_op=6), WireCut(qubit=2, downstream_op=8)],
-    )
-    return circuit, solution
-
-
-def _mixed_cut_solution():
-    """Wire + gate cuts together (expectation-only reconstruction)."""
-    circuit = Circuit(4)
-    circuit.h(0).h(1).ry(0.3, 2).rx(0.6, 3)
-    circuit.cx(0, 1)     # 4
-    circuit.cz(1, 2)     # 5: gate cut
-    circuit.rz(0.5, 2)   # 6
-    circuit.cx(2, 3)     # 7
-    solution = CutSolution(
-        circuit=circuit,
-        op_subcircuit={0: 0, 1: 0, 2: 1, 3: 1, 4: 0, 6: 1, 7: 1},
-        gate_cuts=[GateCut(5)],
-        gate_cut_placement={5: (0, 1)},
-    )
-    observable = PauliObservable.from_terms(
-        [
-            PauliString.from_dict({0: "Z", 3: "Z"}, 1.0),
-            PauliString.from_dict({1: "Z", 2: "Z"}, 0.5),
-            PauliString.from_dict({2: "X"}, 0.2),
-            PauliString.from_dict({}, 0.1),
-        ]
-    )
-    return circuit, solution, observable
-
-
-def _bits(value: float) -> bytes:
-    return np.float64(value).tobytes()
+from strategies import (
+    float_bits as _bits,
+    mixed_cut_solution as _mixed_cut_solution,
+    two_cut_probability_solutions,
+    two_cut_solution as _two_cut_solution,
+)
 
 
 # --------------------------------------------------------------------- planner
@@ -280,26 +239,9 @@ class TestBitIdentity:
         assert naive == planned == 0.0
 
     @settings(max_examples=10, deadline=None)
-    @given(data=st.data())
-    def test_random_circuits_bit_identical(self, data):
+    @given(solution=two_cut_probability_solutions())
+    def test_random_circuits_bit_identical(self, solution):
         """Property: planned == naive bitwise on random two-cut circuits."""
-        angles = st.floats(0.1, 3.0)
-        circuit = Circuit(3)
-        circuit.h(0)
-        circuit.ry(data.draw(angles), 1)
-        circuit.rx(data.draw(angles), 2)
-        circuit.cx(0, 1)                      # 3
-        circuit.rz(data.draw(angles), 1)      # 4
-        circuit.cz(1, 2)                      # 5
-        circuit.ry(data.draw(angles), 2)      # 6
-        solution = CutSolution(
-            circuit=circuit,
-            op_subcircuit={0: 0, 1: 0, 2: 2, 3: 0, 4: 1, 5: 2, 6: 2},
-            wire_cuts=[
-                WireCut(qubit=1, downstream_op=4),
-                WireCut(qubit=1, downstream_op=5),
-            ],
-        )
         reconstructor = CutReconstructor(solution)
         table = reconstructor.engine.run_batch(
             reconstructor.enumerate_probability_requests()

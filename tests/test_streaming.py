@@ -24,10 +24,7 @@ from repro.service.incremental import StreamingMoments, difference_tables
 from repro.simulator.sampler import sample_weighted_counts_prefix
 from repro.workloads import make_workload
 
-
-def small_workload():
-    return make_workload("VQE", 5, layers=1)
-
+from strategies import moment_chunks, small_workload
 
 SMALL_CONFIG = CutConfig(device_size=3, max_subcircuits=2)
 #: Plenty per variant for the 60-variant VQE cut, and divisible many ways.
@@ -76,16 +73,7 @@ class TestPrefixStableSampler:
 
 
 class TestStreamingMoments:
-    @given(
-        chunks=st.lists(
-            st.tuples(
-                st.floats(min_value=-100, max_value=100),
-                st.floats(min_value=0.5, max_value=50),
-            ),
-            min_size=2,
-            max_size=20,
-        )
-    )
+    @given(chunks=moment_chunks)
     @settings(max_examples=80, deadline=None)
     def test_matches_brute_force_recompute(self, chunks):
         # The one-pass weighted Welford must equal the two-pass textbook

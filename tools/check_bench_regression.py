@@ -171,6 +171,35 @@ def collect_metrics(results_dir: Path) -> Dict[str, Dict]:
             higher_is_better=False,
         )
 
+    rows = _rows(results_dir, "dynamic")
+    if rows:
+        by_leg = {row["leg"]: row for row in rows}
+        put(
+            "dynamic.bit_identical",
+            float(by_leg["identity"]["bit_identical"]),
+            higher_is_better=True,
+        )
+        put(
+            "dynamic.max_heavy_bin_error",
+            by_leg["recovery"]["max_heavy_bin_error"],
+            higher_is_better=False,
+        )
+        put(
+            "dynamic.coverage_bound_holds",
+            float(by_leg["recovery"]["coverage_bound_holds"]),
+            higher_is_better=True,
+        )
+        put(
+            "dynamic.memory_bound_holds",
+            float(by_leg["wide"]["memory_bound_holds"]),
+            higher_is_better=True,
+        )
+        put(
+            "dynamic.min_covered_mass",
+            by_leg["wide"]["covered_mass"],
+            higher_is_better=True,
+        )
+
     rows = _rows(results_dir, "devices")
     if rows:
         reach = [row["n"] for row in rows if row.get("reuse") and row.get("status") == "ok"]
