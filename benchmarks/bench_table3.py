@@ -101,6 +101,6 @@ def test_table3_real_machine_accuracy(benchmark):
     def as_number(text: str) -> float:
         return float(text.rstrip("%"))
 
-    assert as_number(accuracy["State Vector Simulation"]) == 100.0
+    assert as_number(accuracy["State Vector Simulation"]) == 100.0  # qrcclint: disable=float-equality -- the statevector row is assigned the literal 100.0, not computed
     # QRCC must beat the full-circuit noisy device execution.
     assert as_number(accuracy[qrcc_key]) > as_number(accuracy["Device Execution"])

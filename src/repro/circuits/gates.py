@@ -175,7 +175,7 @@ class GateSpec:
     self_inverse: bool = False
 
 
-GATE_SPECS: Dict[str, GateSpec] = {
+GATE_SPECS: Dict[str, GateSpec] = {  # qrcclint: disable=mutable-default-arg -- read-only gate registry, fully populated here and never written after import
     "id": GateSpec("id", 1, 0, _no_param(_ID), self_inverse=True),
     "x": GateSpec("x", 1, 0, _no_param(_X), self_inverse=True),
     "y": GateSpec("y", 1, 0, _no_param(_Y), self_inverse=True),

@@ -13,7 +13,6 @@ This is the main public entry point of the library:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -46,6 +45,7 @@ from ..engine import (
 )
 from ..exceptions import CuttingError
 from ..simulator import simulate_statevector
+from ..utils.timing import perf_clock
 from ..workloads import Workload, WorkloadKind
 from .config import CutConfig
 from .formulation import CuttingFormulation
@@ -318,7 +318,7 @@ def cut_circuit(
     """
     if force_ilp and force_greedy:
         raise CuttingError("force_ilp and force_greedy are mutually exclusive")
-    start = time.perf_counter()
+    start = perf_clock()
     use_reuse = (
         config.enable_qubit_reuse if enable_reuse_extraction is None else enable_reuse_extraction
     )
@@ -333,7 +333,7 @@ def cut_circuit(
     else:
         solution = formulation.solve_and_decode()
         method = "ilp"
-    solve_time = time.perf_counter() - start
+    solve_time = perf_clock() - start
     specs = extract_subcircuits(solution, enable_reuse=use_reuse)
     return CutPlan(
         circuit=circuit,
@@ -617,11 +617,11 @@ def _evaluate_workload_batch(
         )
     try:
         stats_before = engine.stats
-        cut_start = time.perf_counter()
+        cut_start = perf_clock()
         plan = cut_circuit(
             workload.circuit, config, force_ilp=force_ilp, force_greedy=force_greedy
         )
-        cut_seconds = time.perf_counter() - cut_start
+        cut_seconds = perf_clock() - cut_start
         if engine.farm is not None:
             # Fail before enumerating anything: a plan wider than every device
             # can never execute, and the error names the shortfall.
@@ -640,31 +640,31 @@ def _evaluate_workload_batch(
             shots is not None and allocation in ("weighted", "variance")
         )
         weights = {} if needs_weights else None
-        enumerate_start = time.perf_counter()
+        enumerate_start = perf_clock()
         if workload.kind == WorkloadKind.EXPECTATION:
             batch = reconstructor.enumerate_expectation_requests(
                 workload.observable, weights_out=weights
             )
         else:
             batch = reconstructor.enumerate_probability_requests(weights_out=weights)
-        enumerate_seconds = time.perf_counter() - enumerate_start
+        enumerate_seconds = perf_clock() - enumerate_start
 
         # Optional truncated contraction: drop the small-weight tail before
         # anything executes; allocation and execution see only the survivors.
         missing_mode = "execute"
         prune_seconds = 0.0
         if not pruning_policy.is_none:
-            prune_start = time.perf_counter()
+            prune_start = perf_clock()
             batch, pruning_report = prune_requests(batch, weights, pruning_policy)
             result.pruning_report = pruning_report
             missing_mode = "skip"
-            prune_seconds = time.perf_counter() - prune_start
+            prune_seconds = perf_clock() - prune_start
 
         # Optional shot allocation (finite-shot evaluation only).
         allocate_seconds = 0.0
         execute_seconds = 0.0
         if shots is not None:
-            allocate_start = time.perf_counter()
+            allocate_start = perf_clock()
             shot_allocation = allocate_shots(
                 batch, shots, allocation, weights=weights, engine=engine
             )
@@ -673,7 +673,7 @@ def _evaluate_workload_batch(
             # The pilot batch (variance policy) is execution, not allocation math.
             execute_seconds += shot_allocation.pilot_seconds
             allocate_seconds = (
-                time.perf_counter() - allocate_start - shot_allocation.pilot_seconds
+                perf_clock() - allocate_start - shot_allocation.pilot_seconds
             )
 
         # Execute the batch; timing comes from this call itself, never from
@@ -685,7 +685,7 @@ def _evaluate_workload_batch(
         # Phase two: contract over the results table (no execution inside).
         # Under pruning the table is partial and missing variants contribute
         # exactly zero ("skip"); otherwise any straggler executes on demand.
-        contract_start = time.perf_counter()
+        contract_start = perf_clock()
         if workload.kind == WorkloadKind.EXPECTATION:
             result.expectation_value = reconstructor.reconstruct_expectation(
                 workload.observable, table=table, missing=missing_mode
@@ -694,12 +694,12 @@ def _evaluate_workload_batch(
             result.probabilities = reconstructor.reconstruct_probabilities(
                 table=table, missing=missing_mode
             )
-        contract_seconds = time.perf_counter() - contract_start
+        contract_seconds = perf_clock() - contract_start
         result.contraction_report = reconstructor.last_contraction_report
 
         reference_seconds = 0.0
         if compute_reference:
-            reference_start = time.perf_counter()
+            reference_start = perf_clock()
             if workload.kind == WorkloadKind.EXPECTATION:
                 result.reference_expectation = simulate_statevector(
                     workload.circuit
@@ -708,7 +708,7 @@ def _evaluate_workload_batch(
                 result.reference_probabilities = simulate_statevector(
                     workload.circuit
                 ).probabilities()
-            reference_seconds = time.perf_counter() - reference_start
+            reference_seconds = perf_clock() - reference_start
         reconstruct_seconds = enumerate_seconds + contract_seconds
         result.num_variant_evaluations = engine.executions - executions_before
         # Per-call delta: on a shared engine, lifetime counters would conflate

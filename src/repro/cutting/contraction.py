@@ -66,11 +66,12 @@ estimates to decide whether sharding is worth the process-pool transport at all
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..utils.timing import perf_clock
 
 __all__ = [
     "CHUNK_ELEMENT_BUDGET",
@@ -265,7 +266,7 @@ def balanced_blocks(total: int, parts: int) -> Tuple[Tuple[int, int], ...]:
 
 
 def plan_contraction(
-    solution,
+    solution: Any,
     specs: Sequence,
     workers: int = 1,
     kind: str = "probability",
@@ -511,7 +512,7 @@ def contract_probability_shard(
 
     Returns ``(accumulator, busy_seconds)``.
     """
-    start = time.perf_counter()
+    start = perf_clock()
     num_assignments = index_maps[0].shape[0]
     width = 1
     for stack in stacks:
@@ -526,7 +527,7 @@ def contract_probability_shard(
         rows = coefficient * rows
         for row in rows:
             accumulator += row
-    return accumulator, time.perf_counter() - start
+    return accumulator, perf_clock() - start
 
 
 def contract_expectation_terms(
@@ -547,7 +548,7 @@ def contract_expectation_terms(
 
     Returns ``([term_value, ...], busy_seconds)``.
     """
-    start = time.perf_counter()
+    start = perf_clock()
     values: List[float] = []
     for tables, inactive_factor in jobs:
         product = tables[0][index_maps[0]]
@@ -558,4 +559,4 @@ def contract_expectation_terms(
         for contribution in contributions.tolist():
             value += contribution
         values.append(value * inactive_factor)
-    return values, time.perf_counter() - start
+    return values, perf_clock() - start

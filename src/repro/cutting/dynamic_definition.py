@@ -49,13 +49,13 @@ batch one.
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ReconstructionError
+from ..utils.timing import perf_clock
 from .contraction import (
     ContractionReport,
     ShardUtilization,
@@ -152,7 +152,7 @@ class DynamicDefinitionPlan:
 
 
 def plan_dynamic_definition(
-    solution,
+    solution: Any,
     specs: Sequence,
     qubit_limit: int,
     recursion_depth: Optional[int] = None,
@@ -337,7 +337,9 @@ class _SpecReduction:
     bin_positions: Tuple[int, ...]  # bin-index bit of each local active bit
 
 
-def _binned_structure(reconstructor, space: BinSpace, workers: int) -> Dict[str, object]:
+def _binned_structure(
+    reconstructor: Any, space: BinSpace, workers: int
+) -> Dict[str, object]:
     """Cached plan, index maps, scatter blocks and stack reductions for ``space``.
 
     Everything here depends only on the qubit *partition* (not on the fixed
@@ -429,9 +431,9 @@ def _binned_structure(reconstructor, space: BinSpace, workers: int) -> Dict[str,
 
 
 def _full_stacks(
-    reconstructor,
+    reconstructor: Any,
     combos: Sequence[Sequence[Mapping[str, str]]],
-    table,
+    table: Any,
     missing: str,
     cache: Dict,
 ) -> List[np.ndarray]:
@@ -466,14 +468,14 @@ def _reduce_stack(
         offset += int(fixed_values[qubit]) << bit
     cols = reduction.base_cols + offset
     if reduction.num_merged:
-        return stack[:, cols].sum(axis=2)
+        return stack[:, cols].sum(axis=2)  # qrcclint: disable=unstable-reduction -- merged-bit marginalisation over a fixed (rows, bins, merged) gather: shape and stride are identical for every call with this plan, so the reduction order is pinned
     return np.ascontiguousarray(stack[:, cols[:, 0]])
 
 
 def binned_probabilities(
-    reconstructor,
+    reconstructor: Any,
     space: BinSpace,
-    table=None,
+    table: Any = None,
     missing: str = "execute",
     cache: Optional[Dict] = None,
     stacks: Optional[Sequence[np.ndarray]] = None,
@@ -491,13 +493,13 @@ def binned_probabilities(
     """
     if reconstructor.solution.gate_cuts:
         raise ReconstructionError(_GATE_CUT_MESSAGE)
-    plan_start = time.perf_counter()
+    plan_start = perf_clock()
     workers = reconstructor._contraction_workers()
     structure = _binned_structure(reconstructor, space, workers)
     plan = structure["plan"]
-    plan_seconds = time.perf_counter() - plan_start
+    plan_seconds = perf_clock() - plan_start
 
-    contract_start = time.perf_counter()
+    contract_start = perf_clock()
     if stacks is None:
         if table is None:
             raise ReconstructionError("binned_probabilities needs a table or prebuilt stacks")
@@ -518,9 +520,9 @@ def binned_probabilities(
         ]
         tasks.append((shard_stacks, structure["index_maps"], coefficient, plan.chunk_rows))
     outputs, fell_back = reconstructor.engine.map_shards(contract_probability_shard, tasks)
-    contract_seconds = time.perf_counter() - contract_start
+    contract_seconds = perf_clock() - contract_start
 
-    merge_start = time.perf_counter()
+    merge_start = perf_clock()
     binned = np.zeros(space.num_bins)
     utilization = []
     for shard, (indices, (accumulator, seconds)) in enumerate(
@@ -530,7 +532,7 @@ def binned_probabilities(
         utilization.append(
             ShardUtilization(shard=shard, elements=int(indices.size), seconds=seconds)
         )
-    merge_seconds = time.perf_counter() - merge_start
+    merge_seconds = perf_clock() - merge_start
     reconstructor.last_contraction_report = ContractionReport(
         mode="dynamic",
         kind="probability",
@@ -547,9 +549,9 @@ def binned_probabilities(
 
 
 def reconstruct_dynamic(
-    reconstructor,
+    reconstructor: Any,
     plan: DynamicDefinitionPlan,
-    table=None,
+    table: Any = None,
     missing: str = "execute",
     chunk_history: Optional[Sequence[Tuple[Mapping, float]]] = None,
     z_value: float = 1.96,

@@ -42,12 +42,16 @@ Four executors are provided:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
 from ..circuits import Circuit, decompose_to_basis
-from ..engine.cache import ResultCache
+from ..engine.cache import (
+    ResultCache,
+    build_cache_namespace,
+    scoped_cache_namespace,
+)
 from ..engine.requests import (
     VariantResult,
     request_key,
@@ -80,7 +84,7 @@ def _signed_value(result: BranchedResult) -> float:
     return result.expectation_of_signs()
 
 
-def branch_output_index(branch, variant: SubcircuitVariant) -> int:
+def branch_output_index(branch: Any, variant: SubcircuitVariant) -> int:
     """Basis index of a branch's recorded outcomes over the variant's output qubits."""
     index = 0
     for position, qubit in enumerate(variant.output_qubit_order):
@@ -176,10 +180,7 @@ class VariantExecutor(ABC):
         self._cache_scope = scope
 
     def _scoped_namespace(self) -> str:
-        namespace = self.cache_namespace()
-        if self._cache_scope:
-            return f"{self._cache_scope}|{namespace}"
-        return namespace
+        return scoped_cache_namespace(self.cache_namespace(), self._cache_scope)
 
     def cache_key(self, fingerprint: str) -> str:
         """Cache key for one request within this executor's namespace.
@@ -366,7 +367,7 @@ class BatchedExactExecutor(VariantExecutor):
         self._max_batch_elements = int(max_batch_elements)
 
     # ------------------------------------------------------------------ grouping
-    def group_key(self, variant: SubcircuitVariant):
+    def group_key(self, variant: SubcircuitVariant) -> Tuple:
         """Structure key under which requests can share one batched pass.
 
         The :class:`~repro.engine.ParallelEngine` also calls this to keep
@@ -467,7 +468,7 @@ class NoisyExecutor(VariantExecutor):
         if seed is None:
             # Draw a base seed once so the instance is self-consistent (and
             # shippable to worker processes) even without an explicit seed.
-            seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF
+            seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF  # qrcclint: disable=unseeded-randomness -- one-time base-seed draw when the caller passes none; every per-request draw is then derived from (base_seed, fingerprint)
         self._base_seed = int(seed)
         self._simulator = BranchingSimulator()
 
@@ -477,10 +478,17 @@ class NoisyExecutor(VariantExecutor):
 
     def cache_namespace(self) -> str:
         noise = self._device.noise
-        return (
-            f"noisy:{self._device.name}:{self._device.num_qubits}"
-            f":{noise.two_qubit_error}:{noise.single_qubit_error}"
-            f":{self._shots}:{self._trajectories}:seed={self._base_seed}"
+        return build_cache_namespace(
+            "noisy",
+            parts=(
+                self._device.name,
+                self._device.num_qubits,
+                noise.two_qubit_error,
+                noise.single_qubit_error,
+                self._shots,
+                self._trajectories,
+            ),
+            seed=self._base_seed,
         )
 
     def spawn_spec(self) -> Tuple[Type["NoisyExecutor"], Tuple]:

@@ -33,7 +33,6 @@ exactly zero, and the induced bias is bounded a priori by the pruning report.
 from __future__ import annotations
 
 import itertools
-import time
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -41,6 +40,7 @@ import numpy as np
 from ..engine import CONTRACTION_MODES, ParallelEngine, VariantResult, request_key
 from ..exceptions import ReconstructionError
 from ..utils.pauli import PauliObservable, PauliString
+from ..utils.timing import perf_clock
 from .contraction import (
     ContractionReport,
     ShardUtilization,
@@ -67,7 +67,7 @@ __all__ = ["INIT_STATE_DECOMPOSITION", "CutReconstructor"]
 
 #: Decomposition of each measurement-basis operator into initialisation eigenstates:
 #: ``P = sum_s coefficient(s) |s><s|`` (the downstream half of Eq. 3).
-INIT_STATE_DECOMPOSITION: Dict[str, Tuple[Tuple[str, float], ...]] = {
+INIT_STATE_DECOMPOSITION: Dict[str, Tuple[Tuple[str, float], ...]] = {  # qrcclint: disable=mutable-default-arg -- read-only constant table (tuple values), never written after import
     "I": (("zero", 1.0), ("one", 1.0)),
     "Z": (("zero", 1.0), ("one", -1.0)),
     "X": (("plus", 2.0), ("zero", -1.0), ("one", -1.0)),
@@ -374,7 +374,7 @@ class CutReconstructor:
         cache: Dict[Tuple, np.ndarray],
     ) -> np.ndarray:
         """The serial scalar walk: one kron + scatter per global assignment."""
-        contract_start = time.perf_counter()
+        contract_start = perf_clock()
         num_qubits = self.solution.circuit.num_qubits
         total = np.zeros(2**num_qubits)
         coefficient_per_assignment = 0.5 ** len(self.solution.wire_cuts)
@@ -400,7 +400,7 @@ class CutReconstructor:
                 num_qubits,
                 index_map=index_map,
             )
-        contract_seconds = time.perf_counter() - contract_start
+        contract_seconds = perf_clock() - contract_start
         self.last_contraction_report = ContractionReport(
             mode="naive",
             kind="probability",
@@ -421,14 +421,14 @@ class CutReconstructor:
         cache: Dict[Tuple, float],
     ) -> float:
         """The serial scalar walk over ``4**k * 6**m`` combinations per term."""
-        contract_start = time.perf_counter()
+        contract_start = perf_clock()
         value = float(
             sum(
                 term.coefficient * self._term_value(term, table, missing, cache)
                 for term in observable.terms
             )
         )
-        contract_seconds = time.perf_counter() - contract_start
+        contract_seconds = perf_clock() - contract_start
         self.last_contraction_report = ContractionReport(
             mode="naive",
             kind="expectation",
@@ -490,13 +490,13 @@ class CutReconstructor:
         cache: Dict[Tuple, np.ndarray],
     ) -> np.ndarray:
         """Planned path: dense per-subcircuit stacks, sharded vectorized kron."""
-        plan_start = time.perf_counter()
+        plan_start = perf_clock()
         workers = self._contraction_workers()
         structure = self._probability_structure(workers)
         plan = structure["plan"]
-        plan_seconds = time.perf_counter() - plan_start
+        plan_seconds = perf_clock() - plan_start
 
-        contract_start = time.perf_counter()
+        contract_start = perf_clock()
         # Stack each subcircuit's effective distributions over its *local*
         # assignments (4**c_S rows, not 4**k): values come from the same
         # memoised _effective_distribution the naive walk uses, so they are
@@ -522,9 +522,9 @@ class CutReconstructor:
             ]
             tasks.append((shard_stacks, structure["index_maps"], coefficient, plan.chunk_rows))
         outputs, fell_back = self.engine.map_shards(contract_probability_shard, tasks)
-        contract_seconds = time.perf_counter() - contract_start
+        contract_seconds = perf_clock() - contract_start
 
-        merge_start = time.perf_counter()
+        merge_start = perf_clock()
         total = np.zeros(2**self.solution.circuit.num_qubits)
         utilization = []
         for shard, (indices, (accumulator, seconds)) in enumerate(
@@ -536,7 +536,7 @@ class CutReconstructor:
             utilization.append(
                 ShardUtilization(shard=shard, elements=int(indices.size), seconds=seconds)
             )
-        merge_seconds = time.perf_counter() - merge_start
+        merge_seconds = perf_clock() - merge_start
         self.last_contraction_report = ContractionReport(
             mode="planned",
             kind="probability",
@@ -572,7 +572,7 @@ class CutReconstructor:
         gate_ok = True
         for position, cut in enumerate(gate_cuts):
             coefficients = np.asarray(self._gate_cut_instances[cut.op_index])
-            if not np.any(coefficients != 0.0):
+            if not np.any(coefficients != 0.0):  # qrcclint: disable=float-equality -- exact-zero test on assigned (not computed) coefficient table entries
                 # Every global combination has a zero coefficient: the naive
                 # walk skips them all and every term value is exactly 0.0.
                 gate_ok = False
@@ -601,7 +601,7 @@ class CutReconstructor:
             local: List[Tuple[Dict[int, int], bool]] = []
             for instances in itertools.product(range(1, 7), repeat=len(op_indices)):
                 nonzero = all(
-                    self._gate_cut_instances[op_index][instance - 1] != 0.0
+                    self._gate_cut_instances[op_index][instance - 1] != 0.0  # qrcclint: disable=float-equality -- exact-zero test on assigned decomposition coefficients, matching the contraction's skip
                     for op_index, instance in zip(op_indices, instances)
                 )
                 local.append((dict(zip(op_indices, instances)), nonzero))
@@ -661,19 +661,19 @@ class CutReconstructor:
         cache: Dict[Tuple, float],
     ) -> float:
         """Planned path: dense value tables, terms sharded over the pool."""
-        plan_start = time.perf_counter()
+        plan_start = perf_clock()
         workers = self._contraction_workers()
         structure = self._expectation_structure(workers, len(observable.terms))
         plan = structure["plan"]
-        plan_seconds = time.perf_counter() - plan_start
+        plan_seconds = perf_clock() - plan_start
 
-        contract_start = time.perf_counter()
+        contract_start = perf_clock()
         term_values = [0.0] * len(observable.terms)
         jobs: List[Tuple[int, List[np.ndarray], float]] = []
         if structure["gate_ok"]:
             for index, term in enumerate(observable.terms):
                 inactive_factor = self._inactive_qubit_factor(term)
-                if inactive_factor == 0.0:
+                if inactive_factor == 0.0:  # qrcclint: disable=float-equality -- exact-zero short-circuit on assigned coefficients; matches the naive walk bit for bit
                     continue  # the naive walk returns exactly 0.0 for these
                 jobs.append(
                     (
@@ -701,9 +701,9 @@ class CutReconstructor:
                 utilization.append(
                     ShardUtilization(shard=shard, elements=hi - lo, seconds=seconds)
                 )
-        contract_seconds = time.perf_counter() - contract_start
+        contract_seconds = perf_clock() - contract_start
 
-        merge_start = time.perf_counter()
+        merge_start = perf_clock()
         # Same final reduction as the naive path: term contributions summed in
         # observable term order, regardless of which shard computed them.
         value = float(
@@ -712,7 +712,7 @@ class CutReconstructor:
                 for term, term_value in zip(observable.terms, term_values)
             )
         )
-        merge_seconds = time.perf_counter() - merge_start
+        merge_seconds = perf_clock() - merge_start
         self.last_contraction_report = ContractionReport(
             mode="planned",
             kind="expectation",
@@ -757,12 +757,12 @@ class CutReconstructor:
         weights_out: Optional[Dict[str, float]] = None,
     ) -> None:
         """Collect every variant :meth:`_term_value` may need for one Pauli term."""
-        if self._inactive_qubit_factor(term) == 0.0:
+        if self._inactive_qubit_factor(term) == 0.0:  # qrcclint: disable=float-equality -- exact-zero short-circuit on assigned coefficients; matches the naive walk bit for bit
             return
         base = 0.5 ** len(self.solution.wire_cuts)
         for assignment in self._wire_cut_assignments():
             for instance_map, instance_coefficient in self._gate_cut_instance_maps():
-                if instance_coefficient == 0.0:
+                if instance_coefficient == 0.0:  # qrcclint: disable=float-equality -- exact-zero short-circuit on assigned coefficients; matches the naive walk bit for bit
                     continue
                 for spec in self.specs:
                     key, plan = self._expectation_plan(spec, term, assignment, instance_map)
@@ -939,21 +939,21 @@ class CutReconstructor:
         cache: Optional[Dict[Tuple, float]] = None,
     ) -> float:
         inactive_factor = self._inactive_qubit_factor(term)
-        if inactive_factor == 0.0:
+        if inactive_factor == 0.0:  # qrcclint: disable=float-equality -- exact-zero short-circuit on assigned coefficients; matches the naive walk bit for bit
             return 0.0
         value = 0.0
         base_coefficient = 0.5 ** len(self.solution.wire_cuts)
         for assignment in self._wire_cut_assignments():
             for instance_map, instance_coefficient in self._gate_cut_instance_maps():
                 coefficient = base_coefficient * instance_coefficient
-                if coefficient == 0.0:
+                if coefficient == 0.0:  # qrcclint: disable=float-equality -- exact-zero short-circuit on assigned coefficients; matches the naive walk bit for bit
                     continue
                 product = 1.0
                 for spec in self.specs:
                     product *= self._effective_expectation(
                         spec, term, assignment, instance_map, table, missing, cache
                     )
-                    if product == 0.0:
+                    if product == 0.0:  # qrcclint: disable=float-equality -- exact-zero short-circuit on a product of assigned coefficients
                         break
                 value += coefficient * product
         return value * inactive_factor

@@ -28,7 +28,7 @@ from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from ..engine.cache import ResultCache
+from ..engine.cache import ResultCache, build_cache_key, build_cache_namespace
 from ..engine.requests import VariantResult, request_key, seed_from_fingerprint
 from ..exceptions import CuttingError
 from ..simulator.dynamic import BranchingSimulator
@@ -87,7 +87,7 @@ class SamplingExecutor(VariantExecutor):
         if seed is None:
             # Draw a base seed once so the instance is self-consistent (and
             # shippable to worker processes) even without an explicit seed.
-            seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF
+            seed = int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF  # qrcclint: disable=unseeded-randomness -- one-time base-seed draw when the caller passes none; every per-request draw is then derived from (base_seed, fingerprint)
         self._base_seed = int(seed)
         self._allocation: Dict[str, int] = {}
         self._allocation_floor: Optional[int] = None
@@ -208,18 +208,18 @@ class SamplingExecutor(VariantExecutor):
         )
 
     def cache_namespace(self) -> str:
-        return f"sampling:seed={self._base_seed}"
+        return build_cache_namespace("sampling", seed=self._base_seed)
 
     def cache_key(self, fingerprint: str) -> str:
-        key = f"{fingerprint}:shots={self.shots_for(fingerprint)}"
-        if self._stage:
-            key += f":stage={self._stage}"
-        seed_shots = self.seed_shots_for(fingerprint)
-        if seed_shots != self.shots_for(fingerprint):
-            # A partial (prefix) draw of a longer seeded stream: never alias
-            # the complete draw, nor partial draws of other stream lengths.
-            key += f":seed={seed_shots}"
-        return key
+        # seed_shots enters the key only when it differs from the drawn count:
+        # a partial (prefix) draw of a longer seeded stream must never alias
+        # the complete draw, nor partial draws of other stream lengths.
+        return build_cache_key(
+            fingerprint,
+            shots=self.shots_for(fingerprint),
+            stage=self._stage,
+            seed_shots=self.seed_shots_for(fingerprint),
+        )
 
     def spawn_spec(self) -> Tuple:
         return _respawn_sampling, (

@@ -20,7 +20,7 @@ ready for the exact branching simulator, the shot sampler or the noisy device mo
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ..circuits import Circuit
 from ..exceptions import CuttingError
@@ -240,7 +240,7 @@ class VariantBuilder:
         self,
         circuit: Circuit,
         fragment: Fragment,
-        element,
+        element: Any,
         settings: VariantSettings,
         wire_started: Dict[int, bool],
         entered_fragments: set,

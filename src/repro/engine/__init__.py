@@ -19,7 +19,14 @@ from .allocation import (
     allocate_shots,
     largest_remainder_split,
 )
-from .cache import DEFAULT_CACHE_BYTES, DEFAULT_CACHE_SIZE, ResultCache
+from .cache import (
+    DEFAULT_CACHE_BYTES,
+    DEFAULT_CACHE_SIZE,
+    ResultCache,
+    build_cache_key,
+    build_cache_namespace,
+    scoped_cache_namespace,
+)
 from .config import BACKENDS, CONTRACTION_MODES, EngineConfig
 from .devices import (
     ROUTING_POLICIES,
@@ -56,7 +63,10 @@ __all__ = [
     "ShotAllocation",
     "VariantResult",
     "allocate_shots",
+    "build_cache_key",
+    "build_cache_namespace",
     "largest_remainder_split",
+    "scoped_cache_namespace",
     "prune_requests",
     "request_key",
     "seed_from_fingerprint",

@@ -24,7 +24,7 @@ receives at least one final shot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -141,7 +141,7 @@ def _multiplicity_weights(batch: Iterable) -> Dict[str, float]:
     return weights
 
 
-def _sigma_estimate(result, pilot_shots: int) -> float:
+def _sigma_estimate(result: Any, pilot_shots: int) -> float:
     """Per-shot sampling standard deviation implied by a pilot result.
 
     Expectation-mode variants record a ±1 outcome per shot, so the variance of
@@ -169,7 +169,7 @@ def allocate_shots(
     policy: str = "uniform",
     *,
     weights: Optional[Mapping[str, float]] = None,
-    engine=None,
+    engine: Any = None,
     pilot_fraction: float = DEFAULT_PILOT_FRACTION,
 ) -> ShotAllocation:
     """Split ``total_shots`` across the unique variants of ``batch``.

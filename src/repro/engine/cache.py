@@ -10,12 +10,19 @@ eviction, and hit/miss/eviction counters feed the engine's statistics.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, Optional, Sequence
 
 from ..exceptions import ReproError
 from .requests import VariantResult
 
-__all__ = ["ResultCache", "DEFAULT_CACHE_SIZE", "DEFAULT_CACHE_BYTES"]
+__all__ = [
+    "ResultCache",
+    "DEFAULT_CACHE_SIZE",
+    "DEFAULT_CACHE_BYTES",
+    "build_cache_key",
+    "build_cache_namespace",
+    "scoped_cache_namespace",
+]
 
 #: Default capacity (entries) of the shared variant-result cache.
 DEFAULT_CACHE_SIZE = 65536
@@ -28,6 +35,62 @@ DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
 
 #: Approximate bookkeeping cost of an entry with no distribution payload.
 _SCALAR_ENTRY_BYTES = 64
+
+
+def build_cache_namespace(
+    kind: str, *, parts: Sequence[object] = (), seed: Optional[int] = None
+) -> str:
+    """The blessed namespace builder: ``kind[:part]*[:seed=<seed>]``.
+
+    Every executor's :meth:`~repro.cutting.executors.VariantExecutor.cache_namespace`
+    must route through here (enforced by qrcclint's ``bare-cache-key`` rule) so
+    a namespace can never silently drop the component that distinguishes its
+    results — ``kind`` names the executor family, ``parts`` carries its
+    configuration (device name, error rates, shot/trajectory counts, ...) and
+    ``seed`` the base seed of stochastic executors.
+    """
+    tokens = [str(kind), *(str(part) for part in parts)]
+    if seed is not None:
+        tokens.append(f"seed={seed}")
+    return ":".join(tokens)
+
+
+def build_cache_key(
+    fingerprint: str,
+    *,
+    shots: Optional[int] = None,
+    stage: Optional[str] = None,
+    seed_shots: Optional[int] = None,
+) -> str:
+    """The blessed per-request key builder: fingerprint plus scope tokens.
+
+    ``fingerprint`` is the request fingerprint; ``shots`` appends the drawn
+    shot count (``:shots=N``), ``stage`` the allocation pass label
+    (``:stage=S``, omitted when empty), and ``seed_shots`` — when it differs
+    from ``shots`` — the seed-material shot count of a streaming prefix draw
+    (``:seed=M``), so partial draws never alias complete ones.  Single
+    construction site enforced by qrcclint's ``bare-cache-key`` rule.
+    """
+    key = str(fingerprint)
+    if shots is not None:
+        key += f":shots={shots}"
+    if stage:
+        key += f":stage={stage}"
+    if seed_shots is not None and seed_shots != shots:
+        key += f":seed={seed_shots}"
+    return key
+
+
+def scoped_cache_namespace(namespace: str, scope: Optional[str] = None) -> str:
+    """Layer a routing scope onto a namespace (``scope|namespace``).
+
+    Used by :meth:`~repro.cutting.executors.VariantExecutor._scoped_namespace`
+    when a heterogeneous device farm makes results routing-dependent; ``None``
+    (no scope) returns the namespace unchanged.
+    """
+    if scope:
+        return f"{scope}|{namespace}"
+    return namespace
 
 
 def _entry_bytes(result: VariantResult) -> int:

@@ -11,7 +11,7 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence, Union
+from typing import Any, Optional, Sequence, Union
 
 from ..exceptions import ReproError
 from .allocation import ALLOCATION_POLICIES
@@ -212,6 +212,6 @@ class EngineConfig:
 
             DeviceFarm(self.devices, self.routing)
 
-    def with_(self, **changes) -> "EngineConfig":
+    def with_(self, **changes: Any) -> "EngineConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **changes)

@@ -30,7 +30,7 @@ raised naming the width shortfall against the widest (and narrowest) device.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import DeviceError, InfeasibleVariantError
 from ..simulator.noise import NoiseModel
@@ -134,7 +134,7 @@ class DeviceSpec:
             parts.append(f"factory={getattr(factory, '__module__', '?')}.{qualname}")
         return "|".join(parts)
 
-    def build_executor(self):
+    def build_executor(self) -> Optional[Any]:
         """Build this device's own executor, or return ``None`` to share the engine's.
 
         ``executor_factory`` wins when given; a ``noise`` profile builds a
@@ -372,7 +372,7 @@ class DeviceFarm:
         )
 
     # ------------------------------------------------------------------ executors
-    def executor_for(self, spec: DeviceSpec, default):
+    def executor_for(self, spec: DeviceSpec, default: Any) -> Any:
         """The executor running ``spec``'s lane (built once; ``default`` shared).
 
         Heterogeneous farms (per-device ``noise`` / ``executor_factory``) share

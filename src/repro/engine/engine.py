@@ -20,17 +20,17 @@ completion order.
 from __future__ import annotations
 
 import math
-import time
 import warnings
 from concurrent.futures import Executor as _PoolBase
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 from .config import EngineConfig
 from .devices import DeviceFarm, DeviceUtilization
 from .requests import VariantResult
+from ..utils.timing import perf_clock
 
 __all__ = ["EngineStats", "ParallelEngine"]
 
@@ -38,7 +38,7 @@ __all__ = ["EngineStats", "ParallelEngine"]
 PendingRequest = Tuple[str, object, Optional[Tuple[int, ...]]]
 
 
-def _run_chunk(executor, chunk: Sequence[PendingRequest]):
+def _run_chunk(executor: Any, chunk: Sequence[PendingRequest]) -> List[Tuple[str, VariantResult]]:
     """Run one chunk on ``executor`` through its batch fast path when it has one.
 
     ``run_many`` lets batch-capable executors (the vectorized
@@ -52,12 +52,16 @@ def _run_chunk(executor, chunk: Sequence[PendingRequest]):
     return [(key, executor.execute_variant(variant, seed=seed)) for key, variant, seed in chunk]
 
 
-def _execute_chunk(executor_cls, spawn_args, chunk: Sequence[PendingRequest]):
+def _execute_chunk(
+    executor_cls: Any, spawn_args: Tuple, chunk: Sequence[PendingRequest]
+) -> List[Tuple[str, VariantResult]]:
     """Process-pool worker: rebuild the executor from its spawn spec, run a chunk."""
     return _run_chunk(executor_cls(*spawn_args), chunk)
 
 
-def _execute_chunk_shared(executor, chunk: Sequence[PendingRequest]):
+def _execute_chunk_shared(
+    executor: Any, chunk: Sequence[PendingRequest]
+) -> List[Tuple[str, VariantResult]]:
     """Thread-pool worker: run a chunk directly on the shared executor."""
     return _run_chunk(executor, chunk)
 
@@ -148,7 +152,7 @@ class ParallelEngine:
     consistent however the backend is driven.
     """
 
-    def __init__(self, executor=None, config: Optional[EngineConfig] = None) -> None:
+    def __init__(self, executor: Any = None, config: Optional[EngineConfig] = None) -> None:
         self._config = config or EngineConfig()
         if executor is None:
             from ..cutting.executors import BatchedExactExecutor, ExactExecutor
@@ -183,7 +187,7 @@ class ParallelEngine:
 
     # ------------------------------------------------------------------ accessors
     @property
-    def executor(self):
+    def executor(self) -> Any:
         return self._executor
 
     @property
@@ -238,18 +242,18 @@ class ParallelEngine:
         evaluation: deltas of the lifetime ``stats.execute_seconds`` counter are
         inflated by concurrent batches when an engine is shared across threads.
         """
-        start = time.perf_counter()
+        start = perf_clock()
         # A farm always routes (even serially): feasibility is checked and
         # utilization tracked regardless of worker count.
         needs_dispatch = self._farm is not None or self._effective_workers() > 1
         dispatch = self._dispatch if needs_dispatch else None
         table = self._executor.run_batch(variants, dispatch=dispatch)
-        seconds = time.perf_counter() - start
+        seconds = perf_clock() - start
         self._execute_seconds += seconds
         self._batches += 1
         return table, seconds
 
-    def apply_allocation(self, allocation) -> None:
+    def apply_allocation(self, allocation: Any) -> None:
         """Apply a :class:`~repro.engine.allocation.ShotAllocation` to the executor.
 
         The executor must be sampling-capable (expose ``set_allocation``); the
@@ -292,7 +296,7 @@ class ParallelEngine:
             set_allocation(None)
         self._allocation = None
 
-    def lookup(self, variant) -> VariantResult:
+    def lookup(self, variant: Any) -> VariantResult:
         """Result for one variant, executing it on demand if it was never batched."""
         from .requests import request_key
 
@@ -307,7 +311,9 @@ class ParallelEngine:
             return self._effective_workers()
         return max(1, workers)
 
-    def map_shards(self, fn, tasks: Sequence[Tuple]) -> Tuple[List, bool]:
+    def map_shards(
+        self, fn: Any, tasks: Sequence[Tuple]
+    ) -> Tuple[List, bool]:
         """Run ``fn(*args)`` for every args-tuple in ``tasks``, preserving order.
 
         The contraction layer's sharding entry point: ``fn`` must be a plain
@@ -378,7 +384,9 @@ class ParallelEngine:
             size = max(1, math.ceil(len(pending) / (self._effective_workers() * 4)))
         return [list(pending[i : i + size]) for i in range(0, len(pending), size)]
 
-    def _dispatch(self, executor, pending: Sequence[PendingRequest]):
+    def _dispatch(
+        self, executor: Any, pending: Sequence[PendingRequest]
+    ) -> List[Tuple[str, VariantResult]]:
         """Run unique cache-miss requests across the worker pool (or serially).
 
         Without a device farm the whole batch runs on ``executor``.  With one,
@@ -422,7 +430,7 @@ class ParallelEngine:
             raise
 
     def _grouped(
-        self, executor, pending: Sequence[PendingRequest]
+        self, executor: Any, pending: Sequence[PendingRequest]
     ) -> Sequence[PendingRequest]:
         """Reorder pending requests so same-structure requests sit together.
 
@@ -455,7 +463,7 @@ class ParallelEngine:
         return [pending[index] for index in order]
 
     def _chunked_lane(
-        self, lane: Sequence[PendingRequest], spec
+        self, lane: Sequence[PendingRequest], spec: Any
     ) -> List[List[PendingRequest]]:
         """Chunk one device's lane into at most ``spec.lanes`` worker tasks.
 
@@ -468,7 +476,9 @@ class ParallelEngine:
             size = max(size, self._config.chunk_size)
         return [list(lane[i : i + size]) for i in range(0, len(lane), size)]
 
-    def _run_tasks(self, tasks: Sequence[Tuple[object, List[PendingRequest]]]):
+    def _run_tasks(
+        self, tasks: Sequence[Tuple[object, List[PendingRequest]]]
+    ) -> List[Tuple[str, VariantResult]]:
         """Execute ``(executor, chunk)`` tasks — one pool across all executors."""
         pool = None
         specs: Dict[int, Tuple] = {}
@@ -545,7 +555,7 @@ class ParallelEngine:
                 results.extend(_execute_chunk_shared(task_executor, chunk))
             return results
 
-    def _spawnable(self, executor):
+    def _spawnable(self, executor: Any) -> Tuple[Any, Any]:
         """Pre-flight the executor's spawn spec for process-pool transport.
 
         Pickling is checked *before* anything is submitted: a task that fails to
@@ -614,5 +624,5 @@ class ParallelEngine:
     def __enter__(self) -> "ParallelEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Optional, Tuple
 
 import numpy as np
 
@@ -51,7 +51,7 @@ class VariantResult:
             self.distribution.flags.writeable = False
 
 
-def variant_fingerprint(variant) -> str:
+def variant_fingerprint(variant: Any) -> str:
     """Stable content hash identifying a variant request.
 
     ``variant`` is duck-typed (any object with ``circuit``, ``num_wires``,
@@ -81,7 +81,7 @@ def variant_fingerprint(variant) -> str:
     return hasher.hexdigest()
 
 
-def request_key(variant) -> str:
+def request_key(variant: Any) -> str:
     """Fingerprint of ``variant``, using its own memoised value when available."""
     fingerprint = getattr(variant, "fingerprint", None)
     if isinstance(fingerprint, str):

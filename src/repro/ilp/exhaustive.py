@@ -8,9 +8,9 @@ and returns the best feasible one.
 from __future__ import annotations
 
 import itertools
-import time
 
 from ..exceptions import SolverError
+from ..utils.timing import perf_clock
 from .model import Model
 from .result import SolveResult, SolveStatus
 
@@ -33,7 +33,7 @@ class ExhaustiveBackend:
                 f"exhaustive enumeration limited to {_MAX_BINARIES} binaries, "
                 f"model has {model.num_variables}"
             )
-        start = time.perf_counter()
+        start = perf_clock()
         best_value = None
         best_assignment = None
         for bits in itertools.product((0.0, 1.0), repeat=model.num_variables):
@@ -44,7 +44,7 @@ class ExhaustiveBackend:
             if best_value is None or value < best_value - 1e-12:
                 best_value = value
                 best_assignment = assignment
-        elapsed = time.perf_counter() - start
+        elapsed = perf_clock() - start
         if best_assignment is None:
             return SolveResult(SolveStatus.INFEASIBLE, None, {}, elapsed, self.name)
         return SolveResult(SolveStatus.OPTIMAL, best_value, best_assignment, elapsed, self.name)

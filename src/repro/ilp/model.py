@@ -45,7 +45,7 @@ class Variable:
 
     @property
     def is_binary(self) -> bool:
-        return self.is_integer and self.lower == 0.0 and self.upper == 1.0
+        return self.is_integer and self.lower == 0.0 and self.upper == 1.0  # qrcclint: disable=float-equality -- bounds are assigned literals (0/1 for binary vars), never computed
 
     # Arithmetic sugar so formulations read naturally -------------------------
     def __add__(self, other) -> "LinearExpression":

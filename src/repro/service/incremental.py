@@ -25,7 +25,7 @@ what keeps streaming run-to-completion identical to the batch pipeline.
 from __future__ import annotations
 
 import math
-from typing import Dict, Mapping, Optional, Union
+from typing import Any, Dict, Mapping, Optional, Union
 
 import numpy as np
 
@@ -177,8 +177,8 @@ class IncrementalReconstructor:
 
     def __init__(
         self,
-        reconstructor,
-        observable=None,
+        reconstructor: Any,
+        observable: Any = None,
         missing: str = "execute",
         qubit_limit: Optional[int] = None,
     ) -> None:
@@ -189,7 +189,7 @@ class IncrementalReconstructor:
         self._root_space = None
         self.moments = StreamingMoments()
 
-    def _contract(self, table: Mapping[str, VariantResult]):
+    def _contract(self, table: Mapping[str, VariantResult]) -> Any:
         if self._observable is not None:
             return self._reconstructor.reconstruct_expectation(
                 self._observable, table=table, missing=self._missing
@@ -214,14 +214,14 @@ class IncrementalReconstructor:
             table=table, missing=self._missing
         )
 
-    def fold(self, chunk_table: Mapping[str, VariantResult], weight: float):
+    def fold(self, chunk_table: Mapping[str, VariantResult], weight: float) -> Any:
         """Contract one chunk table and fold its estimate; returns the estimate."""
         estimate = self._contract(chunk_table)
         self.moments.add(estimate, weight=weight)
         return estimate
 
     @property
-    def estimate(self):
+    def estimate(self) -> Any:
         """The running (weighted-mean-of-chunks) estimate; ``None`` before any fold."""
         return self.moments.mean
 
@@ -232,7 +232,7 @@ class IncrementalReconstructor:
             return None
         return width
 
-    def finalize(self, cumulative_table: Mapping[str, VariantResult]):
+    def finalize(self, cumulative_table: Mapping[str, VariantResult]) -> Any:
         """One contraction of the full cumulative table — the reported value.
 
         With every planned round consumed the cumulative table is bit-identical

@@ -16,7 +16,7 @@ what makes the interleaving safe on the shared sampling executor.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from ..engine import ParallelEngine
 from ..exceptions import ConfigError
@@ -119,7 +119,12 @@ class ServiceQueue:
 
     # ------------------------------------------------------------------ admission
     def submit(
-        self, workload, config, tenant: str = "default", shots: Optional[int] = None, **kwargs
+        self,
+        workload: Any,
+        config: Any,
+        tenant: str = "default",
+        shots: Optional[int] = None,
+        **kwargs: Any,
     ) -> SessionTicket:
         """Admit one evaluation, or reject it with a reason; never raises for that.
 

@@ -20,8 +20,7 @@ wrapped in a snapshot window and the deltas are accumulated per session.
 
 from __future__ import annotations
 
-import time
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..cutting import CutReconstructor, SamplingExecutor, VariantExecutor
 from ..engine import (
@@ -38,6 +37,7 @@ from ..engine import (
 from ..engine.allocation import _MIN_SIGMA, _sigma_estimate, largest_remainder_split
 from ..engine.devices import DeviceUtilization
 from ..exceptions import ConfigError, CuttingError
+from ..utils.timing import perf_clock
 from ..workloads import Workload, WorkloadKind
 from .incremental import IncrementalReconstructor, difference_tables
 from .stopping import StoppingRule, StreamingConfig
@@ -149,7 +149,7 @@ class EvaluationSession:
     def __init__(
         self,
         workload: Workload,
-        config,
+        config: Any,
         executor: Optional[VariantExecutor] = None,
         compute_reference: bool = True,
         force_ilp: bool = False,
@@ -364,17 +364,17 @@ class EvaluationSession:
             raise CuttingError(f"prepare() called on a session in state {self._state!r}")
         from ..core.pipeline import cut_circuit
 
-        self._started = time.perf_counter()
+        self._started = perf_clock()
         self._open_window()
         try:
-            cut_start = time.perf_counter()
+            cut_start = perf_clock()
             self._plan = cut_circuit(
                 self.workload.circuit,
                 self.config,
                 force_ilp=self.force_ilp,
                 force_greedy=self.force_greedy,
             )
-            self._cut_seconds = time.perf_counter() - cut_start
+            self._cut_seconds = perf_clock() - cut_start
             if self.engine.farm is not None:
                 self.engine.farm.check_width(self._plan.max_width)
             self._reconstructor = CutReconstructor(
@@ -390,7 +390,7 @@ class EvaluationSession:
                 or (self.streaming_active and self.streaming.replan)
             )
             weights: Optional[Dict[str, float]] = {} if needs_weights else None
-            enumerate_start = time.perf_counter()
+            enumerate_start = perf_clock()
             if self.workload.kind == WorkloadKind.EXPECTATION:
                 batch = self._reconstructor.enumerate_expectation_requests(
                     self.workload.observable, weights_out=weights
@@ -399,20 +399,20 @@ class EvaluationSession:
                 batch = self._reconstructor.enumerate_probability_requests(
                     weights_out=weights
                 )
-            self._enumerate_seconds = time.perf_counter() - enumerate_start
+            self._enumerate_seconds = perf_clock() - enumerate_start
             self._weights = weights
 
             if not self.pruning_policy.is_none:
-                prune_start = time.perf_counter()
+                prune_start = perf_clock()
                 batch, self._pruning_report = prune_requests(
                     batch, weights, self.pruning_policy
                 )
                 self._missing_mode = "skip"
-                self._prune_seconds = time.perf_counter() - prune_start
+                self._prune_seconds = perf_clock() - prune_start
             self._batch = batch
 
             if self.shots is not None:
-                allocate_start = time.perf_counter()
+                allocate_start = perf_clock()
                 shot_allocation = allocate_shots(
                     batch,
                     self.shots,
@@ -425,7 +425,7 @@ class EvaluationSession:
                 # The pilot batch (variance policy) is execution, not allocation math.
                 self._execute_seconds += shot_allocation.pilot_seconds
                 self._allocate_seconds = (
-                    time.perf_counter() - allocate_start - shot_allocation.pilot_seconds
+                    perf_clock() - allocate_start - shot_allocation.pilot_seconds
                 )
                 self._shots_spent += sum(
                     shot_allocation.pilot_shots_by_fingerprint.values()
@@ -447,7 +447,7 @@ class EvaluationSession:
             self._close_window()
         self._state = "prepared"
 
-    def _plan_rounds(self, shot_allocation) -> None:
+    def _plan_rounds(self, shot_allocation: Any) -> None:
         """Split every variant's final shot count into per-round cumulative chunks."""
         totals = {key: int(count) for key, count in shot_allocation.shots_by_fingerprint.items()}
         self._seed_totals = totals
@@ -530,7 +530,7 @@ class EvaluationSession:
             table, seconds = self.engine.run_batch_timed(self._batch)
             self._execute_seconds += seconds
 
-            fold_start = time.perf_counter()
+            fold_start = perf_clock()
             chunk_table = difference_tables(table, self._table, cumulative, self._cum)
             chunk_shots = sum(chunk.values())
             self._incremental.fold(chunk_table, weight=chunk_shots)
@@ -539,7 +539,7 @@ class EvaluationSession:
                 # recursion level, so per-level confidence intervals compose
                 # with early termination (fewer chunks -> wider intervals).
                 self._chunk_history.append((chunk_table, chunk_shots))
-            self._fold_seconds += time.perf_counter() - fold_start
+            self._fold_seconds += perf_clock() - fold_start
 
             self._table = table
             self._cum = cumulative
@@ -551,7 +551,7 @@ class EvaluationSession:
                 reason = self.stopping.should_stop(
                     rounds=self._rounds_done,
                     shots_spent=self._shots_spent,
-                    elapsed_seconds=time.perf_counter() - self._started,
+                    elapsed_seconds=perf_clock() - self._started,
                     half_width=self._incremental.half_width(self.stopping.z_value),
                 )
             if reason is None and self._rounds_done >= self._num_rounds:
@@ -564,7 +564,7 @@ class EvaluationSession:
         finally:
             self._close_window()
 
-    def finish(self):
+    def finish(self) -> Any:
         """Contract the final estimate, build and return the ``EvaluationResult``."""
         if self._state != "done":
             raise CuttingError(f"finish() called on a session in state {self._state!r}")
@@ -577,7 +577,7 @@ class EvaluationSession:
 
         self._open_window()
         try:
-            contract_start = time.perf_counter()
+            contract_start = perf_clock()
             if self.workload.kind == WorkloadKind.EXPECTATION:
                 result.expectation_value = self._reconstructor.reconstruct_expectation(
                     self.workload.observable, table=self._table, missing=self._missing_mode
@@ -607,14 +607,14 @@ class EvaluationSession:
                 result.probabilities = self._reconstructor.reconstruct_probabilities(
                     table=self._table, missing=self._missing_mode
                 )
-            contract_seconds = time.perf_counter() - contract_start
+            contract_seconds = perf_clock() - contract_start
             result.contraction_report = self._reconstructor.last_contraction_report
         finally:
             self._close_window()
 
         reference_seconds = 0.0
         if self.compute_reference:
-            reference_start = time.perf_counter()
+            reference_start = perf_clock()
             if self.workload.kind == WorkloadKind.EXPECTATION:
                 result.reference_expectation = simulate_statevector(
                     self.workload.circuit
@@ -623,7 +623,7 @@ class EvaluationSession:
                 result.reference_probabilities = simulate_statevector(
                     self.workload.circuit
                 ).probabilities()
-            reference_seconds = time.perf_counter() - reference_start
+            reference_seconds = perf_clock() - reference_start
 
         reconstruct_seconds = self._enumerate_seconds + self._fold_seconds + contract_seconds
         result.num_variant_evaluations = self._stats_delta.unique_executions
@@ -673,7 +673,7 @@ class EvaluationSession:
         if self.owns_engine:
             self.engine.close()
 
-    def run(self):
+    def run(self) -> Any:
         """Prepare, consume every round, finish, close; returns the result."""
         try:
             self.prepare()

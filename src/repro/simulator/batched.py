@@ -36,7 +36,7 @@ amplitudes, which is invisible to every output (probabilities are ``|amp|**2``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -72,11 +72,11 @@ _OUTPUT_TAG_PREFIX = "out:"
 #: repeat the same few gates hundreds of times, so interning them here both
 #: removes that cost and lets slot alignment detect shared gates by object
 #: identity.  Entries are never mutated (the kernels only read coefficients).
-_MATRIX_CACHE: Dict[Tuple, np.ndarray] = {}
+_MATRIX_CACHE: Dict[Tuple, np.ndarray] = {}  # qrcclint: disable=mutable-default-arg -- deliberate process-local memo: keyed deterministically, entries immutable once stored, bounded by _MATRIX_CACHE_LIMIT
 _MATRIX_CACHE_LIMIT = 4096
 
 
-def _gate_matrix(op) -> np.ndarray:
+def _gate_matrix(op: Any) -> np.ndarray:
     key = (op.name, op.params)
     matrix = _MATRIX_CACHE.get(key)
     if matrix is None:
@@ -376,7 +376,7 @@ class BatchedStatevector:
         probs = self.probabilities().reshape((batch,) + (2,) * n)
         keep = [1 + n - 1 - q for q in qubits]
         drop = [axis for axis in range(1, n + 1) if axis not in keep]
-        marginal = probs.sum(axis=tuple(drop)) if drop else probs
+        marginal = probs.sum(axis=tuple(drop)) if drop else probs  # qrcclint: disable=unstable-reduction -- diagnostics-only marginal (never enters reconstruction); the bit-exact paths use the per-row 1-D sums below
         # Remaining axes sit in ascending original order; rearrange them to
         # (qubits[m-1], ..., qubits[0]) so qubits[0] flattens to the LSB.
         remaining = sorted(keep)
@@ -391,7 +391,7 @@ class BatchedStatevector:
             transformed = _apply_matrix(
                 transformed, _PAULI_MATRICES[label], (qubit,), self._num_qubits
             )
-        values = np.sum(np.conj(self._data) * transformed, axis=1)
+        values = np.sum(np.conj(self._data) * transformed, axis=1)  # qrcclint: disable=unstable-reduction -- per-row axis-1 sum over contiguous rows: fixed shape and stride for every variant in the batch, matching the scalar path's 1-D np.sum bit for bit
         return term.coefficient * values.real
 
     def expectation(self, observable: PauliObservable) -> np.ndarray:
@@ -608,7 +608,7 @@ def _branch_rows(
     p1 = np.empty(rows)
     # np.add.reduce is what np.sum dispatches to for a 1-D float64 array —
     # bitwise identical, without the np.sum wrapper overhead per row.
-    reduce = np.add.reduce
+    reduce = np.add.reduce  # qrcclint: disable=unstable-reduction -- audited order-fixed: 1-D contiguous float64 rows, where np.add.reduce IS np.sum's kernel (see comment above)
     for row in range(rows):
         p0[row] = reduce(squared0[row])
         p1[row] = reduce(squared1[row])

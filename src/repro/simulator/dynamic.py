@@ -19,7 +19,7 @@ statistical.  A shot-based interface is provided on top for noise/shot experimen
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -147,7 +147,7 @@ class BranchingSimulator:
 
     # ------------------------------------------------------------------ internals
     def _apply_measurement(
-        self, branches: List[Branch], op_index: int, op, num_qubits: int
+        self, branches: List[Branch], op_index: int, op: Any, num_qubits: int
     ) -> List[Branch]:
         qubit = op.qubits[0]
         signed = bool(op.tag) and op.tag.startswith(SIGNED_MEASUREMENT_PREFIX)
@@ -169,7 +169,7 @@ class BranchingSimulator:
                 result.append(child)
         return result
 
-    def _apply_reset(self, branches: List[Branch], op, num_qubits: int) -> List[Branch]:
+    def _apply_reset(self, branches: List[Branch], op: Any, num_qubits: int) -> List[Branch]:
         qubit = op.qubits[0]
         result: List[Branch] = []
         for branch in branches:

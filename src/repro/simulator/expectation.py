@@ -103,7 +103,7 @@ def expectation_from_distribution(
                 )
         term_value = 0.0
         for index, p in enumerate(distribution):
-            if p == 0.0:
+            if p == 0.0:  # qrcclint: disable=float-equality -- exact-zero probability skip; 0.0 entries are assigned, never the result of cancellation
                 continue
             parity = 1
             for qubit, _ in term.paulis:

@@ -46,7 +46,7 @@ def _validated_num_qubits(length: int) -> int:
 
 
 def sample_weighted_counts(
-    weights: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
+    weights: np.ndarray, shots: int, rng: np.random.Generator
 ) -> np.ndarray:
     """Draw ``shots`` multinomial samples from non-negative ``weights``.
 
@@ -54,6 +54,12 @@ def sample_weighted_counts(
     the vector may have any length (it indexes arbitrary outcomes — e.g. the
     branches of a dynamic-circuit simulation — not basis states).  Returns the
     integer count per outcome, summing exactly to ``shots``.
+
+    ``rng`` is required: every draw in this codebase must be derived from
+    explicit seed material (the determinism contract, see
+    ``docs/determinism.md``) — a silent fall-back to OS entropy here would let
+    unseeded sampling slip into reconstruction unnoticed.  Use
+    :func:`sample_circuit` for the seeded one-call convenience path.
     """
     if shots <= 0:
         raise SimulationError(f"shots must be positive, got {shots}")
@@ -62,12 +68,11 @@ def sample_weighted_counts(
     total = weights.sum()
     if total <= 0:
         raise SimulationError("probability vector sums to zero")
-    rng = rng or np.random.default_rng()
     return rng.multinomial(shots, weights / total)
 
 
 def sample_weighted_counts_prefix(
-    weights: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
+    weights: np.ndarray, shots: int, rng: np.random.Generator
 ) -> np.ndarray:
     """Like :func:`sample_weighted_counts`, but *prefix-stable* in ``shots``.
 
@@ -93,7 +98,6 @@ def sample_weighted_counts_prefix(
     total = weights.sum()
     if total <= 0:
         raise SimulationError("probability vector sums to zero")
-    rng = rng or np.random.default_rng()
     cumulative = np.cumsum(weights / total)
     # side="right" maps u in [cum[i-1], cum[i]) to outcome i; zero-weight bins
     # have equal adjacent cumulative entries and are therefore unreachable.
@@ -106,9 +110,13 @@ def sample_weighted_counts_prefix(
 
 
 def sample_counts(
-    probabilities: np.ndarray, shots: int, rng: Optional[np.random.Generator] = None
+    probabilities: np.ndarray, shots: int, rng: np.random.Generator
 ) -> Dict[str, int]:
-    """Draw ``shots`` samples from a probability vector; keys are bitstrings (MSB first)."""
+    """Draw ``shots`` samples from a probability vector; keys are bitstrings (MSB first).
+
+    ``rng`` is required (see :func:`sample_weighted_counts`): draws must be
+    derived from explicit seed material, never from ambient OS entropy.
+    """
     probabilities = np.asarray(probabilities, dtype=float)
     num_qubits = _validated_num_qubits(len(probabilities))
     outcomes = sample_weighted_counts(probabilities, shots, rng)

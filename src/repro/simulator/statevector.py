@@ -28,7 +28,7 @@ __all__ = ["Statevector", "apply_gate", "apply_gate_batch", "simulate_statevecto
 
 _MAX_DENSE_QUBITS = 24
 
-_PAULI_MATRICES = {
+_PAULI_MATRICES = {  # qrcclint: disable=mutable-default-arg -- read-only constant matrices, never written after import
     "X": np.array([[0, 1], [1, 0]], dtype=complex),
     "Y": np.array([[0, -1j], [1j, 0]], dtype=complex),
     "Z": np.array([[1, 0], [0, -1]], dtype=complex),
@@ -240,7 +240,7 @@ class Statevector:
         num_states = 2 ** len(qubits)
         result = np.zeros(num_states)
         for index, p in enumerate(probs):
-            if p == 0.0:
+            if p == 0.0:  # qrcclint: disable=float-equality -- exact-zero probability skip; 0.0 entries are assigned, never the result of cancellation
                 continue
             key = 0
             for position, qubit in enumerate(qubits):

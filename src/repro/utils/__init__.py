@@ -17,6 +17,7 @@ from .pauli import (
     pauli_matrix,
     pauli_string_matrix,
 )
+from .timing import perf_clock
 from .validation import require, require_index, require_positive, require_probability
 
 __all__ = [
@@ -32,6 +33,7 @@ __all__ = [
     "normalize_distribution",
     "pauli_matrix",
     "pauli_string_matrix",
+    "perf_clock",
     "require",
     "require_index",
     "require_positive",

@@ -35,7 +35,7 @@ PAULI_X = np.array([[0.0, 1.0], [1.0, 0.0]], dtype=complex)
 PAULI_Y = np.array([[0.0, -1.0j], [1.0j, 0.0]], dtype=complex)
 PAULI_Z = np.array([[1.0, 0.0], [0.0, -1.0]], dtype=complex)
 
-PAULI_MATRICES: Dict[str, np.ndarray] = {
+PAULI_MATRICES: Dict[str, np.ndarray] = {  # qrcclint: disable=mutable-default-arg -- read-only constant matrices, never written after import
     "I": PAULI_I,
     "X": PAULI_X,
     "Y": PAULI_Y,
@@ -50,7 +50,7 @@ WIRE_CUT_BASES: Tuple[str, ...] = ("I", "X", "Y", "Z")
 #: ``plus_i`` is ``(|0>+i|1>)/sqrt(2)``.
 WIRE_CUT_INIT_STATES: Tuple[str, ...] = ("zero", "one", "plus", "plus_i")
 
-_INIT_VECTORS: Dict[str, np.ndarray] = {
+_INIT_VECTORS: Dict[str, np.ndarray] = {  # qrcclint: disable=mutable-default-arg -- read-only constant vectors, never written after import
     "zero": np.array([1.0, 0.0], dtype=complex),
     "one": np.array([0.0, 1.0], dtype=complex),
     "plus": np.array([1.0, 1.0], dtype=complex) / np.sqrt(2.0),

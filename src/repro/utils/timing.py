@@ -1,0 +1,27 @@
+"""The blessed clock: every stage timing in :mod:`repro` routes through here.
+
+Numeric results must never depend on wall-clock reads — time-dependent
+branches ("fast enough, skip the replan") silently break the serial ==
+parallel bit-identity contract, and scattered ``time.*`` calls make it
+impossible to audit that they don't.  This module is therefore the single
+place in ``src/`` allowed to touch the clock (enforced by qrcclint's
+``wall-clock-in-hot-path`` rule, together with :mod:`repro.service.stopping`,
+which only *consumes* elapsed seconds); everything else imports
+:func:`perf_clock` for stage timing.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["perf_clock"]
+
+
+def perf_clock() -> float:
+    """Monotonic high-resolution clock reading, in seconds.
+
+    A thin wrapper over :func:`time.perf_counter`, kept separate so stage
+    timing has one auditable construction site: results may *report* durations
+    measured with it, but must never branch on them.
+    """
+    return time.perf_counter()

@@ -26,7 +26,7 @@ __all__ = [
     "make_workload",
 ]
 
-_BUILDERS: Dict[str, Callable[..., Workload]] = {
+_BUILDERS: Dict[str, Callable[..., Workload]] = {  # qrcclint: disable=mutable-default-arg -- workload registry written only at import time (register() guards duplicates)
     "QFT": make_qft,
     "AQFT": make_aqft,
     "SPM": make_supremacy,

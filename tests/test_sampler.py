@@ -36,11 +36,11 @@ class TestSampling:
 
     def test_zero_distribution_rejected(self):
         with pytest.raises(SimulationError):
-            sample_counts(np.zeros(4), 10)
+            sample_counts(np.zeros(4), 10, np.random.default_rng(0))
 
     def test_nonpositive_shots_rejected(self):
         with pytest.raises(SimulationError):
-            sample_counts(np.array([1.0]), 0)
+            sample_counts(np.array([1.0]), 0, np.random.default_rng(0))
 
     def test_sample_circuit_unitary_and_dynamic_paths(self):
         unitary = Circuit(2).h(0).cx(0, 1)

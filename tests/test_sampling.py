@@ -44,7 +44,7 @@ class TestSamplerWidthBugfix:
 
     def test_empty_vector_rejected(self):
         with pytest.raises(SimulationError):
-            sample_counts(np.array([]), 10)
+            sample_counts(np.array([]), 10, np.random.default_rng(0))
 
     def test_width_is_exact_for_every_power_of_two(self):
         # int(np.log2(...)) misrounds in corner cases; bit_length never does.

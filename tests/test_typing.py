@@ -1,0 +1,80 @@
+"""The typing gates: strict annotation coverage of the public API surface.
+
+The CI ``static-analysis`` job runs ``mypy`` with the ``[tool.mypy]`` settings
+from ``pyproject.toml``; this module makes the same gate part of the tier-1
+suite.  The mypy run itself is skipped gracefully where mypy is not installed
+(it is a dev dependency, not a runtime one) — but the annotation-coverage
+check below is pure :mod:`ast` and always runs, so a public-API def losing its
+annotations fails the suite even without mypy on the machine.
+"""
+
+import ast
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: Packages held to strict annotation coverage (mirrors the strict override
+#: block in pyproject.toml's [tool.mypy] section).
+STRICT_PACKAGES = ("engine", "service", "cutting", "simulator")
+
+
+def iter_strict_files():
+    for package in STRICT_PACKAGES:
+        yield from sorted((ROOT / "src" / "repro" / package).rglob("*.py"))
+
+
+def unannotated_defs(path: Path):
+    """Every def in ``path`` missing a parameter or return annotation."""
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    problems = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        arguments = node.args
+        named = arguments.posonlyargs + arguments.args + arguments.kwonlyargs
+        missing = [
+            argument.arg
+            for argument in named
+            if argument.annotation is None and argument.arg not in ("self", "cls")
+        ]
+        if arguments.vararg is not None and arguments.vararg.annotation is None:
+            missing.append("*" + arguments.vararg.arg)
+        if arguments.kwarg is not None and arguments.kwarg.annotation is None:
+            missing.append("**" + arguments.kwarg.arg)
+        if missing or node.returns is None:
+            problems.append(
+                f"{path.relative_to(ROOT)}:{node.lineno} {node.name}"
+                f" (args: {missing or 'ok'}, return: "
+                f"{'missing' if node.returns is None else 'ok'})"
+            )
+    return problems
+
+
+def test_public_api_defs_are_fully_annotated():
+    problems = []
+    for path in iter_strict_files():
+        problems.extend(unannotated_defs(path))
+    assert not problems, "unannotated public-API defs:\n" + "\n".join(problems)
+
+
+def test_mypy_config_pins_the_strict_packages():
+    config = (ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    assert "[tool.mypy]" in config
+    for package in STRICT_PACKAGES:
+        assert f'"repro.{package}.*"' in config, f"repro.{package} missing from mypy overrides"
+    assert "disallow_untyped_defs = true" in config
+
+
+def test_mypy_passes_on_the_public_api():
+    pytest.importorskip("mypy", reason="mypy is a dev dependency; CI installs it")
+    result = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file", str(ROOT / "pyproject.toml")],
+        capture_output=True,
+        text=True,
+        cwd=ROOT,
+    )
+    assert result.returncode == 0, result.stdout + result.stderr

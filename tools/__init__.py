@@ -1,0 +1,1 @@
+"""Repository tooling: documentation gates, benchmark gates and the qrcclint linter."""

@@ -18,10 +18,22 @@ import importlib
 import inspect
 import re
 import sys
+from pathlib import Path
 from typing import List
 
+# tools.qrcclint lives at the repo root (not under src/); make it importable
+# however this script is invoked.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
 #: Modules whose ``__all__`` must be fully documented.
-MODULES = ("repro", "repro.engine", "repro.cutting", "repro.core", "repro.service")
+MODULES = (
+    "repro",
+    "repro.engine",
+    "repro.cutting",
+    "repro.core",
+    "repro.service",
+    "tools.qrcclint",
+)
 
 #: (module, name): every parameter of these callables/classes must appear in
 #: their docstring (class doc + __init__ doc for classes).
@@ -41,6 +53,10 @@ FLAGSHIP = (
     ("repro.service", "ServiceQueue"),
     ("repro.service", "StreamingConfig"),
     ("repro.service", "StoppingRule"),
+    ("repro.engine", "build_cache_key"),
+    ("repro.engine", "build_cache_namespace"),
+    ("tools.qrcclint", "lint_source"),
+    ("tools.qrcclint", "lint_paths"),
 )
 
 #: Parameters that never need prose (self/cls and private underscore args).

@@ -1,0 +1,60 @@
+"""qrcclint: AST-based determinism & concurrency invariant checker for this repo.
+
+The performance stack (batched kernels, sharded contraction, prefix-stable
+streaming, dynamic definition) rests on invariants that plain tests only spot
+check: all randomness fingerprint-seeded, kernel reduction orders pinned,
+wall-clock reads confined to the timing/stopping modules, no ambient mutable
+state, no float equality, cache keys routed through the blessed builders.
+qrcclint machine-checks them on every commit — statically, via :mod:`ast`,
+without ever importing the checked code.
+
+Usage::
+
+    python -m tools.qrcclint src tools benchmarks          # lint, exit 1 on findings
+    python -m tools.qrcclint --list-rules                  # show the rule registry
+
+Deliberate exceptions are sanctioned in place, never by weakening a rule::
+
+    seed = int(np.random.SeedSequence().entropy)  # qrcclint: disable=unseeded-randomness -- <why>
+
+See ``docs/determinism.md`` for the invariant catalogue each rule enforces.
+"""
+
+from .cli import lint_paths, main
+from .engine import (
+    BAD_SANCTION,
+    FileContext,
+    Finding,
+    Rule,
+    Sanction,
+    collect_sanctions,
+    lint_source,
+)
+from .rules import (
+    RULES,
+    BareCacheKey,
+    FloatEquality,
+    MutableDefaultArg,
+    UnseededRandomness,
+    UnstableReduction,
+    WallClockInHotPath,
+)
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "Sanction",
+    "RULES",
+    "BAD_SANCTION",
+    "collect_sanctions",
+    "lint_source",
+    "lint_paths",
+    "main",
+    "UnseededRandomness",
+    "UnstableReduction",
+    "WallClockInHotPath",
+    "MutableDefaultArg",
+    "FloatEquality",
+    "BareCacheKey",
+]

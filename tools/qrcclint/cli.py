@@ -1,0 +1,100 @@
+"""qrcclint command line: walk paths, lint every ``.py`` file, report findings.
+
+Paths are linted relative to the repository root (the current working
+directory), because rule scopes are expressed as repo-relative prefixes such
+as ``src/repro/...``; run from the root, as CI does::
+
+    python -m tools.qrcclint src tools benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .engine import Finding, lint_source
+from .rules import RULES
+
+__all__ = ["lint_paths", "iter_python_files", "main"]
+
+#: Directory names never descended into.
+_SKIPPED_DIRS = {"__pycache__", ".git", "results", ".hypothesis"}
+
+
+def iter_python_files(paths: Iterable[Path]) -> List[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted, deduped."""
+    found = set()
+    for path in paths:
+        if path.is_file() and path.suffix == ".py":
+            found.add(path)
+        elif path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIPPED_DIRS.intersection(candidate.parts):
+                    found.add(candidate)
+    return sorted(found)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    root: Optional[Path] = None,
+    selected: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint every python file under ``paths``; returns all surviving findings.
+
+    ``root`` (default: the current working directory) anchors the repo-relative
+    posix paths that rule scopes match on.  ``selected`` restricts the run to
+    the named rules (all rules when ``None``).
+    """
+    root = (root or Path.cwd()).resolve()
+    findings: List[Finding] = []
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        resolved = file_path.resolve()
+        try:
+            relative = resolved.relative_to(root).as_posix()
+        except ValueError:
+            relative = file_path.as_posix()
+        source = resolved.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, relative, RULES, selected=selected))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code (nonzero on findings)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.qrcclint",
+        description="AST-based determinism & concurrency invariant checker.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "tools", "benchmarks"],
+        help="files or directories to lint (default: src tools benchmarks)",
+    )
+    parser.add_argument(
+        "--select",
+        help="comma-separated rule names to run (default: every rule)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the rule registry and exit"
+    )
+    arguments = parser.parse_args(argv)
+    if arguments.list_rules:
+        width = max(len(rule.name) for rule in RULES)
+        for rule in RULES:
+            print(f"{rule.name:<{width}}  {rule.description}")
+        return 0
+    selected = None
+    if arguments.select:
+        selected = [name.strip() for name in arguments.select.split(",") if name.strip()]
+        known = {rule.name for rule in RULES}
+        unknown = sorted(set(selected) - known)
+        if unknown:
+            parser.error(f"unknown rule(s): {', '.join(unknown)}")
+    findings = lint_paths([Path(p) for p in arguments.paths], selected=selected)
+    for finding in findings:
+        print(finding.format())
+    if findings:
+        print(f"qrcclint: {len(findings)} finding(s)")
+        return 1
+    print("qrcclint: clean")
+    return 0

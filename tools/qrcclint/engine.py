@@ -1,0 +1,298 @@
+"""The qrcclint core: findings, rules, sanction comments and the lint runner.
+
+qrcclint is a *static* checker: it parses files with :mod:`ast` and never
+imports the code under analysis, so linting cannot execute side effects and
+works on files that would fail to import (missing optional dependencies,
+platform guards).  Each rule inspects one parsed file at a time and yields
+:class:`Finding` records; the runner collects them, applies sanction comments
+and reports what survives.
+
+Sanction comments
+-----------------
+
+A finding is suppressed by an explicit, justified sanction comment::
+
+    marginal = probs.sum(axis=1)  # qrcclint: disable=unstable-reduction -- row order is fixed
+
+The justification after ``--`` is mandatory: a bare ``disable=`` is itself
+reported (rule ``bad-sanction``), as is a disable naming a rule that does not
+exist — silent or typo'd sanctions must never rot into false security.  A
+sanction placed on a ``def``/``class`` line sanctions the whole body for the
+named rules (used for kernels whose entire reduction strategy is documented as
+order-fixed); anywhere else it sanctions the statement it is attached to,
+including continuation lines of multi-line statements.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import PurePosixPath
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Finding",
+    "FileContext",
+    "Rule",
+    "Sanction",
+    "collect_sanctions",
+    "lint_source",
+    "BAD_SANCTION",
+]
+
+#: Pseudo-rule under which malformed or unknown-rule sanction comments are
+#: reported.  It cannot itself be disabled.
+BAD_SANCTION = "bad-sanction"
+
+#: Sanction comment grammar: the disable list plus a mandatory justification
+#: separated by ``--`` (see the module docstring for the full form).
+_SANCTION_RE = re.compile(
+    r"#\s*qrcclint:\s*disable="
+    r"(?P<rules>[A-Za-z0-9_\-]*(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule violation (or a malformed sanction) at a location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        """Render as ``path:line: [rule] message`` (the CLI's output line)."""
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass(frozen=True)
+class Sanction:
+    """A parsed ``# qrcclint: disable=...`` comment."""
+
+    line: int
+    rules: Tuple[str, ...]
+    justification: str
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one file: path, source and AST."""
+
+    path: str
+    source: str
+    tree: ast.Module
+    posix: PurePosixPath = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.posix = PurePosixPath(self.path)
+
+    def finding(self, rule: "Rule", node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` for ``rule`` anchored at ``node``'s first line."""
+        return Finding(rule.name, self.path, getattr(node, "lineno", 1), message)
+
+
+class Rule:
+    """Base class for qrcclint rules.
+
+    Subclasses set ``name`` (the CLI/sanction identifier) and ``description``
+    (one line, shown by ``--list-rules``), optionally narrow ``applies_to``,
+    and implement :meth:`check` yielding findings for one parsed file.
+    """
+
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, path: PurePosixPath) -> bool:
+        """Whether this rule runs on ``path`` (a repo-relative posix path)."""
+        return True
+
+    def check(self, context: FileContext) -> Iterator[Finding]:
+        """Yield findings for one file.  Must not import the checked code."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+
+def collect_sanctions(
+    source: str, path: str, known_rules: Iterable[str]
+) -> Tuple[List[Sanction], List[Finding]]:
+    """Parse sanction comments out of ``source``.
+
+    Returns the valid sanctions plus ``bad-sanction`` findings for comments
+    with a missing justification, an empty rule list, or an unknown rule name.
+    Comments are located with :mod:`tokenize`, so a ``# qrcclint:`` sequence
+    inside a string literal is never misread as a sanction.
+    """
+    known = set(known_rules)
+    sanctions: List[Sanction] = []
+    problems: List[Finding] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenError:
+        return sanctions, problems
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        comment = token.string.strip()
+        # Only the directive marker (the tool name immediately followed by a
+        # colon) makes a comment a sanction candidate — prose comments that
+        # merely mention the tool by name are left alone.
+        if "qrcclint" + ":" not in comment:
+            continue
+        match = _SANCTION_RE.search(comment)
+        line = token.start[0]
+        if match is None:
+            problems.append(
+                Finding(
+                    BAD_SANCTION,
+                    path,
+                    line,
+                    "unrecognised qrcclint comment; expected "
+                    "'# qrcclint: disable=<rule>[,<rule>...] -- <justification>'",
+                )
+            )
+            continue
+        names = tuple(name.strip() for name in match.group("rules").split(",") if name.strip())
+        justification = (match.group("why") or "").strip()
+        if not names:
+            problems.append(
+                Finding(BAD_SANCTION, path, line, "sanction comment disables no rules")
+            )
+            continue
+        unknown = [name for name in names if name not in known]
+        if unknown:
+            problems.append(
+                Finding(
+                    BAD_SANCTION,
+                    path,
+                    line,
+                    f"sanction names unknown rule(s): {', '.join(sorted(unknown))}",
+                )
+            )
+            continue
+        if not justification:
+            problems.append(
+                Finding(
+                    BAD_SANCTION,
+                    path,
+                    line,
+                    f"sanction for {', '.join(names)} is missing its mandatory "
+                    "justification ('-- <reason>')",
+                )
+            )
+            continue
+        sanctions.append(Sanction(line, names, justification))
+    return sanctions, problems
+
+
+def _statement_spans(tree: ast.Module) -> List[Tuple[int, int, bool]]:
+    """(first_line, last_line, is_scope) spans used to scope sanctions.
+
+    ``is_scope`` marks function/class definitions: a sanction on their header
+    line covers the whole body.  Other statements cover only their own lines,
+    so a sanction on any physical line of a multi-line statement applies to
+    that statement.
+    """
+    simple = (
+        ast.Assign,
+        ast.AnnAssign,
+        ast.AugAssign,
+        ast.Expr,
+        ast.Return,
+        ast.Raise,
+        ast.Assert,
+        ast.Delete,
+        ast.Import,
+        ast.ImportFrom,
+    )
+    spans: List[Tuple[int, int, bool]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            spans.append((node.lineno, node.end_lineno or node.lineno, True))
+        elif isinstance(node, simple):
+            # Only simple statements span multiple lines for sanction purposes;
+            # a sanction inside an if/for body must not cover the whole block.
+            spans.append((node.lineno, node.end_lineno or node.lineno, False))
+    return spans
+
+
+def _suppressed(
+    finding: Finding,
+    sanctions: Sequence[Sanction],
+    spans: Sequence[Tuple[int, int, bool]],
+) -> bool:
+    for sanction in sanctions:
+        if finding.rule not in sanction.rules:
+            continue
+        if sanction.line == finding.line:
+            return True
+        for first, last, is_scope in spans:
+            if not first <= sanction.line <= last:
+                continue
+            if is_scope and first == sanction.line and first <= finding.line <= last:
+                # Sanction on a def/class header line covers the whole body.
+                return True
+            if not is_scope and first <= finding.line <= last:
+                # Sanction on a continuation line of the same statement.
+                return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule],
+    selected: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one file's source text; returns surviving findings (sorted by line).
+
+    ``path`` is the repo-relative posix path the rules scope on (fixtures pass
+    synthetic paths such as ``"src/repro/x.py"`` to opt into a rule's scope);
+    ``selected`` restricts the run to the named rules (all of ``rules`` when
+    ``None``).
+    Syntax errors are reported as a single ``bad-sanction``-style finding under
+    the pseudo-rule ``"syntax-error"`` rather than raised, so one broken file
+    cannot hide the rest of a run.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        return [Finding("syntax-error", path, error.lineno or 1, f"cannot parse: {error.msg}")]
+    names = [rule.name for rule in rules]
+    sanctions, problems = collect_sanctions(source, path, names)
+    wanted = set(selected) if selected is not None else None
+    context = FileContext(path=path, source=source, tree=tree)
+    findings: List[Finding] = list(problems)
+    spans = _statement_spans(tree)
+    posix = context.posix
+    for rule in rules:
+        if wanted is not None and rule.name not in wanted:
+            continue
+        if not rule.applies_to(posix):
+            continue
+        for finding in rule.check(context):
+            if not _suppressed(finding, sanctions, spans):
+                findings.append(finding)
+    findings.sort(key=lambda finding: (finding.line, finding.rule))
+    return findings
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, or None for anything dynamic."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_keywords(node: ast.Call) -> Dict[str, ast.expr]:
+    """Keyword arguments of a call by name (``**kwargs`` entries excluded)."""
+    return {kw.arg: kw.value for kw in node.keywords if kw.arg is not None}
