@@ -76,13 +76,10 @@ def _evaluate(
         max_subcircuits=3,
         time_limit=SOLVER_TIME_LIMIT,
     )
-    return evaluate_workload(
-        workload,
-        config,
-        devices=devices,
-        routing=routing if devices is not None else None,
-        engine_config=EngineConfig(max_workers=jobs, backend=bench_backend()),
-    )
+    engine_config = EngineConfig(max_workers=jobs, backend=bench_backend(), devices=devices)
+    if devices is not None:
+        engine_config = engine_config.with_(routing=routing)
+    return evaluate_workload(workload, config, engine_config=engine_config)
 
 
 def sweep_width(

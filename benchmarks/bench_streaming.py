@@ -75,35 +75,29 @@ def generate_streaming_rows(
     """One row per seed: batch vs run-to-completion identity, early-stop savings."""
     workload = ring_qaoa_workload(num_qubits)
     config = CutConfig(device_size=DEVICE_SIZE)
-    engine_config = EngineConfig(max_workers=jobs)
 
     rows: List[Dict[str, object]] = []
     for seed in range(num_seeds):
-        batch = evaluate_workload(
-            workload, config, shots=budget, seed=seed, engine_config=engine_config
-        )
+        engine_config = EngineConfig(max_workers=jobs, shots=budget, seed=seed)
+        batch = evaluate_workload(workload, config, engine_config=engine_config)
         # Identity leg: same budget, same seed, consumed in rounds.  Re-planning
         # is deliberately off — it changes which variant gets which shot.
         complete = evaluate_workload(
             workload,
             config,
-            shots=budget,
-            seed=seed,
-            engine_config=engine_config,
-            streaming=StreamingConfig(rounds=4),
+            engine_config=engine_config.with_(streaming=StreamingConfig(rounds=4)),
         )
         # Early-termination leg: stop once the interval reaches the target.
         stopped = evaluate_workload(
             workload,
             config,
-            shots=budget,
-            seed=seed,
-            engine_config=engine_config,
-            streaming=StreamingConfig(rounds=rounds, replan=replan),
-            stopping=StoppingRule(
-                target_half_width=target_half_width,
-                confidence=confidence,
-                max_rounds=rounds,
+            engine_config=engine_config.with_(
+                streaming=StreamingConfig(rounds=rounds, replan=replan),
+                stopping=StoppingRule(
+                    target_half_width=target_half_width,
+                    confidence=confidence,
+                    max_rounds=rounds,
+                ),
             ),
         )
         rows.append(

@@ -70,6 +70,12 @@ DEFAULT_DEVICE_WIDTHS = os.environ.get("QRCC_BENCH_DEVICE_WIDTHS", "")
 #: Default streaming round count (``--rounds`` / ``QRCC_BENCH_ROUNDS``).
 DEFAULT_ROUNDS = int(os.environ.get("QRCC_BENCH_ROUNDS", "8"))
 
+#: Default sampling-overhead optimization mode (``--optimize-overhead`` /
+#: ``QRCC_BENCH_OVERHEAD``): "none" (today's pipeline, bit-identical) or
+#: "weights" (per-cut measurement/preparation basis weights minimizing the
+#: modelled sampling variance; config-only, no evaluate_workload keyword).
+DEFAULT_OPTIMIZE_OVERHEAD = os.environ.get("QRCC_BENCH_OVERHEAD", "none")
+
 
 def add_engine_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
     """Attach the shared execution-engine options to a benchmark CLI parser."""
@@ -202,6 +208,20 @@ def add_streaming_arguments(parser: argparse.ArgumentParser) -> argparse.Argumen
         help="re-split each round's chunk budget from observed variances "
         "(Neyman) instead of keeping the up-front plan; forfeits "
         "bit-identity with the batch path",
+    )
+    return parser
+
+
+def add_overhead_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the shared sampling-overhead optimization option to a CLI parser."""
+    parser.add_argument(
+        "--optimize-overhead",
+        choices=("none", "weights"),
+        default=DEFAULT_OPTIMIZE_OVERHEAD,
+        help="minimize the modelled sampling overhead by reweighting each "
+        "cut's free measurement/preparation bases before allocation: 'none' "
+        "(bit-identical to the unoptimized pipeline) or 'weights' (default "
+        "from QRCC_BENCH_OVERHEAD or none)",
     )
     return parser
 

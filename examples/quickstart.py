@@ -8,19 +8,27 @@ reconstructed classically and compared against the uncut statevector simulation.
 
 A second pass then re-runs the same evaluation the way real hardware would see
 it: a finite total shot budget split across the variants by the variance-aware
-allocator (``shots`` / ``allocation`` / ``seed``), with the small-|weight|
-variant tail pruned away first (``pruning`` — truncated contraction with an
-a-priori bias bound).  A third pass streams the same budget in cumulative
-rounds and lets a confidence-interval stopping rule terminate early once the
-answer is pinned down (``streaming`` / ``stopping``).  See docs/engine.md for
-all three subsystems.
+allocator (``EngineConfig.shots`` / ``allocation`` / ``seed``), with the
+small-|weight| variant tail pruned away first (``pruning`` — truncated
+contraction with an a-priori bias bound).  A third pass streams the same budget
+in cumulative rounds and lets a confidence-interval stopping rule terminate
+early once the answer is pinned down (``streaming`` / ``stopping``).  Every
+engine knob lives on one typed request object — :class:`repro.EngineConfig` —
+passed as ``engine_config=``.  See docs/engine.md for all three subsystems.
 
 Run with:  PYTHONPATH=src python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import CutConfig, PruningPolicy, StoppingRule, StreamingConfig, evaluate_workload
+from repro import (
+    CutConfig,
+    EngineConfig,
+    PruningPolicy,
+    StoppingRule,
+    StreamingConfig,
+    evaluate_workload,
+)
 from repro.workloads import make_regular_qaoa
 
 
@@ -67,10 +75,12 @@ def main() -> None:
     sampled = evaluate_workload(
         workload,
         config,
-        shots=32768,
-        allocation="variance",
-        seed=7,
-        pruning=PruningPolicy.budget_fraction(0.01),
+        engine_config=EngineConfig(
+            shots=32768,
+            allocation="variance",
+            seed=7,
+            pruning=PruningPolicy.budget_fraction(0.01),
+        ),
     )
     allocation = sampled.shot_allocation
     report = sampled.pruning_report
@@ -99,10 +109,12 @@ def main() -> None:
     streamed = evaluate_workload(
         workload,
         config,
-        shots=32768,
-        seed=7,
-        streaming=StreamingConfig(rounds=16),
-        stopping=StoppingRule(target_half_width=0.75, max_rounds=16),
+        engine_config=EngineConfig(
+            shots=32768,
+            seed=7,
+            streaming=StreamingConfig(rounds=16),
+            stopping=StoppingRule(target_half_width=0.75, max_rounds=16),
+        ),
     )
 
     print("\n--- streaming + early termination ---")

@@ -37,6 +37,7 @@ from .core import (
     cut_circuit_cutqc,
     evaluate_workload,
 )
+from .cutting import OverheadReport, optimize_overhead_weights
 from .engine import (
     DeviceFarm,
     DeviceSpec,
@@ -92,6 +93,7 @@ __all__ = [
     "InfeasibleError",
     "InfeasibleVariantError",
     "ModelError",
+    "OverheadReport",
     "ParallelEngine",
     "PruningError",
     "PruningPolicy",
@@ -114,5 +116,6 @@ __all__ = [
     "cut_circuit",
     "cut_circuit_cutqc",
     "evaluate_workload",
+    "optimize_overhead_weights",
     "prune_requests",
 ]

@@ -13,8 +13,9 @@ This is the main public entry point of the library:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +24,7 @@ from ..cutting import (
     ContractionReport,
     CutReconstructor,
     CutSolution,
+    DynamicDefinitionResult,
     SamplingExecutor,
     SubcircuitSpec,
     VariantExecutor,
@@ -30,6 +32,7 @@ from ..cutting import (
     extract_subcircuits,
     postprocessing_cost,
 )
+from ..cutting.shot_overhead import OverheadReport
 from ..engine import (
     ALLOCATION_POLICIES,
     DeviceSpec,
@@ -43,13 +46,18 @@ from ..engine import (
     allocate_shots,
     prune_requests,
 )
-from ..exceptions import CuttingError
+from ..exceptions import ConfigError, CuttingError
 from ..simulator import simulate_statevector
 from ..utils.timing import perf_clock
 from ..workloads import Workload, WorkloadKind
 from .config import CutConfig
 from .formulation import CuttingFormulation
 from .greedy import GreedyCutter
+
+if TYPE_CHECKING:
+    # repro.service layers *above* this module (the session subsumes the old
+    # pipeline body); importing it at runtime would be circular.
+    from ..service.stopping import StoppingRule, StreamingConfig
 
 __all__ = ["CutPlan", "EvaluationResult", "cut_circuit", "cut_circuit_cutqc", "evaluate_workload"]
 
@@ -156,7 +164,11 @@ class EvaluationResult:
     ``pruning_report`` records the truncated-contraction pass (variants kept vs
     dropped and the a-priori ``bias_bound`` on the induced reconstruction error)
     when the evaluation ran with a pruning policy; ``None`` when
-    ``pruning="none"``.
+    ``pruning="none"``.  ``overhead_report`` records the cut-parameter
+    sampling-overhead optimization (pre/post overhead, optimizer iterations,
+    per-cut basis-weight breakdown — see :mod:`repro.cutting.shot_overhead`)
+    when the evaluation ran with ``EngineConfig(optimize_overhead="weights")``;
+    ``None`` with the default ``"none"`` mode.
 
     The streaming service (see :mod:`repro.service`) adds its own fields:
     ``rounds`` (sampling rounds executed; ``1`` on the batch path),
@@ -176,7 +188,7 @@ class EvaluationResult:
     plan: CutPlan
     expectation_value: Optional[float] = None
     probabilities: Optional[np.ndarray] = None
-    dynamic_result: Optional[object] = None
+    dynamic_result: Optional[DynamicDefinitionResult] = None
     reference_expectation: Optional[float] = None
     reference_probabilities: Optional[np.ndarray] = None
     num_variant_evaluations: int = 0
@@ -184,6 +196,7 @@ class EvaluationResult:
     engine_stats: Optional[EngineStats] = None
     shot_allocation: Optional[ShotAllocation] = None
     pruning_report: Optional[PruningReport] = None
+    overhead_report: Optional[OverheadReport] = None
     contraction_report: Optional[ContractionReport] = None
     rounds: int = 1
     shots_spent: int = 0
@@ -264,6 +277,9 @@ class EvaluationResult:
             "pruning_report": None
             if self.pruning_report is None
             else self.pruning_report.row(),
+            "overhead_report": None
+            if self.overhead_report is None
+            else self.overhead_report.row(),
             "rounds": self.rounds,
             "shots_spent": self.shots_spent,
             "termination_reason": self.termination_reason,
@@ -271,7 +287,7 @@ class EvaluationResult:
             "confidence": self.confidence,
         }
 
-    def to_json(self, **dumps_kwargs) -> str:
+    def to_json(self, **dumps_kwargs: Any) -> str:
         """Serialise :meth:`to_dict` to a JSON string.
 
         Args:
@@ -345,7 +361,7 @@ def cut_circuit(
     )
 
 
-def cut_circuit_cutqc(circuit: Circuit, config: CutConfig, **kwargs) -> CutPlan:
+def cut_circuit_cutqc(circuit: Circuit, config: CutConfig, **kwargs: Any) -> CutPlan:
     """The CutQC baseline: wire cutting only, no qubit reuse, MIP-style width model.
 
     Args:
@@ -371,6 +387,68 @@ def cut_circuit_cutqc(circuit: Circuit, config: CutConfig, **kwargs) -> CutPlan:
     return cut_circuit(circuit, baseline, enable_reuse_extraction=False, **kwargs)
 
 
+#: The engine-level keywords :func:`evaluate_workload` still accepts as
+#: deprecated aliases of the same-named :class:`~repro.engine.EngineConfig`
+#: fields (the config is the single source of truth).
+_DEPRECATED_ENGINE_KWARGS: Tuple[str, ...] = (
+    "shots",
+    "allocation",
+    "seed",
+    "pruning",
+    "devices",
+    "routing",
+    "streaming",
+    "stopping",
+    "qubit_limit",
+    "recursion_depth",
+)
+
+#: Field defaults the conflict check compares against (an EngineConfig carrying
+#: only defaults is silent on every knob, so a kwarg never conflicts with it).
+_CONFIG_DEFAULTS = EngineConfig()
+
+
+def _check_deprecated_kwargs(supplied: Dict[str, Any], resolved: EngineConfig) -> None:
+    """Warn on each legacy engine kwarg; reject kwarg-vs-config conflicts.
+
+    Every non-``None`` entry of ``supplied`` emits a :class:`DeprecationWarning`
+    naming the :class:`~repro.engine.EngineConfig` field that replaces it.  A
+    kwarg whose config field is still at its default simply applies (the config
+    is silent on that knob); a kwarg that *disagrees* with an explicitly
+    configured field raises :class:`~repro.exceptions.ConfigError` — silently
+    preferring either side would make the other a lie.
+    """
+    for name, value in supplied.items():
+        if value is None:
+            continue
+        warnings.warn(
+            f"evaluate_workload(..., {name}=...) is deprecated; set "
+            f"EngineConfig({name}=...) and pass it as engine_config (or on the "
+            "supplied engine) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        configured: Any = getattr(resolved, name)
+        default: Any = getattr(_CONFIG_DEFAULTS, name)
+        comparable: Any = value
+        if name == "pruning":
+            # Policy names and PruningPolicy instances must compare by meaning
+            # ("none" == PruningPolicy.none()), not by representation.
+            configured = PruningPolicy.resolve(configured)
+            default = PruningPolicy.resolve(default)
+            comparable = PruningPolicy.resolve(value)
+        elif name == "devices":
+            comparable = tuple(value)
+        if configured == default:
+            continue
+        if configured != comparable:
+            raise ConfigError(
+                f"{name} is set both as a deprecated keyword ({value!r}) and on "
+                f"the EngineConfig ({getattr(resolved, name)!r}) with different "
+                "values; drop the keyword and keep the config"
+            )
+
+
 def evaluate_workload(
     workload: Workload,
     config: CutConfig,
@@ -383,11 +461,11 @@ def evaluate_workload(
     shots: Optional[int] = None,
     allocation: Optional[str] = None,
     seed: Optional[int] = None,
-    pruning: Optional[object] = None,
+    pruning: Union[None, str, PruningPolicy] = None,
     devices: Optional[Sequence[DeviceSpec]] = None,
     routing: Optional[str] = None,
-    streaming: Optional[object] = None,
-    stopping: Optional[object] = None,
+    streaming: Optional[StreamingConfig] = None,
+    stopping: Optional[StoppingRule] = None,
     qubit_limit: Optional[int] = None,
     recursion_depth: Optional[int] = None,
 ) -> EvaluationResult:
@@ -399,11 +477,22 @@ def evaluate_workload(
     can be reported.  ``force_ilp`` / ``force_greedy`` select the cut-search
     method exactly as in :func:`cut_circuit`.
 
+    Everything about *how* variants execute lives on a single typed request
+    object: :class:`~repro.engine.EngineConfig`.  Pass it as ``engine_config``
+    (a per-call engine is built around ``executor`` and closed afterwards) or
+    construct a shared :class:`~repro.engine.ParallelEngine` from it and pass
+    ``engine`` (its pool and result cache survive across calls; mutually
+    exclusive with ``executor``/``engine_config``).  ``num_variant_evaluations``,
+    ``timings`` and ``engine_stats`` are all per-call numbers, so a shared
+    engine still yields per-workload values (its cumulative lifetime view
+    stays available as ``engine.stats``).
+
     Returns:
         An :class:`EvaluationResult`: the :class:`CutPlan`, the reconstructed
         value/distribution (and reference, when computed), the dedup-aware
         variant-execution count, per-stage timings, engine stats, and the shot
-        allocation / pruning report when those passes ran.
+        allocation / pruning / overhead-optimization reports when those passes
+        ran.
 
     Example::
 
@@ -411,87 +500,87 @@ def evaluate_workload(
                                    CutConfig(device_size=5, enable_gate_cuts=True))
         assert result.expectation_error < 1e-8
 
-    Variant execution is batched through a :class:`~repro.engine.ParallelEngine`:
-    pass ``engine`` to reuse one (its pool and result cache survive across calls),
-    or ``engine_config`` (e.g. ``EngineConfig(max_workers=4)``) to have one built
-    around ``executor`` for this evaluation.  ``num_variant_evaluations``,
-    ``timings`` and ``engine_stats`` are all per-call numbers, so a shared
-    engine still yields per-workload values (its cumulative lifetime view
-    stays available as ``engine.stats``).
+        # Finite-shot, seeded, variance-allocated — all on the config:
+        result = evaluate_workload(
+            workload, cut_config,
+            engine_config=EngineConfig(shots=4096, seed=7, allocation="variance"),
+        )
 
-    Finite-shot evaluation: pass ``shots`` (or set ``EngineConfig.shots``) to
-    estimate every subcircuit variant from samples instead of exactly.  The
-    budget is split across the enumerated variant batch by ``allocation``
-    (``"uniform"``, ``"weighted"`` or ``"variance"``; defaults to the engine
-    config's policy) and executed through a
-    :class:`~repro.cutting.sampling.SamplingExecutor`, built here with ``seed``
-    when no executor/engine is supplied.  At a fixed seed the result is
-    bit-identical for any ``max_workers``; the chosen policy and per-variant
-    shot counts are reported in ``result.shot_allocation``.  A shared engine is
-    safe to use from several threads for *exact* evaluations; finite-shot
-    evaluations apply a per-evaluation allocation to the shared executor, so
-    concurrent ``shots=...`` calls on one engine race on that state — give each
-    thread its own engine when sampling.
+    The engine-level knobs, all fields of :class:`~repro.engine.EngineConfig`:
 
-    Variant pruning (truncated contraction): pass ``pruning`` (a policy name or
-    a :class:`~repro.engine.PruningPolicy`; or set ``EngineConfig.pruning``) to
-    drop the small-|contraction-weight| tail of the enumerated batch before
-    execution.  Only the surviving variants are executed (and, under ``shots``,
-    the budget is renormalised over the survivors and still spent exactly);
-    phase-two contraction skips the missing variants, which contribute exactly
-    zero.  The induced bias is bounded a priori by
-    ``result.pruning_report.bias_bound``.  See :mod:`repro.engine.pruning`.
+    * ``shots`` + ``allocation`` + ``seed`` — finite-shot evaluation: estimate
+      every subcircuit variant from samples through a
+      :class:`~repro.cutting.sampling.SamplingExecutor` (built here, seeded
+      with ``seed``, when no executor/engine is supplied), the budget split
+      across the enumerated batch by ``allocation`` (``"uniform"``,
+      ``"weighted"`` or ``"variance"``).  At a fixed seed the result is
+      bit-identical for any ``max_workers``; the split is reported on
+      ``result.shot_allocation``.  Concurrent ``shots`` evaluations on one
+      shared engine race on the executor's allocation state — give each thread
+      its own engine when sampling.  See :mod:`repro.engine.allocation`.
+    * ``optimize_overhead`` — cut-parameter sampling-overhead minimization
+      (``"weights"``): optimize the free measurement/preparation basis weights
+      at every cut and feed the reduced-variance per-variant weights to the
+      shot allocator, the pruning ranking and the streaming re-planner; the
+      pass is reported on ``result.overhead_report``.  ``"none"`` (the
+      default) is bit-identical to the pre-optimizer pipeline.  Config-only —
+      there is deliberately no keyword alias.  See
+      :mod:`repro.cutting.shot_overhead`.
+    * ``pruning`` — truncated contraction: drop the small-|contraction-weight|
+      tail of the enumerated batch before execution (a policy name or a
+      :class:`~repro.engine.PruningPolicy`); survivors keep the whole shot
+      budget, contraction skips the dropped variants, and the induced bias is
+      bounded a priori by ``result.pruning_report.bias_bound``.  See
+      :mod:`repro.engine.pruning`.
+    * ``devices`` + ``routing`` — a farm of width-limited
+      :class:`~repro.engine.DeviceSpec` backends; every variant is routed to a
+      device it fits on (``"round_robin"``, ``"least_loaded"`` or
+      ``"best_fit"``), a variant wider than every device raises
+      :class:`~repro.exceptions.InfeasibleVariantError` up front, and
+      per-device utilization lands on ``result.device_utilization``.  Like
+      ``seed``, these configure the engine built here — a supplied ``engine``
+      carries its own farm.  See :mod:`repro.engine.devices`.
+    * ``streaming`` + ``stopping`` — consume the shot budget in cumulative
+      rounds (:class:`~repro.service.StreamingConfig`) with an optional
+      early-termination rule (:class:`~repro.service.StoppingRule`) checked on
+      the running confidence interval; both require ``shots``.  Run to
+      completion, streaming reproduces the batch result bit for bit; an early
+      stop reports ``result.rounds`` / ``result.shots_spent`` /
+      ``result.termination_reason`` / ``result.half_width`` /
+      ``result.confidence``.  This function is a thin wrapper over
+      :class:`repro.service.EvaluationSession` — drive rounds manually there.
+    * ``qubit_limit`` + ``recursion_depth`` — dynamic-definition
+      reconstruction for probability workloads: never materialise the
+      ``2**n`` vector, contract into at most ``2**qubit_limit`` bins per
+      recursion level and zoom into the heavy bins; the sparse result lands on
+      ``result.dynamic_result``.  For wide circuits also pass
+      ``compute_reference=False``.  See
+      :mod:`repro.cutting.dynamic_definition`.
 
-    Device farms: pass ``devices`` (a sequence of
-    :class:`~repro.engine.DeviceSpec`; or set ``EngineConfig.devices``) to
-    route every variant onto a fleet of width-limited backends under a
-    ``routing`` policy (``"round_robin"``, ``"least_loaded"`` or
-    ``"best_fit"``; defaults to the engine config's).  A variant whose
-    post-reuse width exceeds every device raises
-    :class:`~repro.exceptions.InfeasibleVariantError` naming the shortfall
-    (the plan's ``max_width`` is checked up front, before anything executes).
-    Per-device utilization and simulated queue time are reported on
-    ``result.engine_stats.devices`` / ``result.device_utilization``.  With
-    ``devices=None`` (the default) no farm exists and the evaluation is
-    bit-identical to the pre-farm pipeline.  Like ``seed``, both arguments
-    configure the engine built here — configure a supplied engine through its
-    own :class:`~repro.engine.EngineConfig` instead.  See
-    :mod:`repro.engine.devices`.
-
-    Streaming and early termination: pass ``streaming`` (a
-    :class:`~repro.service.StreamingConfig`; or set ``EngineConfig.streaming``)
-    to consume the shot budget in cumulative rounds, and ``stopping`` (a
-    :class:`~repro.service.StoppingRule`; or set ``EngineConfig.stopping``) to
-    terminate once the running confidence interval is tight enough — or a shot
-    budget, deadline or round cap is hit.  Both require ``shots``.  Each
-    round's per-variant sample is a bitwise prefix of the next (the sampler is
-    prefix-stable), so a streaming evaluation that runs to completion without
-    re-planning reproduces the batch result *bit for bit*; one that stops early
-    reports how far it got on ``result.rounds`` / ``result.shots_spent`` /
-    ``result.termination_reason`` and the interval on ``result.half_width`` /
-    ``result.confidence``.  This function is a thin wrapper over
-    :class:`repro.service.EvaluationSession` — use that directly (or
-    :class:`repro.service.ServiceQueue` for multi-tenant scheduling) to drive
-    rounds manually.  See :mod:`repro.service`.
-
-    Dynamic definition: pass ``qubit_limit`` (or set
-    ``EngineConfig.qubit_limit``) to reconstruct a probability workload without
-    ever materialising its ``2**n``-element vector — the contraction bins the
-    distribution into at most ``2**qubit_limit`` elements per recursion level
-    and recursively zooms into the heaviest bins down to ``recursion_depth``
-    levels (``None`` resolves every zoomed path fully).  The result carries a
-    sparse :class:`~repro.cutting.DynamicDefinitionResult` on
-    ``result.dynamic_result`` (heavy bins, an a-priori lower bound on the
-    probability mass they cover, per-level reports); ``result.probabilities``
-    stays ``None``.  When ``qubit_limit`` covers every output qubit the heavy
-    bins are bit-identical to the planned full-vector contraction.  For wide
-    circuits also pass ``compute_reference=False`` — the uncut reference is a
-    full statevector simulation and defeats the point.  Composes with
-    ``streaming``/``stopping``: rounds fold binned chunk estimates, and the
-    recorded chunk history replays through every zoom level so each
-    :class:`~repro.cutting.LevelReport` carries its own confidence half-width.
-    See :mod:`repro.cutting.dynamic_definition`.
+    Deprecated keyword aliases: ``shots``, ``allocation``, ``seed``,
+    ``pruning``, ``devices``, ``routing``, ``streaming``, ``stopping``,
+    ``qubit_limit`` and ``recursion_depth`` are still accepted directly (six
+    PRs grew them before the config became the single source of truth).  Each
+    emits a :class:`DeprecationWarning` and behaves exactly like the matching
+    config field; a kwarg that disagrees with an explicitly configured field
+    raises :class:`~repro.exceptions.ConfigError` instead of silently picking
+    a side.
     """
+    _check_deprecated_kwargs(
+        {
+            "shots": shots,
+            "allocation": allocation,
+            "seed": seed,
+            "pruning": pruning,
+            "devices": devices,
+            "routing": routing,
+            "streaming": streaming,
+            "stopping": stopping,
+            "qubit_limit": qubit_limit,
+            "recursion_depth": recursion_depth,
+        },
+        engine.config if engine is not None else (engine_config or _CONFIG_DEFAULTS),
+    )
     # Imported lazily: repro.service layers *above* this module (the session
     # subsumes the old pipeline body) and importing it here at module level
     # would be circular.

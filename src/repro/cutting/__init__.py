@@ -44,6 +44,15 @@ from .overhead import (
 )
 from .reconstruction import INIT_STATE_DECOMPOSITION, CutReconstructor
 from .sampling import SamplingExecutor
+from .shot_overhead import (
+    OVERHEAD_MODES,
+    CutBasisWeights,
+    OverheadReport,
+    optimize_overhead_weights,
+    sampling_overhead,
+    sampling_variance_bound,
+    variant_profile,
+)
 from .variants import (
     WIRE_CUT_INIT_LABELS,
     WIRE_CUT_MEASUREMENT_BASES,
@@ -59,6 +68,7 @@ __all__ = [
     "ContractionCost",
     "ContractionPlan",
     "ContractionReport",
+    "CutBasisWeights",
     "CutReconstructor",
     "CutSolution",
     "DynamicDefinitionPlan",
@@ -74,6 +84,8 @@ __all__ = [
     "INIT_STATE_DECOMPOSITION",
     "NUM_GATE_CUT_INSTANCES",
     "NoisyExecutor",
+    "OVERHEAD_MODES",
+    "OverheadReport",
     "SamplingExecutor",
     "ShardUtilization",
     "SpecAxis",
@@ -93,10 +105,14 @@ __all__ = [
     "fre_operations",
     "frp_operations",
     "full_state_simulation_threshold",
+    "optimize_overhead_weights",
     "plan_contraction",
     "plan_dynamic_definition",
     "postprocessing_cost",
     "postprocessing_speedup",
     "reconstruct_dynamic",
     "reconstruction_overhead_curves",
+    "sampling_overhead",
+    "sampling_variance_bound",
+    "variant_profile",
 ]

@@ -27,7 +27,7 @@ from .cache import (
     build_cache_namespace,
     scoped_cache_namespace,
 )
-from .config import BACKENDS, CONTRACTION_MODES, EngineConfig
+from .config import BACKENDS, CONTRACTION_MODES, OVERHEAD_MODES, EngineConfig
 from .devices import (
     ROUTING_POLICIES,
     DeviceFarm,
@@ -54,6 +54,7 @@ __all__ = [
     "DeviceUtilization",
     "EngineConfig",
     "EngineStats",
+    "OVERHEAD_MODES",
     "PRUNING_POLICIES",
     "ParallelEngine",
     "PruningPolicy",

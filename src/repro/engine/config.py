@@ -11,7 +11,10 @@ numbers.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Any, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
+
+if TYPE_CHECKING:  # The service layer sits above the engine; import only for types.
+    from ..service.stopping import StoppingRule, StreamingConfig
 
 from ..exceptions import ReproError
 from .allocation import ALLOCATION_POLICIES
@@ -19,7 +22,13 @@ from .cache import DEFAULT_CACHE_SIZE
 from .devices import ROUTING_POLICIES, DeviceSpec
 from .pruning import PruningPolicy
 
-__all__ = ["CONTRACTION_MODES", "EngineConfig", "BACKENDS"]
+__all__ = ["CONTRACTION_MODES", "EngineConfig", "BACKENDS", "OVERHEAD_MODES"]
+
+#: Sampling-overhead optimization modes (see
+#: :mod:`repro.cutting.shot_overhead`): ``"none"`` skips the pass and stays
+#: bit-identical to the pre-optimizer pipeline; ``"weights"`` optimizes the
+#: per-cut basis sampling weights.
+OVERHEAD_MODES = ("none", "weights")
 
 #: Exact-execution backends an engine can build when no executor is supplied.
 BACKENDS = ("batched", "scalar")
@@ -127,6 +136,21 @@ class EngineConfig:
         recursion_depth: recursion levels for the dynamic-definition zoom
             (requires ``qubit_limit``); ``None`` spends exactly enough levels
             to fully resolve every zoomed path.
+        seed: base seed for finite-shot sampling (requires ``shots``; ``None``,
+            the default, derives per-variant seeds from fingerprints alone).
+            Only consulted when the session builds its own sampling executor —
+            pass the seed to your executor/engine directly otherwise.
+        optimize_overhead: cut-parameter sampling-overhead minimization mode —
+            ``"none"`` (the default: skip the pass, bit-identical to the
+            pre-optimizer pipeline) or ``"weights"`` (optimize the free
+            measurement/preparation basis weights at every cut, ShotQC-style,
+            and feed the reduced-variance per-variant weights to the shot
+            allocator, the pruning scorer and the streaming re-planner; see
+            :mod:`repro.cutting.shot_overhead`).  With ``"weights"`` and a
+            ``shots`` budget under the default ``"uniform"`` allocation, the
+            split is upgraded to ``"weighted"`` over the optimized weights —
+            a uniform split would ignore them (recorded on
+            ``OverheadReport.effective_allocation``).
     """
 
     max_workers: Optional[int] = 1
@@ -142,10 +166,12 @@ class EngineConfig:
     backend: str = "batched"
     contraction: str = "planned"
     contraction_workers: Optional[int] = None
-    streaming: Optional[object] = None
-    stopping: Optional[object] = None
+    streaming: Optional[StreamingConfig] = None
+    stopping: Optional[StoppingRule] = None
     qubit_limit: Optional[int] = None
     recursion_depth: Optional[int] = None
+    seed: Optional[int] = None
+    optimize_overhead: str = "none"
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -204,6 +230,13 @@ class EngineConfig:
                     "recursion_depth configures the dynamic-definition zoom and "
                     "needs qubit_limit"
                 )
+        if self.seed is not None and self.shots is None:
+            raise ReproError("seed configures finite-shot sampling and needs shots")
+        if self.optimize_overhead not in OVERHEAD_MODES:
+            raise ReproError(
+                f"optimize_overhead must be one of {OVERHEAD_MODES}, "
+                f"got {self.optimize_overhead!r}"
+            )
         if self.devices is not None:
             object.__setattr__(self, "devices", tuple(self.devices))
             # Building a throwaway farm runs the full validation set (non-empty

@@ -20,9 +20,11 @@ wrapped in a snapshot window and the deltas are accumulated per session.
 
 from __future__ import annotations
 
+from dataclasses import replace as dataclass_replace
 from typing import Any, Dict, List, Optional, Sequence
 
 from ..cutting import CutReconstructor, SamplingExecutor, VariantExecutor
+from ..cutting.shot_overhead import optimize_overhead_weights
 from ..engine import (
     ALLOCATION_POLICIES,
     DeviceSpec,
@@ -35,6 +37,7 @@ from ..engine import (
     prune_requests,
 )
 from ..engine.allocation import _MIN_SIGMA, _sigma_estimate, largest_remainder_split
+from ..engine.config import OVERHEAD_MODES
 from ..engine.devices import DeviceUtilization
 from ..exceptions import ConfigError, CuttingError
 from ..utils.timing import perf_clock
@@ -139,6 +142,17 @@ class EvaluationSession:
         recursion_depth: recursion levels for the dynamic-definition zoom
             (needs ``qubit_limit``; defaults to the engine config's); ``None``
             spends exactly enough levels to fully resolve every zoomed path.
+        optimize_overhead: cut-parameter sampling-overhead minimization mode
+            (``"none"`` or ``"weights"``; defaults to the engine config's).
+            With ``"weights"`` the session optimizes the per-cut basis
+            sampling weights after enumeration (see
+            :mod:`repro.cutting.shot_overhead`) and feeds the reduced-variance
+            per-variant weights to the shot allocator, the pruning ranking and
+            the streaming re-planner; a ``shots`` budget under the default
+            ``"uniform"`` allocation is upgraded to ``"weighted"`` over the
+            optimized weights.  The :class:`~repro.cutting.OverheadReport`
+            lands on ``EvaluationResult.overhead_report``.  ``"none"`` is
+            bit-identical to the pre-optimizer pipeline.
 
     Drive it either with :meth:`run` (prepare, consume every round, finish) or
     manually — ``prepare()``, then ``step()`` until it returns ``False``, then
@@ -166,6 +180,7 @@ class EvaluationSession:
         stopping: Optional[StoppingRule] = None,
         qubit_limit: Optional[int] = None,
         recursion_depth: Optional[int] = None,
+        optimize_overhead: Optional[str] = None,
     ) -> None:
         if workload.kind == WorkloadKind.PROBABILITY and config.enable_gate_cuts:
             raise CuttingError(
@@ -187,6 +202,10 @@ class EvaluationSession:
                 "EngineConfig(devices=..., routing=...) when constructing it)"
             )
         resolved_config = engine.config if engine is not None else (engine_config or EngineConfig())
+        if seed is None and engine is None and executor is None:
+            # The config seed only applies to the SamplingExecutor the session
+            # builds itself (a supplied executor/engine carries its own seed).
+            seed = resolved_config.seed
         if devices is None:
             devices = resolved_config.devices
         if routing is not None and devices is None:
@@ -202,6 +221,13 @@ class EvaluationSession:
         if pruning is None:
             pruning = resolved_config.pruning
         pruning_policy = PruningPolicy.resolve(pruning)
+        if optimize_overhead is None:
+            optimize_overhead = resolved_config.optimize_overhead
+        if optimize_overhead not in OVERHEAD_MODES:
+            raise ConfigError(
+                f"optimize_overhead must be one of {OVERHEAD_MODES}, "
+                f"got {optimize_overhead!r}"
+            )
         if seed is not None and shots is None:
             raise CuttingError(
                 "seed seeds the finite-shot SamplingExecutor and needs shots "
@@ -264,6 +290,7 @@ class EvaluationSession:
         self.stopping = stopping
         self.qubit_limit = qubit_limit
         self.recursion_depth = recursion_depth
+        self.optimize_overhead = optimize_overhead
 
         self.owns_engine = engine is None
         if engine is None:
@@ -301,6 +328,7 @@ class EvaluationSession:
         self._reconstructor: Optional[CutReconstructor] = None
         self._batch: Optional[List] = None
         self._weights: Optional[Dict[str, float]] = None
+        self._overhead_report = None
         self._pruning_report = None
         self._missing_mode = "execute"
         self._shot_allocation = None
@@ -317,6 +345,7 @@ class EvaluationSession:
         self._termination_reason: Optional[str] = None
         self._cut_seconds = 0.0
         self._enumerate_seconds = 0.0
+        self._optimize_seconds = 0.0
         self._prune_seconds = 0.0
         self._allocate_seconds = 0.0
         self._execute_seconds = 0.0
@@ -388,6 +417,7 @@ class EvaluationSession:
                     and self.allocation_policy in ("weighted", "variance")
                 )
                 or (self.streaming_active and self.streaming.replan)
+                or self.optimize_overhead != "none"
             )
             weights: Optional[Dict[str, float]] = {} if needs_weights else None
             enumerate_start = perf_clock()
@@ -402,11 +432,46 @@ class EvaluationSession:
             self._enumerate_seconds = perf_clock() - enumerate_start
             self._weights = weights
 
+            if self.optimize_overhead != "none":
+                optimize_start = perf_clock()
+                optimized, overhead_report = optimize_overhead_weights(
+                    batch, weights or {}
+                )
+                self._optimize_seconds = perf_clock() - optimize_start
+                effective: Optional[str] = None
+                if self.shots is not None:
+                    if self.allocation_policy == "uniform":
+                        # A uniform split ignores per-variant weights entirely;
+                        # the optimized split is the whole point of the pass.
+                        self.allocation_policy = "weighted"
+                    effective = self.allocation_policy
+                self._overhead_report = dataclass_replace(
+                    overhead_report,
+                    effective_allocation=effective,
+                    optimize_seconds=self._optimize_seconds,
+                )
+                self._weights = optimized
+
             if not self.pruning_policy.is_none:
                 prune_start = perf_clock()
                 batch, self._pruning_report = prune_requests(
-                    batch, weights, self.pruning_policy
+                    batch, self._weights, self.pruning_policy
                 )
+                if self._weights is not weights:
+                    # The ranking used the optimized sampling weights, but the
+                    # a-priori bias bound is only valid over true contraction
+                    # weights — recompute the report's weight fields from them.
+                    true = weights or {}
+                    dropped_weight = sum(
+                        abs(float(true.get(key, 0.0)))
+                        for key in self._pruning_report.dropped_fingerprints
+                    )
+                    self._pruning_report = dataclass_replace(
+                        self._pruning_report,
+                        total_weight=sum(abs(float(value)) for value in true.values()),
+                        dropped_weight=dropped_weight,
+                        bias_bound=dropped_weight * self.pruning_policy.max_branch_value,
+                    )
                 self._missing_mode = "skip"
                 self._prune_seconds = perf_clock() - prune_start
             self._batch = batch
@@ -417,7 +482,7 @@ class EvaluationSession:
                     batch,
                     self.shots,
                     self.allocation_policy,
-                    weights=weights,
+                    weights=self._weights,
                     engine=self.engine,
                 )
                 self.engine.apply_allocation(shot_allocation)
@@ -574,6 +639,7 @@ class EvaluationSession:
         result = EvaluationResult(plan=self._plan)
         result.pruning_report = self._pruning_report
         result.shot_allocation = self._shot_allocation
+        result.overhead_report = self._overhead_report
 
         self._open_window()
         try:
@@ -645,6 +711,7 @@ class EvaluationSession:
             + self._execute_seconds
             + reconstruct_seconds
             + self._allocate_seconds
+            + self._optimize_seconds
             + self._prune_seconds
             + reference_seconds,
         }
@@ -655,6 +722,8 @@ class EvaluationSession:
             result.timings["merge"] = report.merge_seconds
         if self.shots is not None:
             result.timings["allocate"] = self._allocate_seconds
+        if self.optimize_overhead != "none":
+            result.timings["optimize"] = self._optimize_seconds
         if not self.pruning_policy.is_none:
             result.timings["prune"] = self._prune_seconds
         if self.compute_reference:

@@ -353,6 +353,54 @@ class TestEvaluateWorkloadShots:
         assert result.engine_stats.allocation_policy == "uniform"
 
 
+class TestConfigFirstSampling:
+    """The consolidated request object: EngineConfig carries shots/seed too."""
+
+    @pytest.fixture
+    def small_case(self):
+        return make_workload("VQE", 5, layers=1), CutConfig(device_size=3, max_subcircuits=2)
+
+    def test_config_first_matches_legacy_kwargs(self, small_case):
+        workload, config = small_case
+        with pytest.warns(DeprecationWarning):
+            legacy = evaluate_workload(
+                workload, config, shots=2000, seed=9, compute_reference=False
+            )
+        config_first = evaluate_workload(
+            workload,
+            config,
+            engine_config=EngineConfig(shots=2000, seed=9),
+            compute_reference=False,
+        )
+        assert config_first.expectation_value == legacy.expectation_value
+        assert config_first.shot_allocation.assigned_shots == 2000
+
+    def test_config_seed_ignored_for_supplied_executors(self, small_case):
+        # A config seed only configures the session-built sampling executor; a
+        # caller-supplied executor keeps its own seed (the same-named *keyword*
+        # is a hard error, the config field is a soft default).
+        workload, config = small_case
+        result = evaluate_workload(
+            workload,
+            config,
+            executor=SamplingExecutor(shots=4096, seed=3),
+            engine_config=EngineConfig(shots=200, seed=9),
+            compute_reference=False,
+        )
+        assert result.shot_allocation.assigned_shots == 200
+
+    def test_allocation_policy_from_config(self, small_case):
+        workload, config = small_case
+        result = evaluate_workload(
+            workload,
+            config,
+            engine_config=EngineConfig(shots=3000, allocation="variance", seed=2),
+            compute_reference=False,
+        )
+        assert result.shot_allocation.policy == "variance"
+        assert result.shot_allocation.assigned_shots == 3000
+
+
 class TestPerCallTimingBugfix:
     def test_execute_timing_ignores_other_engine_traffic(self):
         """Lifetime-counter deltas were inflated by concurrent use; per-batch

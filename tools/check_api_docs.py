@@ -30,6 +30,7 @@ MODULES = (
     "repro",
     "repro.engine",
     "repro.cutting",
+    "repro.cutting.shot_overhead",
     "repro.core",
     "repro.service",
     "tools.qrcclint",
@@ -53,6 +54,8 @@ FLAGSHIP = (
     ("repro.service", "ServiceQueue"),
     ("repro.service", "StreamingConfig"),
     ("repro.service", "StoppingRule"),
+    ("repro.cutting", "optimize_overhead_weights"),
+    ("repro.cutting", "OverheadReport"),
     ("repro.engine", "build_cache_key"),
     ("repro.engine", "build_cache_namespace"),
     ("tools.qrcclint", "lint_source"),
